@@ -1,0 +1,69 @@
+"""Ablation: are the GPR's predictive intervals calibrated?
+
+Active learning trusts sigma(x) twice over — for candidate selection and
+for the AMSD stopping rule — so this bench measures the empirical coverage
+of the predictive intervals on held-out data for the noise-floor settings
+of Fig. 7.  Expected picture: the 1e-8 floor is overconfident with small
+training sets (the Fig. 7 overfitting pathology, seen here as coverage far
+below nominal), while the paper's 1e-1 floor is conservative (coverage at
+or above nominal) at the price of sharpness.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.al import default_model_factory, interval_coverage, random_partition
+from repro.al.calibration import coverage_curve
+from repro.experiments.common import fig6_subset
+
+
+def _coverage_for_floor(X, y, floor, n_train, n_seeds=6):
+    reports = []
+    for seed in range(n_seeds):
+        part = random_partition(X.shape[0], rng=seed)
+        rng = np.random.default_rng(seed)
+        train = rng.choice(part.active, size=n_train, replace=False)
+        model = default_model_factory(floor)()
+        model.fit(X[train], y[train])
+        reports.append(interval_coverage(model, X[part.test], y[part.test]))
+    levels = reports[0].levels
+    empirical = tuple(
+        float(np.mean([r.empirical[i] for r in reports]))
+        for i in range(len(levels))
+    )
+    sharpness = float(np.mean([r.sharpness for r in reports]))
+    miscal = float(np.mean([abs(e - l) for e, l in zip(empirical, levels)]))
+    from repro.al.calibration import CoverageReport
+
+    return CoverageReport(
+        levels=levels,
+        empirical=empirical,
+        mean_absolute_miscalibration=miscal,
+        sharpness=sharpness,
+    )
+
+
+def _sweep(X, y):
+    out = {}
+    for floor in (1e-8, 1e-1):
+        for n_train in (8, 40):
+            out[(floor, n_train)] = _coverage_for_floor(X, y, floor, n_train)
+    return out
+
+
+def test_interval_coverage(once):
+    X, y, _ = fig6_subset()
+    results = once(_sweep, X, y)
+    banner("ABLATION — predictive-interval coverage vs noise floor")
+    for (floor, n_train), report in results.items():
+        print(f"\nsigma_n^2 >= {floor:g}, {n_train} training points:")
+        print(coverage_curve(report))
+    small_low = results[(1e-8, 8)]
+    small_high = results[(1e-1, 8)]
+    i95 = small_low.levels.index(0.95)
+    # The raised floor must not be overconfident at 95% with few points...
+    assert small_high.empirical[i95] >= 0.9
+    # ...and must cover at least as well as the 1e-8 floor does.
+    assert small_high.empirical[i95] >= small_low.empirical[i95] - 0.02
+    # With ample data both floors cover well at 95%.
+    assert results[(1e-8, 40)].empirical[i95] > 0.85

@@ -1,0 +1,60 @@
+"""Ablation: Bayesian LML vs leave-one-out pseudo-likelihood model selection.
+
+Section III names both routes (Rasmussen & Williams Ch. 5) and leaves the
+empirical comparison to future work — this bench runs it: fit the same
+training subsets with both objectives and compare held-out RMSE/NLPD.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.al.metrics import nlpd, rmse
+from repro.experiments.common import fig6_subset
+from repro.gp import GaussianProcessRegressor, fit_loocv
+
+
+def _compare(X, y, train_sizes=(8, 20, 50), n_reps=3):
+    rng = np.random.default_rng(0)
+    rows = []
+    for n_train in train_sizes:
+        for rep in range(n_reps):
+            idx = rng.permutation(X.shape[0])
+            tr, te = idx[:n_train], idx[n_train : n_train + 50]
+
+            lml_model = GaussianProcessRegressor(
+                noise_variance=1e-1, noise_variance_bounds=(1e-2, 1e2),
+                n_restarts=2, rng=rep,
+            ).fit(X[tr], y[tr])
+
+            loo_model = GaussianProcessRegressor(
+                noise_variance=1e-1, noise_variance_bounds=(1e-2, 1e2),
+                n_restarts=2, rng=rep,
+            )
+            fit_loocv(loo_model, X[tr], y[tr], n_restarts=1)
+
+            rows.append(
+                (
+                    n_train,
+                    rmse(lml_model, X[te], y[te]),
+                    rmse(loo_model, X[te], y[te]),
+                    nlpd(lml_model, X[te], y[te]),
+                    nlpd(loo_model, X[te], y[te]),
+                )
+            )
+    return rows
+
+
+def test_lml_vs_loocv(once):
+    X, y, _ = fig6_subset()
+    rows = once(_compare, X, y)
+    banner("ABLATION — LML vs LOO-CV model selection (paper future work)")
+    print(f"{'n_train':>8} {'RMSE(LML)':>10} {'RMSE(LOO)':>10} "
+          f"{'NLPD(LML)':>10} {'NLPD(LOO)':>10}")
+    for n_train, r_lml, r_loo, n_lml, n_loo in rows:
+        print(f"{n_train:>8} {r_lml:>10.4f} {r_loo:>10.4f} "
+              f"{n_lml:>10.3f} {n_loo:>10.3f}")
+    arr = np.asarray(rows)
+    print(f"\nmean RMSE: LML {arr[:, 1].mean():.4f} vs LOO {arr[:, 2].mean():.4f}")
+    print(f"mean NLPD: LML {arr[:, 3].mean():.3f} vs LOO {arr[:, 4].mean():.3f}")
+    # Both selection routes must produce usable models on this data.
+    assert arr[:, 1:3].max() < 1.0

@@ -1,0 +1,25 @@
+"""Bench: Fig. 1 — raw dataset subsets (poisson1, selected NP levels).
+
+The paper's takeaways: the Power dataset is sparser and visibly noisier
+than the Performance dataset.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.experiments import fig1
+
+
+def test_fig1(once):
+    result = once(fig1.run)
+    banner("FIG 1 — dataset subsets (operator=poisson1)")
+    print(f"{'dataset':>12} {'response':>16} {'NP':>4} {'points':>7} "
+          f"{'min':>12} {'max':>12}")
+    for s in result.series:
+        print(f"{s.dataset:>12} {s.response:>16} {s.np_ranks:>4} "
+              f"{s.values.size:>7} {s.values.min():>12.4g} {s.values.max():>12.4g}")
+    print(f"\nrelative repeat-to-repeat noise: "
+          f"Performance {result.performance_relative_noise:.1%}, "
+          f"Power {result.power_relative_noise:.1%} "
+          f"(paper: Power visibly noisier)")
+    assert result.power_relative_noise > result.performance_relative_noise

@@ -1,0 +1,20 @@
+"""Bench: Fig. 2 — log-transformed subsets and the log-log linearity check.
+
+The paper: "confirms the linear growth of Runtime along the problem size
+dimension" on log scales.  We print the fitted slope/R^2 per NP level.
+"""
+
+from conftest import banner
+
+from repro.experiments import fig2
+
+
+def test_fig2(once):
+    result = once(fig2.run)
+    banner("FIG 2 — log-log slope fits (paper: linear growth, slope ~ 1)")
+    print(f"{'dataset':>12} {'response':>24} {'NP':>4} {'slope':>8} {'R^2':>7}")
+    for fit in result.fits:
+        print(f"{fit.dataset:>12} {fit.response:>24} {fit.np_ranks:>4} "
+              f"{fit.slope:>8.3f} {fit.r_squared:>7.3f}")
+    runtime_fits = [f for f in result.fits if f.dataset == "Performance"]
+    assert all(0.7 < f.slope < 1.3 for f in runtime_fits)

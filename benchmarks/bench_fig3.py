@@ -1,0 +1,45 @@
+"""Bench: Fig. 3 — 1-D GPR predictive distributions vs problem size.
+
+Paper observations to reproduce: (a) with all measurements the predictive
+means nearly coincide across hyperparameter settings while small length
+scales inflate the confidence band between points; (b) with 4 random points
+the uncertainty (and even the means) blow up at the unmeasured domain edge.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.experiments import fig3
+from repro.viz import line_chart
+
+
+def _panel_report(name, panel):
+    print(f"\n[{name}] training points: {len(panel.y_train)}")
+    print(f"{'l':>6} {'sigma_f':>8} {'mean CI width':>14} {'max sd':>8}")
+    for c in panel.curves:
+        print(f"{c.length_scale:>6.2f} {c.sigma_f:>8.2f} "
+              f"{np.mean(c.ci_high - c.ci_low):>14.3f} {c.sd.max():>8.3f}")
+    print(f"max disagreement between predictive means: "
+          f"{panel.mean_disagreement():.3f}")
+
+
+def test_fig3(once):
+    result = once(fig3.run)
+    banner("FIG 3 — 1-D GPR cross-section (NP=32, 2.4 GHz, poisson1)")
+    _panel_report("(a) all measurements", result.all_points)
+    _panel_report("(b) 4 random points", result.four_points)
+
+    c = result.all_points.curves[1]  # l=1.0 reference curve
+    print()
+    print(line_chart(
+        {
+            "m mean": (c.grid, c.mean),
+            "u upper CI": (c.grid, c.ci_high),
+            "l lower CI": (c.grid, c.ci_low),
+            "t train": (result.all_points.X_train[:, 0], result.all_points.y_train),
+        },
+        title="panel (a), l=1.0: log10 runtime vs log10 problem size",
+        x_label="log10 N", y_label="log10 s",
+    ))
+    assert result.all_points.mean_ci_width(0.5) > result.all_points.mean_ci_width(2.0)
+    assert result.four_points.mean_disagreement() > result.all_points.mean_disagreement()

@@ -1,0 +1,30 @@
+"""Bench: Fig. 4 — LML contour over (length scale l, noise sigma_n).
+
+Paper: with abundant data the landscape has "a unique global optimum"
+findable by "gradient ascend with a single randomly selected starting
+point".
+"""
+
+from conftest import banner
+
+from repro.experiments import fig4
+from repro.viz import heatmap
+
+
+def test_fig4(once):
+    result = once(fig4.run)
+    banner("FIG 4 — LML landscape, abundant data (paper: unique peak)")
+    ls, nv, peak = result.grid.peak()
+    print(f"grid peak: l={ls:.3g}, sigma_n^2={nv:.3g}, LML={peak:.1f}")
+    print(f"interior local maxima on grid: {result.n_local_maxima}")
+    print(f"single-start optimum: l={result.single_start_optimum[0]:.3g}, "
+          f"sigma_n^2={result.single_start_optimum[1]:.3g}")
+    print(f"multi-start optimum:  l={result.multi_start_optimum[0]:.3g}, "
+          f"sigma_n^2={result.multi_start_optimum[1]:.3g}")
+    print(f"optima agree: {result.optima_agree}   "
+          f"peakedness (max - median LML): {result.lml_range:.1f}")
+    print()
+    print(heatmap(result.grid.lml,
+                  x_label="log sigma_n^2 ->", y_label="log l (top=small)"))
+    assert result.n_local_maxima == 1
+    assert result.optima_agree

@@ -1,0 +1,33 @@
+"""Bench: Fig. 5 — 2-D GPR on 4 random points + shallow LML landscape.
+
+Paper: the 4-point model's CI surfaces are tight near the data and widest
+"where both Frequency and Problem Size are near their maximum values"; its
+LML landscape is "significantly more shallow" than Fig. 4's yet still
+yields a usable optimum.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.experiments import fig4, fig5
+from repro.viz import heatmap
+
+
+def test_fig5(once):
+    result = once(fig5.run)
+    banner("FIG 5 — small-data 2-D GPR (paper: shallow LML, wide far CI)")
+    print(f"training points (log10 size, GHz):\n{np.round(result.X_train, 2)}")
+    widest = result.widest_candidate()
+    print(f"widest-CI candidate: log10(size)={widest[0]:.2f}, "
+          f"freq={widest[1]:.1f} GHz "
+          f"(CI width {result.candidate_ci_width.max():.2f})")
+    print(f"LML landscape: {result.n_local_maxima} interior local maxima, "
+          f"peakedness {result.lml_range:.2f}")
+
+    fig4_range = fig4.run().lml_range
+    print(f"compare Fig 4 peakedness (abundant data): {fig4_range:.1f} "
+          f"-> shallow factor {fig4_range / max(result.lml_range, 1e-9):.1f}x")
+    print("\nCI width surface (rows: size; cols: freq):")
+    print(heatmap(result.ci_high_surface - result.ci_low_surface,
+                  x_label="freq ->", y_label="size"))
+    assert result.lml_range < fig4_range

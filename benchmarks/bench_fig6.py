@@ -1,0 +1,34 @@
+"""Bench: Fig. 6 — Variance-Reduction AL trajectories (10 / 100 iterations).
+
+Paper: "In a star-like pattern, AL chooses experiments at the edges and,
+only after exhausting all edge points, progresses toward the middle."
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.experiments import fig6
+from repro.viz import line_chart
+
+
+def test_fig6(once):
+    result = once(fig6.run)
+    banner("FIG 6 — AL exploration pattern (paper: edge-first, star-like)")
+    print(f"subset size: {result.subset_size} jobs (paper: 251)")
+    print(f"first 10 selections on the domain boundary: "
+          f"{result.early_edge_fraction:.0%} "
+          f"(pool boundary share: {result.pool_edge_fraction:.0%})")
+    print("\nfirst 10 visited (log10 size, GHz):")
+    for i, x in enumerate(result.trajectory_10):
+        print(f"  {i + 1:2d}: ({x[0]:.2f}, {x[1]:.1f})")
+    print()
+    print(line_chart(
+        {
+            ". pool": (result.X_pool[:, 0], result.X_pool[:, 1]),
+            "o first 10": (result.trajectory_10[:, 0], result.trajectory_10[:, 1]),
+            "+ next 90": (result.trajectory_100[10:, 0], result.trajectory_100[10:, 1]),
+        },
+        title="visited candidates in the (size, frequency) plane",
+        x_label="log10 problem size", y_label="GHz",
+    ))
+    assert result.early_edge_fraction > result.pool_edge_fraction

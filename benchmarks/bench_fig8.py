@@ -1,0 +1,66 @@
+"""Bench: Fig. 8 — Variance Reduction vs Cost Efficiency.
+
+Paper (50 partitions, run to pool exhaustion): Cost Efficiency crosses the
+Variance-Reduction tradeoff curve at cumulative cost C = 1626 core-seconds
+and afterwards delivers up to 38% lower error at equal cost (25/21/16/13%
+at 2C/3C/5C/10C), the curves meeting again at the maximum cost.
+
+The bench default (12 partitions x 120 iterations) keeps the wall time in
+minutes while preserving the comparison's shape; EXPERIMENTS.md records a
+full-exhaustion run.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.experiments import fig8
+from repro.viz import line_chart
+
+
+def test_fig8(once):
+    result = once(fig8.run, n_partitions=12, n_iterations=120, n_workers=4)
+    banner("FIG 8 — VR vs CE (paper: C=1626, up to 38% reduction)")
+    vr, ce = result.variance_reduction, result.cost_efficiency
+    its = np.arange(len(vr.mean_series("rmse")))
+    print(line_chart(
+        {
+            "v VR rmse": (its, vr.mean_series("rmse")),
+            "c CE rmse": (its, ce.mean_series("rmse")),
+        },
+        title="(a) mean test RMSE per iteration",
+        x_label="AL iteration", y_label="RMSE", logy=True,
+    ))
+    print()
+    print(line_chart(
+        {
+            "v VR cumulative cost": (its, vr.mean_series("cumulative_cost")),
+            "c CE cumulative cost": (its, ce.mean_series("cumulative_cost")),
+        },
+        title="(b top) mean cumulative cost per iteration",
+        x_label="AL iteration", y_label="core-seconds", logy=True,
+    ))
+    print()
+    grid = np.geomspace(
+        max(result.vr_curve.costs[0], result.ce_curve.costs[0], 1.0),
+        min(result.vr_curve.max_cost, result.ce_curve.max_cost),
+        60,
+    )
+    print(line_chart(
+        {
+            "v VR error(cost)": (np.log10(grid), result.vr_curve.error_at(grid)),
+            "c CE error(cost)": (np.log10(grid), result.ce_curve.error_at(grid)),
+        },
+        title="(b bottom) cost-error tradeoff curves",
+        x_label="log10 cumulative cost", y_label="RMSE", logy=True,
+    ))
+
+    comp = result.comparison
+    print(f"\ncrossover cost C = "
+          f"{comp.crossover:,.0f} core-seconds (paper: 1626)"
+          if comp.crossover is not None else "\nno crossover found")
+    print(f"max relative error reduction past C: {comp.max_reduction:.1%} "
+          f"(paper: 38%)")
+    for mult, red in sorted(comp.reductions_at_multiples.items()):
+        print(f"  at {mult:.0f}C: {red:+.1%}")
+    assert comp.crossover is not None
+    assert comp.max_reduction > 0.10

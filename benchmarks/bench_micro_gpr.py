@@ -1,0 +1,49 @@
+"""Micro-benchmarks: GPR fit/predict scaling.
+
+The paper defers "computational requirements and the scalability of these
+algorithms" to future work; these benches provide the numbers for our
+implementation: fit cost grows with the O(n^3) Cholesky + O(n^2 d) kernel,
+prediction with O(n m).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcessRegressor
+
+
+def _data(n, d=2, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 10, size=(n, d))
+    y = np.sin(X[:, 0]) + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def test_fit_scaling(benchmark, n):
+    X, y = _data(n)
+    model = GaussianProcessRegressor(rng=0, n_restarts=1)
+    benchmark(lambda: GaussianProcessRegressor(rng=0, n_restarts=1).fit(X, y))
+    model.fit(X, y)
+    assert model.fitted
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_predict_with_std(benchmark, n):
+    X, y = _data(n)
+    model = GaussianProcessRegressor(rng=0, n_restarts=0).fit(X, y)
+    Xq = _data(500, seed=1)[0]
+    mean, sd = benchmark(model.predict, Xq, return_std=True)
+    assert mean.shape == (500,)
+    assert np.all(sd > 0)
+
+
+def test_lml_gradient_evaluation(benchmark):
+    X, y = _data(150)
+    model = GaussianProcessRegressor(rng=0, n_restarts=0).fit(X, y)
+    theta = model._theta()
+    lml, grad = benchmark(
+        model.log_marginal_likelihood, theta, eval_gradient=True
+    )
+    assert np.isfinite(lml)
+    assert grad.shape == theta.shape

@@ -1,0 +1,53 @@
+"""Micro-benchmarks: mini HPGMG-FE solver throughput.
+
+Reports the benchmark's own figure of merit (DOF/s of an FMG+V-cycle solve)
+per operator flavour and size, mirroring how real HPGMG ranks machines.
+"""
+
+import pytest
+
+from repro.hpgmg import MultigridSolver, load_vector, make_problem, source_term
+
+
+@pytest.mark.parametrize("operator", ["poisson1", "poisson2", "poisson2affine"])
+def test_solve_throughput(benchmark, operator):
+    problem = make_problem(operator)
+    solver = MultigridSolver(problem, 32, rng=0)
+    f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+    result = benchmark(solver.solve, f, rtol=1e-8)
+    assert result.converged
+    print(f"\n{operator}: {solver.dofs} DOF, "
+          f"{solver.dofs / result.seconds:,.0f} DOF/s, "
+          f"{result.cycles} cycles, {result.work_units:.0f} work units")
+
+
+@pytest.mark.parametrize("ne", [16, 32, 64])
+def test_vcycle_cost_scaling(benchmark, ne):
+    problem = make_problem("poisson1")
+    solver = MultigridSolver(problem, ne, rng=0)
+    f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+    u = benchmark(solver.vcycle, f)
+    assert u.shape == (solver.dofs,)
+
+
+def test_assembly_cost(benchmark):
+    from repro.hpgmg import assemble
+
+    problem = make_problem("poisson2affine")
+    mesh = problem.mesh(64)
+    op = benchmark(assemble, problem, mesh)
+    assert op.n == mesh.n_interior
+
+
+@pytest.mark.parametrize("operator", ["poisson1", "poisson2"])
+def test_solve_throughput_3d(benchmark, operator):
+    """The 3-D (native HPGMG dimension) variant's figure of merit."""
+    from repro.hpgmg import MultigridSolver3, load_vector3, make_problem3, source_term3
+
+    problem = make_problem3(operator)
+    solver = MultigridSolver3(problem, 8, rng=0)
+    f = load_vector3(problem, solver.levels[0].mesh, source_term3(problem))
+    result = benchmark(solver.solve, f, rtol=1e-8)
+    assert result.converged
+    print(f"\n3-D {operator}: {solver.dofs} DOF, "
+          f"{solver.dofs / result.seconds:,.0f} DOF/s, {result.cycles} cycles")

@@ -1,0 +1,48 @@
+"""Micro-benchmark: matrix-free stencil apply vs assembled CSR SpMV.
+
+The real HPGMG applies its operators matrix-free; this bench measures the
+same tradeoff in our mini version for the ``poisson1`` flavour across grid
+sizes (plus the one-time assembly cost the matrix-free path avoids).
+"""
+
+import pytest
+
+from repro.hpgmg import assemble, make_problem
+from repro.hpgmg.stencil import StencilOperator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    import numpy as np
+
+    problem = make_problem("poisson1")
+    out = {}
+    for ne in (64, 256):
+        mesh = problem.mesh(ne)
+        sparse_op = assemble(problem, mesh)
+        stencil_op = StencilOperator(problem=problem, mesh=mesh)
+        u = np.random.default_rng(0).standard_normal(sparse_op.n)
+        out[ne] = (sparse_op, stencil_op, u)
+    return out
+
+
+@pytest.mark.parametrize("ne", [64, 256])
+def test_csr_apply(benchmark, setup, ne):
+    sparse_op, _, u = setup[ne]
+    result = benchmark(lambda: sparse_op.A @ u)
+    assert result.shape == u.shape
+
+
+@pytest.mark.parametrize("ne", [64, 256])
+def test_stencil_apply(benchmark, setup, ne):
+    _, stencil_op, u = setup[ne]
+    result = benchmark(stencil_op.apply, u)
+    assert result.shape == u.shape
+
+
+def test_assembly_vs_stencil_setup(benchmark):
+    """The setup cost the matrix-free path avoids entirely."""
+    problem = make_problem("poisson1")
+    mesh = problem.mesh(256)
+    op = benchmark(assemble, problem, mesh)
+    assert op.n == mesh.n_interior

@@ -1,0 +1,22 @@
+"""Bench: regenerate the paper's Table I (dataset parameters).
+
+Paper values for reference:
+
+    Performance: 3246 jobs, Runtime 0.005-458.436 s
+    Power:       640 jobs, Runtime 0.005-458.436 s, Energy 6.4e3-1.1e5 J
+    Operators:   poisson1, poisson2, poisson2affine
+    Sizes:       1.7e3-1.1e9 | NP: 1..128 | Freq: 1.2-2.4 GHz
+"""
+
+from conftest import banner
+
+from repro.experiments import table1
+
+
+def test_table1(once):
+    result = once(table1.run)
+    banner("TABLE I — paper: 3246/640 jobs, runtime 0.005-458 s, "
+           "energy 6.4e3-1.1e5 J")
+    print(result.text)
+    assert result.performance.n_jobs == 3246
+    assert result.power.n_jobs == 640

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Continuous-domain active learning (the paper's Section VI extension).
+
+When the controlled variables are continuous (problem size is near-
+continuous in practice), the Active pool "cannot be treated as finite".
+This example learns the runtime surface of the analytic HPGMG-FE model
+over a continuous (log10 size, frequency) box: each AL step maximizes the
+predictive standard deviation with multi-start L-BFGS-B using the GP's
+*analytic* input-space gradients, then runs a noisy experiment at the
+chosen point.
+
+Run:  python examples/continuous_al.py  [--iterations 15]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.al import ContinuousActiveLearner
+from repro.perfmodel import PERFORMANCE_NOISE, RuntimeModel
+from repro.viz import heatmap, line_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    model = RuntimeModel()
+    rng = np.random.default_rng(args.seed)
+
+    def experiment(x):
+        """One (simulated) HPGMG-FE run at a continuous configuration."""
+        size = 10.0 ** x[0]
+        freq = float(x[1])
+        clean = float(model.runtime("poisson1", size, 32, freq))
+        return float(np.log10(PERFORMANCE_NOISE.apply(clean, rng)))
+
+    bounds = [[np.log10(2e3), np.log10(1e9)], [1.2, 2.4]]
+    learner = ContinuousActiveLearner(
+        experiment, bounds, strategy="variance", rng=args.seed, n_starts=6
+    )
+    learner.seed()
+    print("iter    log10(size)   freq[GHz]   measured log10(runtime)   max-sd")
+    for i in range(args.iterations):
+        x, y = learner.step()
+        print(f"{i + 1:4d} {x[0]:14.2f} {x[1]:11.2f} {y:25.3f} "
+              f"{learner.trace.acquisition_values[-1]:8.3f}")
+
+    X, y = learner.trace.as_arrays()
+    print()
+    print(line_chart(
+        {"x visited": (X[:, 0], X[:, 1])},
+        title="continuously-optimized experiment locations",
+        x_label="log10 problem size", y_label="frequency [GHz]",
+    ))
+
+    gp = learner.model
+    s_axis = np.linspace(bounds[0][0], bounds[0][1], 14)
+    f_axis = np.linspace(bounds[1][0], bounds[1][1], 10)
+    SS, FF = np.meshgrid(s_axis, f_axis, indexing="ij")
+    query = np.column_stack([SS.ravel(), FF.ravel()])
+    mean, sd = gp.predict(query, return_std=True)
+    print("\nlearned log10 runtime surface:")
+    print(heatmap(mean.reshape(14, 10), x_label="freq ->", y_label="size",
+                  mark_max=False))
+    print("\nresidual predictive SD:")
+    print(heatmap(sd.reshape(14, 10), x_label="freq ->", y_label="size"))
+
+
+if __name__ == "__main__":
+    main()

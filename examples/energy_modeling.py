@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Energy modeling on the Power dataset: GPR over (size, frequency).
+
+Reproduces the paper's energy-consumption modeling thread: regenerate the
+640-job Power dataset (IPMI traces, trapezoidal integration, gap
+filtering), fit a GPR to log energy over (log problem size, CPU frequency)
+for one operator/NP slice, and display the predicted energy surface and
+its uncertainty.  Also demonstrates the power-trace machinery directly on
+a single simulated job.
+
+Run:  python examples/energy_modeling.py
+"""
+
+import numpy as np
+
+from repro.cluster import IPMISampler, PowerModel, integrate_energy, trace_is_usable
+from repro.datasets import DesignSpec, generate_power_dataset
+from repro.gp import GaussianProcessRegressor
+from repro.viz import heatmap, histogram
+
+
+def trace_demo() -> None:
+    """One job's IPMI power trace and energy integral."""
+    pm = PowerModel()
+    sampler = IPMISampler()
+    rng = np.random.default_rng(7)
+    duration = 120.0
+    watts = float(pm.node_power(32, 2.1))
+    trace = sampler.sample(duration, watts, rng)
+    energy = integrate_energy(trace, duration)
+    print(f"simulated 120s job on one node at 2.1 GHz: mean draw {watts:.0f} W")
+    print(f"IPMI trace: {trace.n_records} records "
+          f"(gaps removed {121 - trace.n_records}); "
+          f"usable: {trace_is_usable(trace, duration)}")
+    print(f"trapezoidal energy estimate: {energy:,.0f} J "
+          f"(ideal {watts * duration:,.0f} J)")
+    print(histogram(trace.watts, bins=10, title="power reading distribution [W]"))
+
+
+def main() -> None:
+    trace_demo()
+
+    print("\ngenerating the 640-job Power dataset "
+          "(SLURM sim + IPMI traces + gap filtering)...")
+    power = generate_power_dataset(seed=2016)
+
+    # Long jobs dominate the Power dataset, so the richest slice varies NP
+    # and frequency at the largest problem size (the paper's Power subsets
+    # are similarly size-sparse, Fig. 1b).
+    largest = max(r.problem_size for r in power.records)
+    sub = power.subset(operator="poisson2", problem_size=largest)
+    print(f"poisson2 @ {largest:.3g} DOF slice: {len(sub)} jobs with usable energy")
+    X, y = sub.design_matrix(
+        DesignSpec(variables=("np_ranks", "freq_ghz"),
+                   response="energy_joules",
+                   log_features=frozenset({"np_ranks"}))
+    )
+
+    model = GaussianProcessRegressor(
+        noise_variance=1e-1, noise_variance_bounds=(1e-2, 1e2),
+        n_restarts=3, normalize_y=True, rng=0,
+    )
+    model.fit(X, y)
+    print(f"fitted GPR: {model!r}  (LML {model.lml_:.1f})")
+
+    nps = np.linspace(X[:, 0].min(), X[:, 0].max(), 14)
+    freqs = np.linspace(X[:, 1].min(), X[:, 1].max(), 10)
+    NN, FF = np.meshgrid(nps, freqs, indexing="ij")
+    query = np.column_stack([NN.ravel(), FF.ravel()])
+    mean, sd = model.predict(query, return_std=True)
+    print("\npredicted log10 energy [J] "
+          "(rows: NP small->large, cols: freq low->high):")
+    print(heatmap(mean.reshape(14, 10), x_label="freq", y_label="log10 NP",
+                  mark_max=False))
+    print("\npredictive SD (where would AL run the next power experiment?):")
+    print(heatmap(sd.reshape(14, 10), x_label="freq", y_label="log10 NP",
+                  mark_max=True))
+    i = int(np.argmax(sd))
+    print(f"\nAL would next measure: NP~{10 ** query[i, 0]:.0f}, "
+          f"freq={query[i, 1]:.1f} GHz (sd={sd[i]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's offline study: Variance Reduction vs Cost Efficiency.
+
+Regenerates the Performance dataset, carves out the paper's evaluation
+subset (operator=poisson1, NP=32 — 251 jobs), runs both AL strategies over
+several random partitions, and prints the Fig. 8 readout: convergence
+trajectories, cost-error tradeoff curves, the crossover cost C and the
+relative error reductions at multiples of C.
+
+Run:  python examples/offline_al_study.py  [--partitions N] [--iterations N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.al import compare_strategies, tradeoff_curve
+from repro.experiments import fig8
+from repro.viz import line_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--partitions", type=int, default=8,
+                        help="random partitions per strategy (paper: 50)")
+    parser.add_argument("--iterations", type=int, default=60,
+                        help="AL iterations per partition (paper: to exhaustion)")
+    args = parser.parse_args()
+
+    print(f"Running {args.partitions} partitions x {args.iterations} iterations "
+          f"per strategy (this regenerates the 3,246-job dataset first)...")
+    result = fig8.run(n_partitions=args.partitions, n_iterations=args.iterations)
+
+    vr, ce = result.variance_reduction, result.cost_efficiency
+    its = np.arange(len(vr.mean_series("rmse")))
+    print()
+    print(line_chart(
+        {
+            "vr rmse": (its, vr.mean_series("rmse")),
+            "ce rmse": (its, ce.mean_series("rmse")),
+        },
+        title="Fig 8a: mean test RMSE per AL iteration",
+        x_label="iteration", y_label="RMSE", logy=True,
+    ))
+    print()
+    print(line_chart(
+        {
+            "vr cumulative cost": (its, vr.mean_series("cumulative_cost")),
+            "ce cumulative cost": (its, ce.mean_series("cumulative_cost")),
+        },
+        title="Fig 8b (top): mean cumulative cost per iteration",
+        x_label="iteration", y_label="core-seconds", logy=True,
+    ))
+    print()
+    vc, cc = result.vr_curve, result.ce_curve
+    grid = np.geomspace(max(vc.costs[0], cc.costs[0], 1.0),
+                        min(vc.max_cost, cc.max_cost), 60)
+    print(line_chart(
+        {
+            "v VR error(cost)": (np.log10(grid), vc.error_at(grid)),
+            "c CE error(cost)": (np.log10(grid), cc.error_at(grid)),
+        },
+        title="Fig 8b (bottom): cost-error tradeoff curves",
+        x_label="log10 cumulative cost [core-seconds]", y_label="RMSE", logy=True,
+    ))
+
+    comp = result.comparison
+    print("\n=== Strategy comparison (paper: C=1626, max reduction 38%, "
+          "25/21/16/13% at 2C/3C/5C/10C) ===")
+    if comp.crossover is None:
+        print("no sustained crossover found in this reduced run")
+    else:
+        print(f"crossover cost C = {comp.crossover:,.0f} core-seconds")
+        print(f"max relative error reduction beyond C = {comp.max_reduction:.1%}")
+        for mult, red in sorted(comp.reductions_at_multiples.items()):
+            print(f"  at {mult:.0f}C: {red:.1%}")
+
+
+if __name__ == "__main__":
+    main()

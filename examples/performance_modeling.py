@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's prototype as a library facade: PerformanceModeler.
+
+Builds runtime, memory and energy models of HPGMG-FE from the recorded
+datasets in a few lines each, predicts unseen configurations with
+uncertainty, and asks the models which experiments to run next — the
+"diverse performance models" workflow of the paper's contribution list.
+
+Run:  python examples/performance_modeling.py
+"""
+
+from repro.datasets import generate_performance_dataset, generate_power_dataset
+from repro.modeler import PerformanceModeler
+
+
+def main() -> None:
+    print("generating datasets (cached analytic campaigns)...")
+    perf = generate_performance_dataset(seed=2016)
+    power = generate_power_dataset(seed=2016)
+
+    # --- runtime model ------------------------------------------------------
+    runtime = PerformanceModeler(
+        perf.subset(operator="poisson2"),
+        variables=("problem_size", "np_ranks", "freq_ghz"),
+        rng=0,
+    ).fit()
+    print("\n[runtime model: poisson2, 3 controlled variables]")
+    print(f"LOO-CV RMSE (log10): {runtime.cross_validated_rmse():.3f}")
+    for config in [(1e8, 32, 2.4), (1e8, 32, 1.2), (1e9, 128, 2.4)]:
+        median, sd_factor = runtime.predict_response([config])
+        print(f"  N={config[0]:.0e} NP={config[1]:>3} f={config[2]} GHz -> "
+              f"{median[0]:8.2f} s  (x/ {sd_factor[0]:.2f})")
+
+    # --- memory model -------------------------------------------------------
+    memory = PerformanceModeler(
+        perf.subset(operator="poisson2", freq_ghz=2.4),
+        variables=("problem_size", "np_ranks"),
+        response="max_rss_mb_node0",
+        rng=0,
+    ).fit()
+    median, sd = memory.predict_response([(5e8, 64)])
+    print("\n[memory model] predicted max RSS per node at N=5e8, NP=64: "
+          f"{median[0]:,.0f} MB (x/ {sd[0]:.2f})")
+
+    # --- energy model -------------------------------------------------------
+    energy = PerformanceModeler(
+        power.subset(operator="poisson2"),
+        variables=("problem_size", "np_ranks", "freq_ghz"),
+        response="energy_joules",
+        rng=0,
+    ).fit()
+    median, sd = energy.predict_response([(1e9, 64, 1.8)])
+    print(f"[energy model] predicted energy at N=1e9, NP=64, 1.8 GHz: "
+          f"{median[0]:,.0f} J (x/ {sd[0]:.2f})")
+
+    # --- what should we measure next? ---------------------------------------
+    print("\n[active-learning suggestions from the energy model]")
+    for s in energy.suggest_experiments(3, strategy="variance"):
+        v = s.values
+        print(f"  run N={v['problem_size']:.3g}, NP={v['np_ranks']:.0f}, "
+              f"f={v['freq_ghz']:.1f} GHz  "
+              f"(sd {s.predictive_sd_log10:.3f} in log10 J, "
+              f"expected {s.predicted_response:,.0f} J)")
+    summary = energy.uncertainty_summary()
+    print(f"  pool AMSD {summary['amsd']:.3f}, noise sd {summary['noise_sd']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: GPR + active learning on a 1-D performance curve.
+
+Builds a small runtime dataset from the analytic HPGMG-FE model (problem
+size sweep at NP=32, 2.4 GHz), fits a Gaussian process, runs 12 iterations
+of Variance-Reduction active learning from a single seed experiment, and
+prints the predictive distribution and the error trajectory as ASCII
+charts.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.al import ActiveLearner, VarianceReduction, default_model_factory, random_partition
+from repro.perfmodel import PERFORMANCE_NOISE, RuntimeModel
+from repro.viz import line_chart
+
+
+def make_dataset(n: int = 60, seed: int = 0):
+    """Noisy log-runtime measurements over a log problem-size sweep."""
+    rng = np.random.default_rng(seed)
+    model = RuntimeModel()
+    sizes = np.geomspace(2e3, 1e9, n)
+    clean = model.runtime("poisson1", sizes, 32, 2.4)
+    noisy = PERFORMANCE_NOISE.apply(clean, rng)
+    X = np.log10(sizes)[:, np.newaxis]
+    y = np.log10(noisy)
+    costs = noisy * 32  # core-seconds
+    return X, y, costs
+
+
+def main() -> None:
+    X, y, costs = make_dataset()
+    part = random_partition(X.shape[0], rng=1)
+    learner = ActiveLearner(
+        X, y, costs, part,
+        VarianceReduction(),
+        model_factory=default_model_factory(noise_floor=1e-2),
+    )
+    trace = learner.run(12)
+
+    model = learner.model
+    grid = np.linspace(X.min(), X.max(), 80)[:, np.newaxis]
+    mean, sd = model.predict(grid, return_std=True)
+    print(line_chart(
+        {
+            "mean prediction": (grid[:, 0], mean),
+            "upper 95% CI": (grid[:, 0], mean + 2 * sd),
+            "lower 95% CI": (grid[:, 0], mean - 2 * sd),
+            "training data": (model.X_train_[:, 0], model.y_train_),
+        },
+        title="GPR after 12 AL iterations (log10 runtime vs log10 problem size)",
+        x_label="log10 problem size",
+        y_label="log10 runtime [s]",
+    ))
+    print()
+    its = trace.series("iteration")
+    print(line_chart(
+        {
+            "rmse (test)": (its, trace.series("rmse")),
+            "amsd (pool)": (its, trace.series("amsd")),
+        },
+        title="AL convergence",
+        x_label="iteration",
+        y_label="metric",
+        logy=True,
+    ))
+    final = trace.final
+    print(f"\nfinal test RMSE: {final.rmse:.4f} (log10 space)"
+          f"   AMSD: {final.amsd:.4f}"
+          f"   total experiment cost: {final.cumulative_cost:,.0f} core-seconds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — full reproduction of "Active Learning in Performance Analysis"
+(Duplyakin, Brown, Ricci; IEEE CLUSTER 2016).
+
+Subpackages
+-----------
+``repro.gp``
+    Gaussian Process Regression from scratch (kernels, LML optimization,
+    LOO-CV) — the substrate the paper took from scikit-learn.
+``repro.al``
+    The paper's contribution: pool-based active learning for performance
+    analysis (Variance Reduction, Cost Efficiency, EMCM/random baselines,
+    batch selection, convergence metrics, tradeoff analysis).
+``repro.hpgmg``
+    A runnable mini HPGMG-FE: Q1/Q2 finite-element geometric multigrid.
+``repro.cluster``
+    Simulated CloudLab testbed: nodes, DVFS, SLURM-like scheduling, IPMI
+    power traces, energy integration.
+``repro.perfmodel``
+    Analytic HPGMG-FE runtime/energy surfaces and measurement noise.
+``repro.datasets``
+    Regeneration of the paper's Performance (3,246-job) and Power
+    (640-job) datasets; CSV I/O; Table I.
+``repro.experiments``
+    One module per paper table/figure, returning the plotted series.
+``repro.viz``
+    ASCII chart rendering for terminals without matplotlib.
+
+Quickstart
+----------
+>>> from repro.experiments import fig8
+>>> result = fig8.run(n_partitions=10, n_iterations=60)
+>>> result.comparison.max_reduction  # the paper's "up to 38%"
+"""
+
+__version__ = "1.0.0"
+
+from .modeler import PerformanceModeler, Suggestion
+
+__all__ = [
+    "PerformanceModeler",
+    "Suggestion",
+    "gp",
+    "al",
+    "hpgmg",
+    "cluster",
+    "perfmodel",
+    "datasets",
+    "experiments",
+    "viz",
+]
+
+_SUBPACKAGES = frozenset(
+    {"gp", "al", "hpgmg", "cluster", "perfmodel", "datasets", "experiments", "viz"}
+)
+
+
+def __getattr__(name):
+    """Lazy subpackage import (PEP 562): ``repro.al`` works without the
+    top-level import paying for every subsystem."""
+    if name in _SUBPACKAGES:
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,79 @@
+"""Command-line entry point: regenerate any of the paper's exhibits.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig4
+    python -m repro fig8 --partitions 10 --iterations 60
+    python -m repro all --quick
+
+``--quick`` shrinks the sweep sizes of the AL experiments (fig7/fig8) so
+the whole evaluation runs in a few minutes; without it they use the bench
+defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments
+from .experiments import report
+
+_EXHIBITS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8")
+
+
+def _run_one(name: str, args) -> str:
+    module = getattr(experiments, name)
+    renderer = getattr(report, f"render_{name}")
+    kwargs = {}
+    if name == "fig7":
+        kwargs = dict(
+            n_partitions=4 if args.quick else (args.partitions or 10),
+            n_iterations=25 if args.quick else (args.iterations or 40),
+            n_workers=args.workers,
+        )
+    elif name == "fig8":
+        kwargs = dict(
+            n_partitions=4 if args.quick else (args.partitions or 12),
+            n_iterations=40 if args.quick else (args.iterations or 120),
+            n_workers=args.workers,
+        )
+    t0 = time.perf_counter()
+    result = module.run(seed=args.seed, **kwargs)
+    elapsed = time.perf_counter() - t0
+    return f"{renderer(result)}\n[{name} regenerated in {elapsed:.1f}s]"
+
+
+def main(argv=None) -> int:
+    """Parse arguments, regenerate the requested exhibit(s), return 0."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=_EXHIBITS + ("all",),
+        help="which exhibit to regenerate (or 'all')",
+    )
+    parser.add_argument("--seed", type=int, default=experiments.DEFAULT_SEED)
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="AL partitions for fig7/fig8")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="AL iterations for fig7/fig8")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweeps for a fast full pass")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="thread workers for the AL sweeps (fig7/fig8)")
+    args = parser.parse_args(argv)
+
+    names = _EXHIBITS if args.exhibit == "all" else (args.exhibit,)
+    for name in names:
+        print(_run_one(name, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Active learning for performance analysis — the paper's contribution.
+
+Public API::
+
+    from repro.al import (ActiveLearner, VarianceReduction, CostEfficiency,
+                          random_partition, run_batch, tradeoff_curve)
+"""
+
+from .calibration import CoverageReport, coverage_curve, interval_coverage
+from .campaign import CampaignConfig, CampaignResult, OnlineCampaign
+from .continuous import (
+    AcquisitionResult,
+    ContinuousActiveLearner,
+    ContinuousTrace,
+    maximize_cost_efficiency,
+    maximize_sd,
+)
+from .learner import ActiveLearner, ALTrace, IterationRecord, default_model_factory
+from .metrics import amsd, evaluate_model, gmsd, nlpd, rmse
+from .oracle import HPGMGExecutor, Observation, OfflineOracle, OnlineHPGMGOracle
+from .partition import Partition, random_partition, random_partitions
+from .pool import CandidatePool
+from .runner import BatchResult, aggregate_series, run_batch
+from .session import (
+    ALSessionState,
+    load_session,
+    restore,
+    save_session,
+    snapshot,
+)
+from .stopping import AMSDConvergence, dynamic_noise_floor, first_converged_iteration
+from .strategies import (
+    EMCM,
+    CostEfficiency,
+    CostModelEfficiency,
+    RandomSampling,
+    Strategy,
+    VarianceReduction,
+    select_batch,
+)
+from .tradeoff import (
+    StrategyComparison,
+    TradeoffCurve,
+    compare_strategies,
+    crossover_cost,
+    relative_reduction,
+    tradeoff_curve,
+)
+
+__all__ = [
+    "CoverageReport",
+    "CampaignConfig",
+    "CampaignResult",
+    "OnlineCampaign",
+    "interval_coverage",
+    "coverage_curve",
+    "AcquisitionResult",
+    "ContinuousActiveLearner",
+    "ContinuousTrace",
+    "maximize_sd",
+    "maximize_cost_efficiency",
+    "ActiveLearner",
+    "ALTrace",
+    "IterationRecord",
+    "default_model_factory",
+    "Partition",
+    "random_partition",
+    "random_partitions",
+    "CandidatePool",
+    "Strategy",
+    "VarianceReduction",
+    "CostEfficiency",
+    "CostModelEfficiency",
+    "RandomSampling",
+    "EMCM",
+    "select_batch",
+    "rmse",
+    "amsd",
+    "gmsd",
+    "nlpd",
+    "evaluate_model",
+    "BatchResult",
+    "run_batch",
+    "aggregate_series",
+    "TradeoffCurve",
+    "tradeoff_curve",
+    "crossover_cost",
+    "relative_reduction",
+    "compare_strategies",
+    "StrategyComparison",
+    "AMSDConvergence",
+    "dynamic_noise_floor",
+    "first_converged_iteration",
+    "OfflineOracle",
+    "OnlineHPGMGOracle",
+    "HPGMGExecutor",
+    "Observation",
+    "ALSessionState",
+    "snapshot",
+    "restore",
+    "save_session",
+    "load_session",
+]

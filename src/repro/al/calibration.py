@@ -1,0 +1,98 @@
+"""Uncertainty-calibration diagnostics for the GPR's predictive intervals.
+
+Active learning trusts the model's ``sigma(x)`` — both for selecting
+experiments and for the AMSD termination signal — so the predictive
+intervals had better be *calibrated*: a 95% interval should contain ~95%
+of held-out measurements.  This module measures empirical coverage across
+confidence levels and summarizes miscalibration, the standard reliability
+diagnostic for probabilistic regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfinv
+
+from ..gp.gpr import GaussianProcessRegressor
+
+__all__ = ["CoverageReport", "interval_coverage", "coverage_curve"]
+
+#: Default nominal two-sided confidence levels examined.
+DEFAULT_LEVELS = (0.5, 0.68, 0.8, 0.9, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Empirical vs nominal coverage of the predictive intervals.
+
+    Attributes
+    ----------
+    levels:
+        Nominal two-sided confidence levels.
+    empirical:
+        Fraction of test points inside each nominal interval.
+    mean_absolute_miscalibration:
+        Mean |empirical - nominal| over the levels (0 = perfectly
+        calibrated).
+    sharpness:
+        Mean predictive SD on the test set — calibration is only useful
+        together with sharpness (wide intervals are trivially calibrated).
+    """
+
+    levels: tuple
+    empirical: tuple
+    mean_absolute_miscalibration: float
+    sharpness: float
+
+    def is_calibrated(self, tol: float = 0.15) -> bool:
+        """Whether every level's empirical coverage is within ``tol``."""
+        return all(
+            abs(e - l) <= tol for e, l in zip(self.empirical, self.levels)
+        )
+
+
+def _z_for_level(level: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level."""
+    return float(np.sqrt(2.0) * erfinv(level))
+
+
+def interval_coverage(
+    model: GaussianProcessRegressor,
+    X_test,
+    y_test,
+    *,
+    levels=DEFAULT_LEVELS,
+) -> CoverageReport:
+    """Empirical coverage of the model's predictive intervals on a test set."""
+    levels = tuple(float(l) for l in levels)
+    if not levels or not all(0.0 < l < 1.0 for l in levels):
+        raise ValueError("levels must lie strictly between 0 and 1")
+    y_test = np.asarray(y_test, dtype=float)
+    mu, sd = model.predict(X_test, return_std=True)
+    if y_test.shape != mu.shape:
+        raise ValueError("y_test shape does not match predictions")
+    z_scores = np.abs(y_test - mu) / np.maximum(sd, 1e-300)
+    empirical = tuple(
+        float(np.mean(z_scores <= _z_for_level(level))) for level in levels
+    )
+    miscal = float(np.mean([abs(e - l) for e, l in zip(empirical, levels)]))
+    return CoverageReport(
+        levels=levels,
+        empirical=empirical,
+        mean_absolute_miscalibration=miscal,
+        sharpness=float(np.mean(sd)),
+    )
+
+
+def coverage_curve(report: CoverageReport) -> str:
+    """Format a reliability table ``nominal -> empirical``."""
+    lines = [f"{'nominal':>8} {'empirical':>10}"]
+    for l, e in zip(report.levels, report.empirical):
+        lines.append(f"{l:>8.0%} {e:>10.1%}")
+    lines.append(
+        f"mean |miscalibration|: {report.mean_absolute_miscalibration:.3f}   "
+        f"sharpness (mean sd): {report.sharpness:.3f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Online AL campaigns with parallel experiment execution (paper §VI).
+
+"As future work, some experiments could reasonably be run in parallel
+which adds additional scheduling concerns and may indicate a less greedy
+selection strategy."  This module implements that loop end to end on the
+simulated testbed:
+
+1. fit the GP on everything measured so far;
+2. select a *batch* of candidate configurations (kriging-believer batch
+   selection, so the batch is diverse);
+3. submit the batch to the SLURM-like scheduler, which runs the jobs in
+   parallel on the 4-node cluster (a real executor may actually solve the
+   systems — see :class:`repro.al.oracle.HPGMGExecutor`);
+4. fold the measured runtimes back into the training set and repeat.
+
+The campaign tracks *simulated wall-clock* (scheduler makespan), so the
+batch-size tradeoff the paper anticipates — larger batches finish sooner
+but select less adaptively — becomes measurable
+(``benchmarks/bench_ablation_campaign.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..cluster.jobs import JobSpec
+from ..cluster.machine import ClusterSpec, wisconsin_cluster
+from ..cluster.scheduler import Executor, SlurmSimulator
+from ..gp.gpr import GaussianProcessRegressor
+from .learner import default_model_factory
+from .pool import CandidatePool
+from .strategies import Strategy, VarianceReduction, select_batch
+
+__all__ = ["CampaignConfig", "CampaignResult", "OnlineCampaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Candidate space and execution parameters of an online campaign.
+
+    Attributes
+    ----------
+    operator:
+        Operator flavour submitted for every job.
+    candidates:
+        Array of (problem_size, np_ranks, freq_ghz) rows — the finite
+        candidate grid AL selects from.
+    batch_size:
+        Experiments submitted per AL round (1 = the paper's greedy loop).
+    n_rounds:
+        AL rounds to run.
+    """
+
+    operator: str
+    candidates: np.ndarray
+    batch_size: int = 1
+    n_rounds: int = 10
+
+    def __post_init__(self):
+        cand = np.asarray(self.candidates, dtype=float)
+        if cand.ndim != 2 or cand.shape[1] != 3:
+            raise ValueError("candidates must have shape (n, 3)")
+        if self.batch_size < 1 or self.n_rounds < 1:
+            raise ValueError("batch_size and n_rounds must be >= 1")
+        object.__setattr__(self, "candidates", cand)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of an online campaign.
+
+    Attributes
+    ----------
+    X / y:
+        Measured configurations (log-transformed features) and log10
+        runtimes, in measurement order.
+    simulated_seconds:
+        Total scheduler makespan across all rounds (the wall-clock a real
+        campaign would have spent).
+    cpu_core_seconds:
+        Total compute spent (runtime x ranks summed over jobs).
+    model:
+        Final fitted regressor.
+    rounds:
+        Per-round dicts with ``n_jobs``, ``makespan`` and ``max_sd``.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    simulated_seconds: float
+    cpu_core_seconds: float
+    model: GaussianProcessRegressor
+    rounds: list = field(default_factory=list)
+
+
+def _features(rows: np.ndarray) -> np.ndarray:
+    """(size, np, freq) -> (log10 size, log2 np, freq)."""
+    out = np.empty_like(rows, dtype=float)
+    out[:, 0] = np.log10(rows[:, 0])
+    out[:, 1] = np.log2(rows[:, 1])
+    out[:, 2] = rows[:, 2]
+    return out
+
+
+class OnlineCampaign:
+    """Drives AL rounds through the cluster simulator.
+
+    Parameters
+    ----------
+    config:
+        Candidate space and batching parameters.
+    executor:
+        Scheduler executor supplying job behaviour (analytic model or real
+        solves).
+    cluster:
+        Hardware description; defaults to the Wisconsin testbed.
+    strategy:
+        Per-pick selection strategy used inside the batch construction.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        executor: Executor,
+        *,
+        cluster: ClusterSpec | None = None,
+        strategy: Strategy | None = None,
+        model_factory: Callable[[], GaussianProcessRegressor] | None = None,
+        rng=None,
+    ):
+        self.config = config
+        self.executor = executor
+        self.cluster = cluster or wisconsin_cluster()
+        self.strategy = strategy or VarianceReduction()
+        self.model_factory = model_factory or default_model_factory(1e-2)
+        self.rng = np.random.default_rng(rng)
+
+    def _submit(self, rows: np.ndarray) -> tuple[np.ndarray, float, float]:
+        """Run one batch through the scheduler; returns (log10 runtimes,
+        makespan, core-seconds) aligned with ``rows``."""
+        specs = [
+            JobSpec(
+                operator=self.config.operator,
+                problem_size=float(size),
+                np_ranks=int(ranks),
+                freq_ghz=float(freq),
+                repeat_index=i,
+            )
+            for i, (size, ranks, freq) in enumerate(rows)
+        ]
+        sim = SlurmSimulator(
+            self.cluster, self.executor, rng=self.rng.integers(2**31)
+        )
+        records = sim.run_batch(specs)
+        by_repeat = {r.repeat_index: r for r in records}
+        runtimes = np.array(
+            [by_repeat[i].runtime_seconds for i in range(len(rows))]
+        )
+        makespan = max(r.end_time for r in records)
+        core_seconds = sum(r.cost_core_seconds for r in records)
+        return np.log10(runtimes), float(makespan), float(core_seconds)
+
+    def run(self, *, seed_index: int = 0) -> CampaignResult:
+        """Execute the campaign: seed job, then ``n_rounds`` AL batches."""
+        cand_rows = self.config.candidates
+        cand_X = _features(cand_rows)
+        measured_X: list[np.ndarray] = []
+        measured_y: list[float] = []
+        total_makespan = 0.0
+        total_core_seconds = 0.0
+        rounds = []
+
+        # Seed experiment.
+        y_seed, makespan, core_s = self._submit(cand_rows[[seed_index]])
+        measured_X.append(cand_X[seed_index])
+        measured_y.append(float(y_seed[0]))
+        total_makespan += makespan
+        total_core_seconds += core_s
+
+        model = self.model_factory()
+        for _ in range(self.config.n_rounds):
+            model = self.model_factory()
+            model.fit(np.vstack(measured_X), np.asarray(measured_y))
+            pool = CandidatePool(
+                cand_X, np.zeros(len(cand_X)), np.zeros(len(cand_X))
+            )
+            k = min(self.config.batch_size, pool.n_available)
+            picks = select_batch(model, pool, self.strategy, k)
+            _, sd = model.predict(cand_X[picks], return_std=True)
+            y_new, makespan, core_s = self._submit(cand_rows[picks])
+            for idx, y_val in zip(picks, y_new):
+                measured_X.append(cand_X[idx])
+                measured_y.append(float(y_val))
+            total_makespan += makespan
+            total_core_seconds += core_s
+            rounds.append(
+                {"n_jobs": k, "makespan": makespan, "max_sd": float(sd.max())}
+            )
+
+        model = self.model_factory()
+        model.fit(np.vstack(measured_X), np.asarray(measured_y))
+        return CampaignResult(
+            X=np.vstack(measured_X),
+            y=np.asarray(measured_y),
+            simulated_seconds=total_makespan,
+            cpu_core_seconds=total_core_seconds,
+            model=model,
+            rounds=rounds,
+        )

@@ -1,0 +1,162 @@
+"""Static experiment designs — the paper's Related-Work baselines.
+
+Section II-B reviews Raj Jain's classical designs for computer-performance
+studies: *simple designs* (vary one factor at a time), *2^k full factorial*
+and *2^(k-p) fractional factorial* designs, and notes their drawbacks —
+they are fixed a priori, ignore measurement variance, and handle many-level
+factors poorly.  The paper's AL approach is the dynamic alternative.
+
+This module implements those static designs (plus Latin hypercube sampling,
+the modern space-filling default) over a *pool of recorded experiments*, so
+they can be compared against the AL strategies on exactly the same footing:
+pick ``n`` pool records up front, train the GPR once, evaluate on the Test
+set (see ``benchmarks/bench_ablation_designs.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "one_factor_at_a_time",
+    "two_level_factorial",
+    "fractional_factorial",
+    "latin_hypercube",
+    "nearest_pool_indices",
+    "static_design_rmse",
+]
+
+
+def _pool_bounds(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    return X.min(axis=0), X.max(axis=0)
+
+
+def one_factor_at_a_time(X: np.ndarray, *, levels_per_factor: int = 5) -> np.ndarray:
+    """Jain's *simple design*: sweep each factor with the others at center.
+
+    Returns design points in input space, shape ``(d * levels + 1, d)``
+    (the center point plus one sweep per factor, deduplicated).
+    """
+    lo, hi = _pool_bounds(X)
+    d = lo.size
+    center = 0.5 * (lo + hi)
+    points = [center]
+    for dim in range(d):
+        for level in np.linspace(lo[dim], hi[dim], levels_per_factor):
+            p = center.copy()
+            p[dim] = level
+            points.append(p)
+    uniq = np.unique(np.asarray(points), axis=0)
+    return uniq
+
+
+def two_level_factorial(X: np.ndarray) -> np.ndarray:
+    """The 2^k full factorial: every corner of the factor box."""
+    lo, hi = _pool_bounds(X)
+    d = lo.size
+    corners = np.array(
+        [[(hi if (i >> dim) & 1 else lo)[dim] for dim in range(d)]
+         for i in range(2**d)]
+    )
+    return corners
+
+
+def fractional_factorial(X: np.ndarray, *, p: int = 1) -> np.ndarray:
+    """A 2^(k-p) fractional factorial via generator columns.
+
+    Keeps the first ``k - p`` factors as a full factorial and derives each
+    remaining factor's level from the parity (XOR) of the base factors —
+    the standard resolution-maximizing construction for small designs.
+    """
+    lo, hi = _pool_bounds(X)
+    d = lo.size
+    if not 0 <= p < d:
+        raise ValueError(f"need 0 <= p < n_factors, got p={p}, d={d}")
+    base = d - p
+    rows = []
+    for i in range(2**base):
+        bits = [(i >> dim) & 1 for dim in range(base)]
+        # Generators: extra factor e is the parity of the base bits with one
+        # (rotating) base factor left out — distinct aliasing per factor.
+        for extra in range(p):
+            exclude = extra % base
+            parity = 0
+            for j in range(base):
+                if j != exclude or base == 1:
+                    parity ^= bits[j]
+            bits.append(parity)
+        rows.append([hi[dim] if bits[dim] else lo[dim] for dim in range(d)])
+    return np.unique(np.asarray(rows), axis=0)
+
+
+def latin_hypercube(
+    X: np.ndarray, n: int, rng=None
+) -> np.ndarray:
+    """Latin hypercube sample of ``n`` points over the pool's bounding box."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    lo, hi = _pool_bounds(X)
+    rng = np.random.default_rng(rng)
+    d = lo.size
+    u = (rng.permuted(np.tile(np.arange(n), (d, 1)), axis=1).T + rng.random((n, d))) / n
+    return lo + u * (hi - lo)
+
+
+def nearest_pool_indices(
+    design: np.ndarray, X_pool: np.ndarray, *, unique: bool = True
+) -> np.ndarray:
+    """Map ideal design points to the nearest *recorded* experiments.
+
+    Static designs assume any configuration can be run; on a recorded pool
+    we snap each design point to its nearest neighbour (normalized
+    per-dimension to the pool's range).  With ``unique`` (default) each
+    pool record is used at most once — matching how a real campaign would
+    run distinct jobs.
+    """
+    X_pool = np.asarray(X_pool, dtype=float)
+    design = np.atleast_2d(np.asarray(design, dtype=float))
+    lo, hi = _pool_bounds(X_pool)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    P = (X_pool - lo) / span
+    D = (design - lo) / span
+    chosen: list[int] = []
+    taken = np.zeros(X_pool.shape[0], dtype=bool)
+    for point in D:
+        dist = np.linalg.norm(P - point, axis=1)
+        if unique:
+            dist = np.where(taken, np.inf, dist)
+        idx = int(np.argmin(dist))
+        if np.isinf(dist[idx]):
+            break  # pool exhausted
+        chosen.append(idx)
+        if unique:
+            taken[idx] = True
+    return np.asarray(chosen, dtype=int)
+
+
+def static_design_rmse(
+    design: np.ndarray,
+    X_pool: np.ndarray,
+    y_pool: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    *,
+    model_factory=None,
+) -> tuple[float, int]:
+    """Train once on a static design's nearest pool records; test RMSE.
+
+    Returns ``(rmse, n_used)``.
+    """
+    from .learner import default_model_factory
+    from .metrics import rmse as rmse_metric
+
+    factory = model_factory or default_model_factory(1e-1)
+    idx = nearest_pool_indices(design, X_pool)
+    if idx.size == 0:
+        raise ValueError("design selected no pool records")
+    model = factory()
+    model.fit(X_pool[idx], y_pool[idx])
+    return rmse_metric(model, X_test, y_test), int(idx.size)

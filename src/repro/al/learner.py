@@ -1,0 +1,231 @@
+"""The active-learning loop: fit GPR, select, query, update.
+
+One :class:`ActiveLearner` realizes the paper's prototype on one dataset
+partition: seeded with the Initial set, it repeatedly fits the GPR, records
+the convergence metrics, asks the strategy for the next experiment from the
+Active pool, and adds the measured outcome to the training set.  The full
+history comes back as an :class:`ALTrace` — the raw material of Figs. 6-8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..gp.gpr import GaussianProcessRegressor
+from .metrics import evaluate_model
+from .partition import Partition
+from .pool import CandidatePool
+from .strategies import Strategy
+
+__all__ = ["IterationRecord", "ALTrace", "ActiveLearner", "default_model_factory"]
+
+
+def default_model_factory(noise_floor: float = 1e-1) -> Callable[[], GaussianProcessRegressor]:
+    """Model factory with the paper's robust settings.
+
+    ``noise_floor`` is the lower bound on the GPR noise variance — the
+    paper's fix for early-iteration overfitting (Fig. 7b uses ``1e-1``).
+    """
+
+    def factory() -> GaussianProcessRegressor:
+        return GaussianProcessRegressor(
+            noise_variance=max(1e-2, noise_floor),
+            noise_variance_bounds=(noise_floor, 1e3),
+            n_restarts=2,
+            rng=0,
+        )
+
+    return factory
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Metrics and bookkeeping of one AL iteration.
+
+    ``iteration`` counts from 0 (the seed fit, before any selection).  The
+    selection fields are the experiment chosen *at* this iteration;
+    ``cumulative_cost`` includes it.
+    """
+
+    iteration: int
+    n_train: int
+    selected_pool_index: int
+    x_selected: np.ndarray
+    y_selected: float
+    sd_at_selected: float
+    cost: float
+    cumulative_cost: float
+    rmse: float
+    amsd: float
+    gmsd: float
+    nlpd: float
+    noise_variance: float
+    lml: float
+
+
+@dataclass
+class ALTrace:
+    """Complete history of one AL run on one partition."""
+
+    strategy: str
+    records: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def series(self, attribute: str) -> np.ndarray:
+        """One attribute across iterations as an array."""
+        return np.asarray([getattr(r, attribute) for r in self.records], dtype=float)
+
+    @property
+    def selected_points(self) -> np.ndarray:
+        """Sequence of selected inputs, shape ``(n_iterations, d)``."""
+        return np.asarray([r.x_selected for r in self.records])
+
+    @property
+    def final(self) -> IterationRecord:
+        """The last recorded iteration."""
+        if not self.records:
+            raise ValueError("trace is empty")
+        return self.records[-1]
+
+
+class ActiveLearner:
+    """Pool-based active learning with GPR on one dataset partition.
+
+    Parameters
+    ----------
+    X, y:
+        Full dataset (already log-transformed as desired).
+    costs:
+        Per-record experiment cost; the paper uses runtime x cores.
+    partition:
+        Initial/Active/Test index split.
+    strategy:
+        Selection strategy (see :mod:`repro.al.strategies`).
+    model_factory:
+        Zero-argument callable producing a fresh regressor per refit.
+    noise_floor_schedule:
+        Optional ``iteration -> noise variance floor`` callable implementing
+        the paper's proposed dynamic limit (e.g. ``1/sqrt(N)``); overrides
+        the factory's static bounds each iteration.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        costs: np.ndarray,
+        partition: Partition,
+        strategy: Strategy,
+        *,
+        model_factory: Callable[[], GaussianProcessRegressor] | None = None,
+        noise_floor_schedule: Callable[[int], float] | None = None,
+    ):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        costs = np.asarray(costs, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],) or costs.shape != y.shape:
+            raise ValueError("X, y, costs must be consistent (n, d)/(n,)/(n,)")
+        if partition.n_total != X.shape[0]:
+            raise ValueError(
+                f"partition covers {partition.n_total} records, dataset has {X.shape[0]}"
+            )
+        self.strategy = strategy
+        self.model_factory = model_factory or default_model_factory()
+        self.noise_floor_schedule = noise_floor_schedule
+
+        self._X_train = X[partition.initial].copy()
+        self._y_train = y[partition.initial].copy()
+        self.pool = CandidatePool(
+            X[partition.active], y[partition.active], costs[partition.active]
+        )
+        self._X_active_full = X[partition.active]
+        self._X_test = X[partition.test]
+        self._y_test = y[partition.test]
+        self._cumulative_cost = 0.0
+        self.model: GaussianProcessRegressor | None = None
+        self.trace = ALTrace(strategy=strategy.name)
+
+    # ------------------------------------------------------------------- state
+
+    @property
+    def n_train(self) -> int:
+        """Current training-set size (seed + queried experiments)."""
+        return self._X_train.shape[0]
+
+    @property
+    def cumulative_cost(self) -> float:
+        """Total cost of all experiments queried so far."""
+        return self._cumulative_cost
+
+    def _fit_model(self, iteration: int) -> GaussianProcessRegressor:
+        model = self.model_factory()
+        if self.noise_floor_schedule is not None:
+            floor = float(self.noise_floor_schedule(iteration))
+            if floor <= 0:
+                raise ValueError("noise floor schedule must return positive values")
+            bounds = model.noise_variance_bounds
+            high = bounds[1] if not isinstance(bounds, str) else 1e3
+            model.noise_variance_bounds = (floor, max(high, floor * 10))
+            model.noise_variance = max(model.noise_variance, floor)
+        model.fit(self._X_train, self._y_train)
+        return model
+
+    # -------------------------------------------------------------------- loop
+
+    def step(self) -> IterationRecord:
+        """One AL iteration: fit, evaluate, select, query.
+
+        Raises
+        ------
+        ValueError
+            If the pool is exhausted.
+        """
+        if self.pool.exhausted:
+            raise ValueError("candidate pool is exhausted")
+        iteration = len(self.trace.records)
+        model = self._fit_model(iteration)
+        self.model = model
+        metrics = evaluate_model(model, self._X_active_full, self._X_test, self._y_test)
+
+        idx = self.strategy.select(model, self.pool)
+        x_sel = self.pool.X[idx]
+        _, sd_sel = model.predict(x_sel[np.newaxis, :], return_std=True)
+        x, y_meas, cost = self.pool.consume(idx)
+        self._X_train = np.vstack([self._X_train, x])
+        self._y_train = np.append(self._y_train, y_meas)
+        self._cumulative_cost += cost
+
+        record = IterationRecord(
+            iteration=iteration,
+            n_train=self.n_train - 1,  # size used for this fit
+            selected_pool_index=idx,
+            x_selected=x.copy(),
+            y_selected=y_meas,
+            sd_at_selected=float(sd_sel[0]),
+            cost=cost,
+            cumulative_cost=self._cumulative_cost,
+            rmse=metrics["rmse"],
+            amsd=metrics["amsd"],
+            gmsd=metrics["gmsd"],
+            nlpd=metrics["nlpd"],
+            noise_variance=model.noise_variance_,
+            lml=model.lml_,
+        )
+        self.trace.records.append(record)
+        return record
+
+    def run(self, n_iterations: int | None = None) -> ALTrace:
+        """Run AL for ``n_iterations`` (default: until the pool is empty)."""
+        if n_iterations is None:
+            n_iterations = self.pool.n_available
+        if n_iterations < 0:
+            raise ValueError("n_iterations must be >= 0")
+        n_iterations = min(n_iterations, self.pool.n_available)
+        for _ in range(n_iterations):
+            self.step()
+        return self.trace

@@ -1,0 +1,80 @@
+"""Convergence metrics of an active-learning run (Section V-B4).
+
+The paper tracks three quantities per AL iteration:
+
+* ``sigma_f(x)`` — the predictive standard deviation at the selected
+  candidate (for Variance Reduction, the pool maximum);
+* **AMSD** — the arithmetic mean of the predictive standard deviation over
+  all points of the Active set (the paper notes a geometric mean works too
+  but offers no advantage — we provide both);
+* **RMSE** — root mean squared error of the predictive mean on the Test
+  set (Eq. 2).
+
+We additionally provide NLPD (negative log predictive density), the
+standard proper scoring rule for probabilistic regression — useful in the
+extended benches even though the paper does not plot it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..gp.gpr import GaussianProcessRegressor
+
+__all__ = ["rmse", "amsd", "gmsd", "nlpd", "evaluate_model"]
+
+
+def rmse(model: GaussianProcessRegressor, X_test: np.ndarray, y_test: np.ndarray) -> float:
+    """Test-set root mean squared error of the predictive mean (Eq. 2)."""
+    pred = model.predict(X_test)
+    return float(np.sqrt(np.mean((pred - np.asarray(y_test, dtype=float)) ** 2)))
+
+
+def amsd(model: GaussianProcessRegressor, X_active: np.ndarray) -> float:
+    """Arithmetic mean of predictive SD over the Active set."""
+    _, sd = model.predict(X_active, return_std=True)
+    return float(np.mean(sd))
+
+
+def gmsd(model: GaussianProcessRegressor, X_active: np.ndarray) -> float:
+    """Geometric mean of predictive SD over the Active set."""
+    _, sd = model.predict(X_active, return_std=True)
+    sd = np.maximum(sd, 1e-300)
+    return float(np.exp(np.mean(np.log(sd))))
+
+
+def nlpd(model: GaussianProcessRegressor, X_test: np.ndarray, y_test: np.ndarray) -> float:
+    """Mean negative log predictive density on the test set."""
+    mu, sd = model.predict(X_test, return_std=True)
+    sd = np.maximum(sd, 1e-12)
+    y = np.asarray(y_test, dtype=float)
+    return float(
+        np.mean(0.5 * math.log(2 * math.pi) + np.log(sd) + 0.5 * ((y - mu) / sd) ** 2)
+    )
+
+
+def evaluate_model(
+    model: GaussianProcessRegressor,
+    X_active: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+) -> dict:
+    """All paper metrics at once (single prediction pass per set)."""
+    mu_t, sd_t = model.predict(X_test, return_std=True)
+    _, sd_a = model.predict(X_active, return_std=True)
+    y = np.asarray(y_test, dtype=float)
+    sd_t_safe = np.maximum(sd_t, 1e-12)
+    return {
+        "rmse": float(np.sqrt(np.mean((mu_t - y) ** 2))),
+        "amsd": float(np.mean(sd_a)),
+        "gmsd": float(np.exp(np.mean(np.log(np.maximum(sd_a, 1e-300))))),
+        "nlpd": float(
+            np.mean(
+                0.5 * math.log(2 * math.pi)
+                + np.log(sd_t_safe)
+                + 0.5 * ((y - mu_t) / sd_t_safe) ** 2
+            )
+        ),
+    }

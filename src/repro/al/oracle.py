@@ -1,0 +1,221 @@
+"""Oracles: where measured responses come from.
+
+The paper runs AL *offline* against its recorded datasets but names the
+*online* mode — "every iteration of AL includes selecting an experiment,
+running it, and using the experiment outcome to update the underlying GPR
+model" — as the target use case.  This module provides both:
+
+* :class:`OfflineOracle` — replays recorded (X, y, cost) data; a thin
+  convenience wrapper used by examples.
+* :class:`OnlineHPGMGOracle` — actually *runs* the mini HPGMG-FE solver at
+  the requested configuration, with simulated DVFS scaling and measurement
+  noise.  An AL experiment here is a real multigrid solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.jobs import JobSpec
+from ..hpgmg.benchmark import run_benchmark
+from ..perfmodel.noise import PERFORMANCE_NOISE, NoiseModel
+
+__all__ = ["OfflineOracle", "OnlineHPGMGOracle", "HPGMGExecutor", "Observation"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured experiment outcome."""
+
+    x: np.ndarray
+    y: float
+    cost: float
+
+
+class OfflineOracle:
+    """Replays a recorded dataset; querying index ``i`` returns record ``i``."""
+
+    def __init__(self, X: np.ndarray, y: np.ndarray, costs: np.ndarray):
+        self.X = np.asarray(X, dtype=float)
+        self.y = np.asarray(y, dtype=float)
+        self.costs = np.asarray(costs, dtype=float)
+        if self.X.ndim != 2 or self.y.shape != (self.X.shape[0],):
+            raise ValueError("inconsistent oracle data")
+        if self.costs.shape != self.y.shape:
+            raise ValueError("costs must match y")
+
+    def query(self, index: int) -> Observation:
+        """Return the recorded observation at dataset index ``index``."""
+        return Observation(
+            x=self.X[index], y=float(self.y[index]), cost=float(self.costs[index])
+        )
+
+
+class HPGMGExecutor:
+    """Scheduler executor that actually runs the mini HPGMG-FE solver.
+
+    Plugs into :class:`repro.cluster.scheduler.SlurmSimulator` so a whole
+    *campaign* can be executed with real multigrid solves instead of the
+    analytic model: each job's requested problem size snaps to the nearest
+    feasible mesh, the solve runs, and the measured wall time is scaled by
+    the simulated DVFS slowdown and strong-scaling speedup (the benchmark
+    runs single-threaded here, so rank-level parallelism is modelled, not
+    executed).
+
+    Parameters
+    ----------
+    ne_choices:
+        Feasible mesh sizes (elements per side, powers of two times 2).
+    freq_exponent / max_freq_ghz:
+        DVFS slowdown model ``(f_max / f)^gamma``.
+    parallel_efficiency:
+        Fraction of ideal speedup attributed to each doubling of ranks.
+    noise:
+        Measurement noise applied to the simulated-time scaling.
+    """
+
+    def __init__(
+        self,
+        *,
+        ne_choices: tuple[int, ...] = (4, 8, 16, 32),
+        freq_exponent: float = 0.75,
+        max_freq_ghz: float = 2.4,
+        parallel_efficiency: float = 0.85,
+        noise: NoiseModel = PERFORMANCE_NOISE,
+    ):
+        if not ne_choices:
+            raise ValueError("need at least one mesh size")
+        if not 0.0 < parallel_efficiency <= 1.0:
+            raise ValueError("parallel_efficiency must be in (0, 1]")
+        self.ne_choices = tuple(sorted(ne_choices))
+        self.freq_exponent = float(freq_exponent)
+        self.max_freq_ghz = float(max_freq_ghz)
+        self.parallel_efficiency = float(parallel_efficiency)
+        self.noise = noise
+        self._solve_cache: dict[tuple[str, int], float] = {}
+
+    def _nearest_ne(self, problem_size: float) -> int:
+        # Interior DOFs of a Q1 mesh with ne elements: (ne - 1)^2.
+        target = np.sqrt(max(problem_size, 1.0))
+        return min(self.ne_choices, key=lambda ne: abs(ne - target))
+
+    def _speedup(self, np_ranks: int) -> float:
+        doublings = np.log2(max(np_ranks, 1))
+        return float((2.0 * self.parallel_efficiency) ** doublings)
+
+    def _simulated_runtime(self, spec: JobSpec, rng=None) -> tuple[float, "object"]:
+        from ..hpgmg.benchmark import run_benchmark
+
+        ne = self._nearest_ne(spec.problem_size)
+        result = run_benchmark(spec.operator, ne, rng=0)
+        t = result.solve_seconds
+        t *= (self.max_freq_ghz / spec.freq_ghz) ** self.freq_exponent
+        t /= self._speedup(spec.np_ranks)
+        return t, result
+
+    def estimate(self, spec: JobSpec) -> float:
+        """Expected runtime: a real (cached) solve scaled by DVFS/ranks."""
+        key = (spec.operator, self._nearest_ne(spec.problem_size))
+        if key not in self._solve_cache:
+            t, _ = self._simulated_runtime(
+                JobSpec(spec.operator, spec.problem_size, 1, self.max_freq_ghz)
+            )
+            self._solve_cache[key] = t
+        t = self._solve_cache[key]
+        t *= (self.max_freq_ghz / spec.freq_ghz) ** self.freq_exponent
+        return t / self._speedup(spec.np_ranks)
+
+    def execute(self, spec: JobSpec, rng: np.random.Generator):
+        """Run the actual multigrid solve and report the measured outcome."""
+        from ..cluster.scheduler import ExecutionOutcome
+
+        t, result = self._simulated_runtime(spec)
+        measured = float(self.noise.apply(t, rng))
+        return ExecutionOutcome(
+            runtime_seconds=measured,
+            mg_cycles=result.cycles,
+            final_residual=result.final_relative_residual,
+            dofs_per_second=result.dofs / measured,
+            work_units=result.work_units,
+            verification_passed=result.verification_error < 0.1,
+            rss_mb_per_node=result.dofs * 48 / 1e6,
+        )
+
+
+class OnlineHPGMGOracle:
+    """Runs the mini HPGMG-FE benchmark as the experiment backend.
+
+    The candidate space is (log10 problem size, frequency); the operator is
+    fixed per oracle (as in the paper's cross-sections).  A query:
+
+    1. maps the requested problem size to the nearest feasible mesh
+       (``ne in {ne_coarsest * 2**k}``),
+    2. runs the actual multigrid solve and measures its wall time,
+    3. applies the simulated DVFS slowdown ``(f_max / f)^gamma`` (the host
+       CPU's frequency cannot actually be changed from here) and
+       multiplicative measurement noise.
+
+    Responses are log10 runtime, matching the offline pipeline.
+    """
+
+    def __init__(
+        self,
+        operator: str = "poisson1",
+        *,
+        ne_choices: tuple[int, ...] = (4, 8, 16, 32, 64),
+        freq_choices: tuple[float, ...] = (1.2, 1.5, 1.8, 2.1, 2.4),
+        freq_exponent: float = 0.75,
+        max_freq_ghz: float = 2.4,
+        noise: NoiseModel = PERFORMANCE_NOISE,
+        rng=None,
+    ):
+        if not ne_choices or not freq_choices:
+            raise ValueError("need at least one mesh size and one frequency")
+        self.operator = operator
+        self.ne_choices = tuple(sorted(ne_choices))
+        self.freq_choices = tuple(sorted(freq_choices))
+        self.freq_exponent = float(freq_exponent)
+        self.max_freq_ghz = float(max_freq_ghz)
+        self.noise = noise
+        self.rng = np.random.default_rng(rng)
+        self._dof_cache: dict[int, int] = {}
+
+    def candidate_grid(self) -> np.ndarray:
+        """All (log10 dofs, freq) candidates, shape ``(n, 2)``."""
+        rows = []
+        for ne in self.ne_choices:
+            dofs = self._dofs(ne)
+            for f in self.freq_choices:
+                rows.append((np.log10(dofs), f))
+        return np.asarray(rows)
+
+    def _dofs(self, ne: int) -> int:
+        if ne not in self._dof_cache:
+            from ..hpgmg.operators import make_problem
+
+            mesh = make_problem(self.operator).mesh(ne)
+            self._dof_cache[ne] = mesh.n_interior
+        return self._dof_cache[ne]
+
+    def _nearest_ne(self, log10_dofs: float) -> int:
+        diffs = [
+            abs(np.log10(self._dofs(ne)) - log10_dofs) for ne in self.ne_choices
+        ]
+        return self.ne_choices[int(np.argmin(diffs))]
+
+    def query(self, x: np.ndarray) -> Observation:
+        """Run the experiment nearest to ``x = (log10 dofs, freq_ghz)``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (2,):
+            raise ValueError(f"expected x of shape (2,), got {x.shape}")
+        ne = self._nearest_ne(x[0])
+        freq = min(self.freq_choices, key=lambda f: abs(f - x[1]))
+        result = run_benchmark(self.operator, ne, rng=self.rng.integers(2**31))
+        slowdown = (self.max_freq_ghz / freq) ** self.freq_exponent
+        runtime = float(
+            self.noise.apply(result.solve_seconds * slowdown, self.rng)
+        )
+        x_actual = np.array([np.log10(result.dofs), freq])
+        return Observation(x=x_actual, y=float(np.log10(runtime)), cost=runtime)

@@ -1,0 +1,100 @@
+"""Initial / Active / Test partitioning of a recorded dataset.
+
+Section IV: "The prototype, given a dataset with the design matrix X and
+the vector of response values y, partitions it into 3 sets: Initial (for
+initial regression training), Active (for one-at-a-time experiment
+selection with AL), and Test (for prediction quality analysis). ... we
+typically used the Initial set with a single experiment ... The Active and
+Test sets in our analysis split the remaining experiments roughly with the
+8:2 ratio."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Partition", "random_partition", "random_partitions"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Index sets of one random dataset split."""
+
+    initial: np.ndarray
+    active: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self):
+        for name in ("initial", "active", "test"):
+            arr = getattr(self, name)
+            if arr.ndim != 1 or arr.dtype.kind not in "iu":
+                raise ValueError(f"{name} must be a 1-D integer index array")
+        all_idx = np.concatenate([self.initial, self.active, self.test])
+        if len(np.unique(all_idx)) != all_idx.size:
+            raise ValueError("partition sets overlap")
+        if self.initial.size < 1:
+            raise ValueError("initial set must hold at least one experiment")
+        if self.active.size < 1:
+            raise ValueError("active set must hold at least one experiment")
+        if self.test.size < 1:
+            raise ValueError("test set must hold at least one experiment")
+
+    @property
+    def n_total(self) -> int:
+        """Total number of experiments covered by the partition."""
+        return self.initial.size + self.active.size + self.test.size
+
+
+def random_partition(
+    n: int,
+    rng=None,
+    *,
+    n_initial: int = 1,
+    test_fraction: float = 0.2,
+) -> Partition:
+    """Randomly split ``n`` experiments into Initial/Active/Test.
+
+    ``n_initial`` experiments seed the regression (default 1, the paper's
+    realistic "first run verifies correctness" scenario); of the remainder,
+    ``test_fraction`` goes to Test and the rest to Active.
+    """
+    if n_initial < 1:
+        raise ValueError("n_initial must be >= 1")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rest = n - n_initial
+    n_test = max(1, int(round(rest * test_fraction)))
+    if rest - n_test < 1:
+        raise ValueError(
+            f"n={n} is too small for n_initial={n_initial} and "
+            f"test_fraction={test_fraction}"
+        )
+    rng = np.random.default_rng(rng)
+    perm = rng.permutation(n)
+    return Partition(
+        initial=np.sort(perm[:n_initial]),
+        active=np.sort(perm[n_initial : n_initial + rest - n_test]),
+        test=np.sort(perm[n_initial + rest - n_test :]),
+    )
+
+
+def random_partitions(
+    n: int,
+    n_partitions: int,
+    seed=None,
+    *,
+    n_initial: int = 1,
+    test_fraction: float = 0.2,
+) -> list[Partition]:
+    """A reproducible batch of random partitions (paper: 10 and 50)."""
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    root = np.random.default_rng(seed)
+    return [
+        random_partition(
+            n, rng, n_initial=n_initial, test_fraction=test_fraction
+        )
+        for rng in root.spawn(n_partitions)
+    ]

@@ -1,0 +1,104 @@
+"""The candidate pool of an offline active-learning run.
+
+Each pool entry is one *recorded experiment* (a job from the dataset), not
+a unique input location: because the datasets contain up to three repeated
+measurements per configuration, the same ``x`` can appear several times.
+Consuming one record leaves its siblings available, which is exactly the
+repeated-measurement capability the paper requires of AL on noisy
+functions (Section III's second EMCM criticism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CandidatePool"]
+
+
+class CandidatePool:
+    """Bookkeeping over the Active-set records during an AL run.
+
+    Parameters
+    ----------
+    X:
+        Design matrix of the Active set, shape ``(n, d)``.
+    y:
+        Measured responses of the Active set records.
+    costs:
+        Per-record experiment cost (the paper uses core-seconds).
+    """
+
+    def __init__(self, X: np.ndarray, y: np.ndarray, costs: np.ndarray):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        costs = np.asarray(costs, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if y.shape != (X.shape[0],) or costs.shape != (X.shape[0],):
+            raise ValueError("X, y and costs must agree on record count")
+        if np.any(costs < 0):
+            raise ValueError("costs must be non-negative")
+        self._X = X
+        self._y = y
+        self._costs = costs
+        self._available = np.ones(X.shape[0], dtype=bool)
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def n_total(self) -> int:
+        """Number of records in the pool, consumed or not."""
+        return self._X.shape[0]
+
+    @property
+    def n_available(self) -> int:
+        """Number of records still available for selection."""
+        return int(np.count_nonzero(self._available))
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every record has been consumed."""
+        return self.n_available == 0
+
+    def available_indices(self) -> np.ndarray:
+        """Pool-local indices of records not yet consumed."""
+        return np.flatnonzero(self._available)
+
+    def available_X(self) -> np.ndarray:
+        """Design-matrix rows of the available records."""
+        return self._X[self._available]
+
+    def available_costs(self) -> np.ndarray:
+        """Experiment costs of the available records."""
+        return self._costs[self._available]
+
+    @property
+    def X(self) -> np.ndarray:
+        """Full Active-set design matrix (consumed and available)."""
+        return self._X
+
+    @property
+    def y(self) -> np.ndarray:
+        """Full Active-set responses (consumed and available)."""
+        return self._y
+
+    @property
+    def costs(self) -> np.ndarray:
+        """Full Active-set experiment costs."""
+        return self._costs
+
+    # ------------------------------------------------------------------ consume
+
+    def consume(self, index: int) -> tuple[np.ndarray, float, float]:
+        """Take record ``index`` out of the pool.
+
+        Returns ``(x, y, cost)`` of the consumed record.  ``index`` is a
+        pool-local index (0-based over all records, available or not).
+        """
+        index = int(index)
+        if not 0 <= index < self.n_total:
+            raise IndexError(f"pool index {index} out of range")
+        if not self._available[index]:
+            raise ValueError(f"record {index} was already consumed")
+        self._available[index] = False
+        return self._X[index], float(self._y[index]), float(self._costs[index])

@@ -1,0 +1,176 @@
+"""Checkpoint/resume for online active-learning campaigns.
+
+The paper's target use case is *online* operation: "every iteration of AL
+includes selecting an experiment, running it, and using the experiment
+outcome to update the underlying GPR model."  Real campaigns run for hours
+or days across scheduler outages and operator handoffs, so the campaign
+state must survive the Python process.  :class:`ALSessionState` captures
+everything an :class:`~repro.al.learner.ActiveLearner` needs to continue —
+training data, remaining pool, test set, cumulative cost, per-iteration
+history — as a single JSON document.
+
+Example
+-------
+>>> state = snapshot(learner)
+>>> save_session(state, "campaign.json")
+...  # process restarts ...
+>>> learner = restore(load_session("campaign.json"), VarianceReduction())
+>>> learner.step()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from .learner import ActiveLearner, ALTrace, IterationRecord, default_model_factory
+from .partition import Partition
+from .pool import CandidatePool
+from .strategies import Strategy
+
+__all__ = ["ALSessionState", "snapshot", "restore", "save_session", "load_session"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class ALSessionState:
+    """Serializable snapshot of an in-progress AL campaign."""
+
+    version: int
+    strategy: str
+    X_train: list
+    y_train: list
+    pool_X: list
+    pool_y: list
+    pool_costs: list
+    pool_available: list  # bool per pool record
+    X_active_full: list
+    X_test: list
+    y_test: list
+    cumulative_cost: float
+    records: list  # serialized IterationRecord dicts
+
+
+def snapshot(learner: ActiveLearner) -> ALSessionState:
+    """Capture a learner's full state."""
+    pool = learner.pool
+    records = []
+    for r in learner.trace.records:
+        d = asdict(r)
+        d["x_selected"] = np.asarray(r.x_selected).tolist()
+        records.append(d)
+    return ALSessionState(
+        version=_FORMAT_VERSION,
+        strategy=learner.strategy.name,
+        X_train=learner._X_train.tolist(),
+        y_train=learner._y_train.tolist(),
+        pool_X=pool.X.tolist(),
+        pool_y=pool.y.tolist(),
+        pool_costs=pool.costs.tolist(),
+        pool_available=pool._available.tolist(),
+        X_active_full=learner._X_active_full.tolist(),
+        X_test=learner._X_test.tolist(),
+        y_test=learner._y_test.tolist(),
+        cumulative_cost=learner.cumulative_cost,
+        records=records,
+    )
+
+
+def restore(
+    state: ALSessionState,
+    strategy: Strategy,
+    *,
+    model_factory: Callable | None = None,
+    noise_floor_schedule: Callable[[int], float] | None = None,
+) -> ActiveLearner:
+    """Rebuild a learner from a snapshot.
+
+    The strategy object is supplied by the caller (strategies may hold
+    unserializable state such as RNGs); its name must match the snapshot.
+    """
+    if state.version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported session format version {state.version} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    if strategy.name != state.strategy:
+        raise ValueError(
+            f"strategy mismatch: snapshot used {state.strategy!r}, "
+            f"got {strategy.name!r}"
+        )
+    X_train = np.asarray(state.X_train, dtype=float)
+    pool_X = np.asarray(state.pool_X, dtype=float)
+    # Build via a synthetic partition over the *concatenated* arrays so the
+    # constructor's validation applies, then overwrite the internals with
+    # the snapshot's exact state.
+    X_all = np.vstack([X_train[:1], pool_X, np.asarray(state.X_test, dtype=float)])
+    y_all = np.concatenate(
+        [
+            np.asarray(state.y_train[:1], dtype=float),
+            np.asarray(state.pool_y, dtype=float),
+            np.asarray(state.y_test, dtype=float),
+        ]
+    )
+    costs_all = np.concatenate(
+        [
+            np.zeros(1),
+            np.asarray(state.pool_costs, dtype=float),
+            np.zeros(len(state.y_test)),
+        ]
+    )
+    n_pool = pool_X.shape[0]
+    part = Partition(
+        initial=np.array([0]),
+        active=np.arange(1, 1 + n_pool),
+        test=np.arange(1 + n_pool, 1 + n_pool + len(state.X_test)),
+    )
+    learner = ActiveLearner(
+        X_all,
+        y_all,
+        costs_all,
+        part,
+        strategy,
+        model_factory=model_factory or default_model_factory(),
+        noise_floor_schedule=noise_floor_schedule,
+    )
+    # Install the exact snapshot state.
+    learner._X_train = X_train
+    learner._y_train = np.asarray(state.y_train, dtype=float)
+    learner.pool = CandidatePool(
+        pool_X,
+        np.asarray(state.pool_y, dtype=float),
+        np.asarray(state.pool_costs, dtype=float),
+    )
+    learner.pool._available = np.asarray(state.pool_available, dtype=bool)
+    learner._X_active_full = np.asarray(state.X_active_full, dtype=float)
+    learner._X_test = np.asarray(state.X_test, dtype=float)
+    learner._y_test = np.asarray(state.y_test, dtype=float)
+    learner._cumulative_cost = float(state.cumulative_cost)
+    records = []
+    for d in state.records:
+        d = dict(d)
+        d["x_selected"] = np.asarray(d["x_selected"], dtype=float)
+        records.append(IterationRecord(**d))
+    learner.trace = ALTrace(strategy=state.strategy, records=records)
+    return learner
+
+
+def save_session(state: ALSessionState, path) -> Path:
+    """Write a snapshot to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(asdict(state)))
+    return path
+
+
+def load_session(path) -> ALSessionState:
+    """Read a snapshot previously written by :func:`save_session`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "version" not in payload:
+        raise ValueError(f"{path} is not an AL session file")
+    return ALSessionState(**payload)

@@ -1,0 +1,195 @@
+"""Cost-error tradeoff analysis (Fig. 8b).
+
+The paper compares Variance Reduction and Cost Efficiency through
+*tradeoff curves*: average RMSE as a function of cumulative experiment
+cost.  The curves intersect at some cost ``C``; beyond it Cost Efficiency
+achieves lower error for the same cost, with a relative reduction the
+paper reports as up to 38% (and 25/21/16/13% at 2C/3C/5C/10C).
+
+Each AL trace is a step function ``cost -> error`` (error improves only
+when an experiment completes); this module interpolates those step
+functions onto a common cost grid, averages them per strategy, finds the
+crossover, and evaluates relative error reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .runner import BatchResult
+
+__all__ = [
+    "TradeoffCurve",
+    "tradeoff_curve",
+    "crossover_cost",
+    "relative_reduction",
+    "compare_strategies",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """Average error as a step-interpolated function of cumulative cost."""
+
+    strategy: str
+    costs: np.ndarray
+    errors: np.ndarray
+
+    def error_at(self, cost) -> np.ndarray:
+        """Error at given cost(s): previous-point (step) interpolation."""
+        cost = np.asarray(cost, dtype=float)
+        idx = np.searchsorted(self.costs, cost, side="right") - 1
+        idx = np.clip(idx, 0, self.costs.size - 1)
+        return self.errors[idx]
+
+    @property
+    def max_cost(self) -> float:
+        """Largest cumulative cost the curve covers."""
+        return float(self.costs[-1])
+
+
+def _trace_step(costs: np.ndarray, errors: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Step-interpolate one trace's (cost, error) onto ``grid``.
+
+    Before the first completed experiment the error is the seed-model error
+    (the first recorded value).
+    """
+    idx = np.searchsorted(costs, grid, side="right") - 1
+    out = np.where(idx >= 0, errors[np.clip(idx, 0, errors.size - 1)], errors[0])
+    return out
+
+
+def tradeoff_curve(
+    result: BatchResult,
+    *,
+    metric: str = "rmse",
+    n_grid: int = 200,
+    grid: np.ndarray | None = None,
+) -> TradeoffCurve:
+    """Average cost-error curve of a strategy batch.
+
+    The grid is geometric between the smallest first-experiment cost and
+    the largest total cost across traces (costs span orders of magnitude).
+    """
+    cost_lists = [t.series("cumulative_cost") for t in result.traces]
+    err_lists = [t.series(metric) for t in result.traces]
+    if grid is None:
+        lo = min(c[0] for c in cost_lists)
+        hi = max(c[-1] for c in cost_lists)
+        if lo <= 0:
+            lo = min(filter(lambda v: v > 0, (c[0] for c in cost_lists)), default=1e-6)
+        grid = np.geomspace(lo, hi, n_grid)
+    stacked = np.vstack(
+        [_trace_step(c, e, grid) for c, e in zip(cost_lists, err_lists)]
+    )
+    return TradeoffCurve(strategy=result.strategy, costs=grid, errors=stacked.mean(axis=0))
+
+
+def crossover_cost(
+    baseline: TradeoffCurve,
+    challenger: TradeoffCurve,
+    *,
+    n_grid: int = 400,
+    min_cost: float | None = None,
+    rel_tol: float = 0.02,
+) -> float | None:
+    """Smallest cost beyond which the challenger's error stays below baseline.
+
+    Returns ``None`` if the challenger never (sustainedly) wins.  This is
+    the paper's crossover cost ``C``.  ``min_cost`` restricts the search to
+    budgets where the comparison is meaningful — typically the cost at
+    which both strategies have completed at least one experiment (below
+    it, one curve is still the untrained seed model).  "Sustained" allows
+    the challenger to fall behind by up to ``rel_tol`` of the baseline
+    error: when both strategies exhaust the pool their curves meet again
+    (with sampling noise either way), which must not veto the crossover.
+    """
+    lo = max(baseline.costs[0], challenger.costs[0])
+    if min_cost is not None:
+        lo = max(lo, float(min_cost))
+    hi = min(baseline.max_cost, challenger.max_cost)
+    if hi <= lo:
+        return None
+    grid = np.geomspace(lo, hi, n_grid)
+    base_err = baseline.error_at(grid)
+    diff = base_err - challenger.error_at(grid)  # >0 => challenger wins
+    winning = diff > 0
+    if not winning.any():
+        return None
+    # First index from which the challenger never falls more than rel_tol
+    # behind for the rest of the grid.
+    ok = diff >= -rel_tol * np.abs(base_err)
+    suffix_win = np.flip(np.logical_and.accumulate(np.flip(ok)))
+    candidates = np.flatnonzero(winning & suffix_win)
+    if candidates.size == 0:
+        return None
+    return float(grid[candidates[0]])
+
+
+def relative_reduction(
+    baseline: TradeoffCurve, challenger: TradeoffCurve, cost
+) -> np.ndarray:
+    """Relative error reduction of the challenger at given cost(s).
+
+    ``(err_baseline - err_challenger) / err_baseline``, the quantity the
+    paper reports as "up to 38%".
+    """
+    eb = baseline.error_at(cost)
+    ec = challenger.error_at(cost)
+    return (eb - ec) / np.maximum(eb, 1e-300)
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Summary of a tradeoff comparison between two strategies."""
+
+    baseline: str
+    challenger: str
+    crossover: float | None
+    max_reduction: float
+    reductions_at_multiples: dict
+
+
+def compare_strategies(
+    baseline: TradeoffCurve,
+    challenger: TradeoffCurve,
+    *,
+    multiples: tuple[float, ...] = (2.0, 3.0, 5.0, 10.0),
+    min_cost: float | None = None,
+) -> StrategyComparison:
+    """The paper's full Fig. 8b readout: crossover C, max and at-k*C reductions."""
+    C = crossover_cost(baseline, challenger, min_cost=min_cost)
+    hi = min(baseline.max_cost, challenger.max_cost)
+    if C is None:
+        lo = max(baseline.costs[0], min_cost or 0.0, 1e-12)
+        return StrategyComparison(
+            baseline=baseline.strategy,
+            challenger=challenger.strategy,
+            crossover=None,
+            max_reduction=float(
+                np.max(
+                    relative_reduction(
+                        baseline,
+                        challenger,
+                        np.geomspace(lo, hi, 400),
+                    )
+                )
+            ),
+            reductions_at_multiples={},
+        )
+    grid = np.geomspace(C, hi, 400)
+    reductions = relative_reduction(baseline, challenger, grid)
+    at_multiples = {}
+    for m in multiples:
+        cost = m * C
+        if cost <= hi:
+            at_multiples[m] = float(relative_reduction(baseline, challenger, cost))
+    return StrategyComparison(
+        baseline=baseline.strategy,
+        challenger=challenger.strategy,
+        crossover=C,
+        max_reduction=float(np.max(reductions)),
+        reductions_at_multiples=at_multiples,
+    )

@@ -1,0 +1,39 @@
+"""Simulated CloudLab testbed: machines, power, energy, SLURM-like scheduling.
+
+Public API::
+
+    from repro.cluster import (wisconsin_cluster, PowerModel, IPMISampler,
+                               SlurmSimulator, JobSpec, JobRecord)
+"""
+
+from .energy import (
+    MIN_RECORDS_PER_MINUTE,
+    integrate_energy,
+    records_per_minute,
+    trace_is_usable,
+)
+from .jobs import JOB_RECORD_FIELDS, JobRecord, JobSpec
+from .machine import DVFS_LEVELS_GHZ, ClusterSpec, CPUSpec, NodeSpec, wisconsin_cluster
+from .power import IPMISampler, PowerModel, PowerTrace
+from .scheduler import ExecutionOutcome, Executor, SlurmSimulator
+
+__all__ = [
+    "CPUSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "wisconsin_cluster",
+    "DVFS_LEVELS_GHZ",
+    "PowerModel",
+    "IPMISampler",
+    "PowerTrace",
+    "integrate_energy",
+    "records_per_minute",
+    "trace_is_usable",
+    "MIN_RECORDS_PER_MINUTE",
+    "JobSpec",
+    "JobRecord",
+    "JOB_RECORD_FIELDS",
+    "ExecutionOutcome",
+    "Executor",
+    "SlurmSimulator",
+]

@@ -1,0 +1,121 @@
+"""Hardware description of the simulated CloudLab testbed.
+
+The paper ran on the CloudLab Wisconsin cluster: 4 homogeneous nodes, each
+with two 8-core Intel E5-2630 v3 (Haswell) CPUs, 128 GB RAM and 10 Gb NICs,
+DVFS-capable between 1.2 and 2.4 GHz.  These dataclasses capture that
+configuration; the defaults match the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CPUSpec", "NodeSpec", "ClusterSpec", "wisconsin_cluster", "DVFS_LEVELS_GHZ"]
+
+#: The CPU frequency levels of Table I (GHz): machine min/max and steps.
+DVFS_LEVELS_GHZ = (1.2, 1.5, 1.8, 2.1, 2.4)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One CPU package.
+
+    Defaults describe the Intel Xeon E5-2630 v3 (Haswell, 8C/16T, 2.4 GHz,
+    85 W TDP) of the Wisconsin nodes.
+    """
+
+    model: str = "E5-2630v3"
+    cores: int = 8
+    threads_per_core: int = 2
+    base_freq_ghz: float = 2.4
+    min_freq_ghz: float = 1.2
+    tdp_watts: float = 85.0
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.threads_per_core < 1:
+            raise ValueError("threads_per_core must be >= 1")
+        if not 0 < self.min_freq_ghz <= self.base_freq_ghz:
+            raise ValueError("need 0 < min_freq_ghz <= base_freq_ghz")
+        if self.tdp_watts <= 0:
+            raise ValueError("tdp_watts must be positive")
+
+    def validate_frequency(self, freq_ghz: float) -> None:
+        """Raise if ``freq_ghz`` is outside the DVFS range of this CPU."""
+        if not self.min_freq_ghz <= freq_ghz <= self.base_freq_ghz:
+            raise ValueError(
+                f"frequency {freq_ghz} GHz outside DVFS range "
+                f"[{self.min_freq_ghz}, {self.base_freq_ghz}]"
+            )
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node (server)."""
+
+    name: str = "c220g1"
+    n_sockets: int = 2
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    ram_gb: float = 128.0
+    nic_gbps: float = 10.0
+
+    def __post_init__(self):
+        if self.n_sockets < 1:
+            raise ValueError("n_sockets must be >= 1")
+        if self.ram_gb <= 0:
+            raise ValueError("ram_gb must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across all sockets."""
+        return self.n_sockets * self.cpu.cores
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads across all sockets (rank slots with SMT).
+
+        The paper's NP levels reach 128 on 4 nodes of 16 physical cores —
+        only possible with two hyperthreads per core, so rank placement
+        capacity is thread-based.
+        """
+        return self.total_cores * self.cpu.threads_per_core
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``n_nodes`` identical nodes."""
+
+    n_nodes: int = 4
+    node: NodeSpec = field(default_factory=NodeSpec)
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across the whole cluster."""
+        return self.n_nodes * self.node.total_cores
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads across the whole cluster."""
+        return self.n_nodes * self.node.total_threads
+
+    def nodes_for_ranks(self, np_ranks: int) -> int:
+        """Nodes needed to host ``np_ranks`` ranks (one rank per hw thread)."""
+        if np_ranks < 1:
+            raise ValueError("np_ranks must be >= 1")
+        if np_ranks > self.total_threads:
+            raise ValueError(
+                f"{np_ranks} ranks exceed cluster capacity of "
+                f"{self.total_threads} hardware threads"
+            )
+        per_node = self.node.total_threads
+        return -(-np_ranks // per_node)
+
+
+def wisconsin_cluster() -> ClusterSpec:
+    """The paper's testbed: 4 nodes x 2 x E5-2630v3, 128 GB, 10 GbE."""
+    return ClusterSpec()

@@ -1,0 +1,58 @@
+"""Synthetic regeneration of the paper's Performance and Power datasets.
+
+Public API::
+
+    from repro.datasets import (generate_performance_dataset,
+                                generate_power_dataset, PerfDataset,
+                                DesignSpec, write_csv, read_csv, table1)
+"""
+
+from .dataset import DesignSpec, PerfDataset
+from .generate import (
+    ModelExecutor,
+    feasible_configurations,
+    generate_performance_dataset,
+    generate_power_dataset,
+)
+from .io import read_csv, write_csv
+from .schema import (
+    CONTROLLED_VARIABLES,
+    FREQ_LEVELS_GHZ,
+    MAX_REPEATS,
+    NP_LEVELS,
+    OPERATORS,
+    PERFORMANCE_N_JOBS,
+    POWER_N_JOBS,
+    PROBLEM_SIZES,
+    RESPONSES,
+    SIZE_LEVELS_LINEAR,
+    FeasibilityRule,
+    full_factorial,
+)
+from .summary import Table1Row, format_table1, table1
+
+__all__ = [
+    "PerfDataset",
+    "DesignSpec",
+    "ModelExecutor",
+    "generate_performance_dataset",
+    "generate_power_dataset",
+    "feasible_configurations",
+    "read_csv",
+    "write_csv",
+    "Table1Row",
+    "table1",
+    "format_table1",
+    "OPERATORS",
+    "NP_LEVELS",
+    "FREQ_LEVELS_GHZ",
+    "SIZE_LEVELS_LINEAR",
+    "PROBLEM_SIZES",
+    "PERFORMANCE_N_JOBS",
+    "POWER_N_JOBS",
+    "MAX_REPEATS",
+    "CONTROLLED_VARIABLES",
+    "RESPONSES",
+    "FeasibilityRule",
+    "full_factorial",
+]

@@ -1,0 +1,204 @@
+"""The dataset container used throughout the reproduction.
+
+A :class:`PerfDataset` wraps the list of 46-attribute job records produced
+by the simulated campaigns (or loaded from CSV) and provides the selection
+and design-matrix operations the paper's analysis needs: fixing factors to
+carve out 1-D/2-D cross sections, extracting ``(X, y)`` with log transforms,
+and computing per-job experiment cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..cluster.jobs import JobRecord
+
+__all__ = ["PerfDataset", "DesignSpec"]
+
+#: Variables that are log-transformed by default when used as features,
+#: mirroring the paper's log-scale treatment of Global Problem Size.
+_LOG_FEATURES = frozenset({"problem_size"})
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """How to turn job records into a regression problem.
+
+    Attributes
+    ----------
+    variables:
+        Controlled variables used as features, in column order.  The
+        categorical ``operator`` factor may be included: it expands into
+        one-hot indicator columns (in ``categories`` order), letting a
+        single model span the full 4-factor space — the paper fixes the
+        operator per cross-section, but notes the framework handles
+        "multiple controlled variables".
+    response:
+        Response attribute (``runtime_seconds`` or ``energy_joules``).
+    log_features:
+        Feature names to log10-transform (default: problem size).
+    log_response:
+        Whether the response is log10-transformed (the paper always does).
+    categories:
+        Level order used for the one-hot encoding of ``operator``.
+    """
+
+    variables: tuple[str, ...]
+    response: str = "runtime_seconds"
+    log_features: frozenset = _LOG_FEATURES
+    log_response: bool = True
+    categories: tuple[str, ...] = ("poisson1", "poisson2", "poisson2affine")
+
+    def __post_init__(self):
+        if not self.variables:
+            raise ValueError("need at least one feature variable")
+        if len(self.categories) != len(set(self.categories)):
+            raise ValueError("categories must be distinct")
+
+    @property
+    def n_columns(self) -> int:
+        """Width of the design matrix after one-hot expansion."""
+        width = 0
+        for v in self.variables:
+            width += len(self.categories) if v == "operator" else 1
+        return width
+
+    def column_names(self) -> tuple[str, ...]:
+        """Design-matrix column labels (one-hot levels expanded)."""
+        names: list[str] = []
+        for v in self.variables:
+            if v == "operator":
+                names.extend(f"operator={c}" for c in self.categories)
+            else:
+                names.append(v)
+        return tuple(names)
+
+
+@dataclass
+class PerfDataset:
+    """A named collection of job records with regression-view helpers."""
+
+    name: str
+    records: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------- selection
+
+    def subset(self, predicate: Callable | None = None, /, **fixed) -> "PerfDataset":
+        """Records matching fixed attribute values and/or a predicate.
+
+        >>> ds.subset(operator="poisson1", np_ranks=32)
+        >>> ds.subset(lambda r: r.runtime_seconds > 1.0)
+        """
+        out = []
+        for r in self.records:
+            if predicate is not None and not predicate(r):
+                continue
+            if all(getattr(r, k) == v for k, v in fixed.items()):
+                out.append(r)
+        suffix = ",".join(f"{k}={v}" for k, v in fixed.items())
+        return PerfDataset(name=f"{self.name}[{suffix}]" if suffix else self.name, records=out)
+
+    def with_energy(self) -> "PerfDataset":
+        """Only jobs with a usable energy estimate (the paper's Power rule)."""
+        return self.subset(lambda r: r.energy_usable and r.energy_joules is not None)
+
+    def completed(self) -> "PerfDataset":
+        """Only jobs that finished successfully."""
+        return self.subset(lambda r: r.state == "COMPLETED")
+
+    def column(self, attribute: str) -> np.ndarray:
+        """One attribute across all records as an array (object for strings)."""
+        values = [getattr(r, attribute) for r in self.records]
+        if values and isinstance(values[0], str):
+            return np.asarray(values, dtype=object)
+        return np.asarray(values, dtype=float)
+
+    def unique_levels(self, attribute: str) -> list:
+        """Sorted distinct values of an attribute."""
+        return sorted({getattr(r, attribute) for r in self.records})
+
+    # --------------------------------------------------------- regression view
+
+    def design_matrix(self, spec: DesignSpec) -> tuple[np.ndarray, np.ndarray]:
+        """``(X, y)`` for a regression problem per the design spec.
+
+        Features are log10-transformed per ``spec.log_features``; the
+        response per ``spec.log_response``.  Jobs lacking the response
+        (e.g. energy on a gappy trace) are skipped.
+        """
+        rows = []
+        ys = []
+        for r in self.records:
+            y = getattr(r, spec.response)
+            if y is None:
+                continue
+            if y <= 0 and spec.log_response:
+                raise ValueError(
+                    f"non-positive response {spec.response}={y} cannot be log-transformed"
+                )
+            row = []
+            for v in spec.variables:
+                if v == "operator":
+                    level = getattr(r, v)
+                    if level not in spec.categories:
+                        raise ValueError(
+                            f"operator {level!r} not in spec.categories"
+                        )
+                    row.extend(
+                        1.0 if level == c else 0.0 for c in spec.categories
+                    )
+                    continue
+                value = float(getattr(r, v))
+                if v in spec.log_features:
+                    if value <= 0:
+                        raise ValueError(f"non-positive feature {v}={value}")
+                    value = np.log10(value)
+                row.append(value)
+            rows.append(row)
+            ys.append(np.log10(y) if spec.log_response else float(y))
+        if not rows:
+            raise ValueError(f"no usable records for response {spec.response!r}")
+        return np.asarray(rows, dtype=float), np.asarray(ys, dtype=float)
+
+    def costs(self, *, metric: str = "core_seconds") -> np.ndarray:
+        """Per-job experiment cost.
+
+        ``core_seconds`` is the paper's cost unit (compute time x cores);
+        ``seconds`` and ``energy`` are alternatives.
+        """
+        if metric == "core_seconds":
+            return np.asarray([r.cost_core_seconds for r in self.records])
+        if metric == "seconds":
+            return np.asarray([r.runtime_seconds for r in self.records])
+        if metric == "energy":
+            vals = [r.energy_joules for r in self.records]
+            if any(v is None for v in vals):
+                raise ValueError("some records lack energy; filter with with_energy()")
+            return np.asarray(vals, dtype=float)
+        raise ValueError(f"unknown cost metric {metric!r}")
+
+    # ----------------------------------------------------------------- summary
+
+    def response_range(self, attribute: str) -> tuple[float, float]:
+        """(min, max) of a response over records where it is present."""
+        vals = [
+            getattr(r, attribute)
+            for r in self.records
+            if getattr(r, attribute) is not None
+        ]
+        if not vals:
+            raise ValueError(f"no records carry {attribute!r}")
+        return float(min(vals)), float(max(vals))
+
+    def extend(self, records: Iterable[JobRecord]) -> None:
+        """Append job records in place."""
+        self.records.extend(records)

@@ -1,0 +1,99 @@
+"""CSV persistence of job records.
+
+The paper published its datasets as CSV files with ~46 attributes per job;
+this module writes and reads the same layout for :class:`PerfDataset`.
+Only the standard library ``csv`` module is used (pandas is not available
+in this environment).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..cluster.jobs import JOB_RECORD_FIELDS, JobRecord
+from .dataset import PerfDataset
+
+__all__ = ["write_csv", "read_csv"]
+
+_BOOL_FIELDS = {"verification_passed", "energy_usable"}
+_INT_FIELDS = {
+    "job_id",
+    "np_ranks",
+    "repeat_index",
+    "n_nodes",
+    "cores_per_node",
+    "exit_code",
+    "priority",
+    "requeue_count",
+    "mg_cycles",
+    "power_records",
+}
+_STR_FIELDS = {
+    "operator",
+    "node_list",
+    "state",
+    "partition",
+    "account",
+    "user",
+    "batch_host",
+    "qos",
+}
+_OPTIONAL_FIELDS = {"mean_power_watts", "energy_joules"}
+
+
+def write_csv(dataset: PerfDataset, path: str | Path) -> Path:
+    """Write a dataset to CSV; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(JOB_RECORD_FIELDS)
+        for record in dataset.records:
+            row = []
+            for name in JOB_RECORD_FIELDS:
+                value = getattr(record, name)
+                if value is None:
+                    row.append("")
+                elif isinstance(value, bool):
+                    row.append("1" if value else "0")
+                elif isinstance(value, float):
+                    row.append(repr(value))
+                else:
+                    row.append(str(value))
+            writer.writerow(row)
+    return path
+
+
+def _parse(name: str, text: str):
+    if name in _OPTIONAL_FIELDS and text == "":
+        return None
+    if name in _STR_FIELDS:
+        return text
+    if name in _BOOL_FIELDS:
+        return text == "1"
+    if name in _INT_FIELDS:
+        return int(text)
+    return float(text)
+
+
+def read_csv(path: str | Path, *, name: str | None = None) -> PerfDataset:
+    """Read a dataset previously written by :func:`write_csv`."""
+    path = Path(path)
+    records = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if tuple(header) != JOB_RECORD_FIELDS:
+            raise ValueError(
+                f"CSV header does not match the job-record schema: {header[:5]}..."
+            )
+        for row in reader:
+            if len(row) != len(JOB_RECORD_FIELDS):
+                raise ValueError(f"malformed CSV row of length {len(row)}")
+            kwargs = {
+                field: _parse(field, text)
+                for field, text in zip(JOB_RECORD_FIELDS, row)
+            }
+            records.append(JobRecord(**kwargs))
+    return PerfDataset(name=name or path.stem, records=records)

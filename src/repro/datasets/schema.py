@@ -1,0 +1,107 @@
+"""Factor levels and feasibility rules of the paper's experiment campaigns.
+
+Table I of the paper defines the controlled variables and their levels:
+
+    Operator:            poisson1, poisson2, poisson2affine
+    Global Problem Size: 1.7e3 - 1.1e9
+    NP:                  1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128
+    CPU Frequency (GHz): 1.2, 1.5, 1.8, 2.1, 2.4
+
+and the dataset sizes: 3,246 jobs (Performance) and 640 jobs (Power), with
+up to 3 repeated experiments per configuration.  The problem-size levels
+are cube numbers (12^3 = 1,728 up to 1,024^3 ~ 1.07e9), matching HPGMG's
+cubic global grids and Table I's range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "OPERATORS",
+    "NP_LEVELS",
+    "FREQ_LEVELS_GHZ",
+    "SIZE_LEVELS_LINEAR",
+    "PROBLEM_SIZES",
+    "PERFORMANCE_N_JOBS",
+    "POWER_N_JOBS",
+    "MAX_REPEATS",
+    "FeasibilityRule",
+    "CONTROLLED_VARIABLES",
+    "RESPONSES",
+    "full_factorial",
+]
+
+OPERATORS: tuple[str, ...] = ("poisson1", "poisson2", "poisson2affine")
+NP_LEVELS: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128)
+FREQ_LEVELS_GHZ: tuple[float, ...] = (1.2, 1.5, 1.8, 2.1, 2.4)
+SIZE_LEVELS_LINEAR: tuple[int, ...] = (
+    12, 16, 20, 24, 32, 40, 48, 64, 80, 96, 128, 160, 192, 256, 384, 512, 1024,
+)
+#: Global problem sizes in DOF (cubic grids), 1.7e3 .. 1.1e9 as in Table I.
+PROBLEM_SIZES: tuple[int, ...] = tuple(n**3 for n in SIZE_LEVELS_LINEAR)
+
+PERFORMANCE_N_JOBS = 3246
+POWER_N_JOBS = 640
+MAX_REPEATS = 3
+
+#: Controlled variable names as they appear in job records / CSV columns.
+CONTROLLED_VARIABLES: tuple[str, ...] = (
+    "operator",
+    "problem_size",
+    "np_ranks",
+    "freq_ghz",
+)
+
+#: Response variable names.
+RESPONSES: tuple[str, ...] = ("runtime_seconds", "energy_joules")
+
+
+@dataclass(frozen=True)
+class FeasibilityRule:
+    """Which configurations could actually run on the testbed.
+
+    A configuration is excluded when it would exceed per-node memory (the
+    solver needs ``bytes_per_dof`` spread over the job's nodes) or the
+    SLURM time limit.
+    """
+
+    bytes_per_dof: float = 48.0
+    usable_gb_per_node: float = 120.0
+    time_limit_seconds: float = 460.0
+    threads_per_node: int = 32
+
+    def nodes_for(self, np_ranks: int) -> int:
+        """Nodes a job with ``np_ranks`` ranks occupies (32 rank slots each)."""
+        return -(-np_ranks // self.threads_per_node)
+
+    def memory_ok(self, problem_size: float, np_ranks: int) -> bool:
+        """Does the problem fit in the RAM of the job's nodes?"""
+        nodes = self.nodes_for(np_ranks)
+        need_gb = problem_size * self.bytes_per_dof / 1e9
+        return need_gb <= nodes * self.usable_gb_per_node
+
+    def runtime_ok(self, expected_runtime_s: float) -> bool:
+        """Would the job finish within the SLURM time limit?"""
+        return expected_runtime_s <= self.time_limit_seconds
+
+    def feasible(
+        self, problem_size: float, np_ranks: int, expected_runtime_s: float
+    ) -> bool:
+        """Memory and time-limit feasibility combined."""
+        return self.memory_ok(problem_size, np_ranks) and self.runtime_ok(
+            expected_runtime_s
+        )
+
+
+def full_factorial() -> list[tuple[str, int, int, float]]:
+    """All (operator, problem_size, np, freq) combinations of Table I."""
+    return [
+        (op, size, np_ranks, freq)
+        for op in OPERATORS
+        for size in PROBLEM_SIZES
+        for np_ranks in NP_LEVELS
+        for freq in FREQ_LEVELS_GHZ
+    ]

@@ -1,0 +1,66 @@
+"""Regeneration of the paper's Table I (dataset parameter summary)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dataset import PerfDataset
+
+__all__ = ["Table1Row", "table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table I, for one dataset."""
+
+    dataset: str
+    n_jobs: int
+    responses: tuple[str, ...]
+    runtime_range_s: tuple[float, float]
+    energy_range_j: tuple[float, float] | None
+    operators: tuple[str, ...]
+    problem_size_range: tuple[float, float]
+    np_levels: tuple[int, ...]
+    freq_levels_ghz: tuple[float, ...]
+
+
+def table1(dataset: PerfDataset) -> Table1Row:
+    """Summarize a dataset exactly as Table I reports it."""
+    has_energy = any(r.energy_joules is not None for r in dataset.records)
+    responses = ("Runtime (S), Energy (J)" if has_energy else "Runtime (S)",)
+    return Table1Row(
+        dataset=dataset.name,
+        n_jobs=len(dataset),
+        responses=responses,
+        runtime_range_s=dataset.response_range("runtime_seconds"),
+        energy_range_j=dataset.response_range("energy_joules") if has_energy else None,
+        operators=tuple(dataset.unique_levels("operator")),
+        problem_size_range=(
+            float(min(dataset.unique_levels("problem_size"))),
+            float(max(dataset.unique_levels("problem_size"))),
+        ),
+        np_levels=tuple(int(v) for v in dataset.unique_levels("np_ranks")),
+        freq_levels_ghz=tuple(dataset.unique_levels("freq_ghz")),
+    )
+
+
+def format_table1(*rows: Table1Row) -> str:
+    """Render Table I as aligned text, one dataset per column block."""
+    lines = ["TABLE I: The Parameters of the Analyzed Datasets."]
+    for row in rows:
+        lines.append(f"\nDataset: {row.dataset}")
+        lines.append(f"  # Jobs        {row.n_jobs}")
+        lines.append(f"  Responses     {', '.join(row.responses)}")
+        lo, hi = row.runtime_range_s
+        lines.append(f"  Runtime, S    {lo:.3f} - {hi:.3f}")
+        if row.energy_range_j is not None:
+            lo, hi = row.energy_range_j
+            lines.append(f"  Energy, J     {lo:.3g} - {hi:.3g}")
+        lines.append(f"  Operator      {','.join(row.operators)}")
+        lo, hi = row.problem_size_range
+        lines.append(f"  Problem Size  {lo:.3g} - {hi:.3g}")
+        lines.append(f"  NP            {','.join(str(v) for v in row.np_levels)}")
+        lines.append(
+            f"  CPU Freq, GHz {','.join(f'{v:g}' for v in row.freq_levels_ghz)}"
+        )
+    return "\n".join(lines)

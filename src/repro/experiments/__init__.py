@@ -1,0 +1,42 @@
+"""Per-table/figure experiment modules (the reproduction's evaluation).
+
+Each module exposes ``run(seed=...) -> <FigureN>Result`` returning the
+numeric series the corresponding paper figure plots.  The matching
+``benchmarks/bench_*.py`` targets print those series as rows.
+
+    table1  - dataset parameter summary
+    fig1    - raw 3-D scatter of dataset subsets
+    fig2    - log-transformed scatter + log-log slope fits
+    fig3    - 1-D GPR predictive distributions, hyperparameter sensitivity
+    fig4    - LML landscape (abundant data): unique peak
+    fig5    - 2-D GPR surfaces on 4 points; shallow LML landscape
+    fig6    - Variance-Reduction AL trajectories, edge-first exploration
+    fig7    - noise-floor ablation on AL metrics (overfitting collapse)
+    fig8    - Variance Reduction vs Cost Efficiency cost-error tradeoff
+"""
+
+from . import fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1
+from .common import (
+    DEFAULT_SEED,
+    fig6_subset,
+    one_d_subset,
+    performance_dataset,
+    power_dataset,
+)
+
+__all__ = [
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "DEFAULT_SEED",
+    "performance_dataset",
+    "power_dataset",
+    "fig6_subset",
+    "one_d_subset",
+]

@@ -1,0 +1,65 @@
+"""Shared context for the per-figure experiment modules.
+
+Dataset generation costs ~20 s for the Performance campaign, so the
+experiment modules share process-level caches.  Every experiment accepts a
+``seed`` and forwards it, keeping all results deterministic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..datasets.dataset import DesignSpec, PerfDataset
+from ..datasets.generate import (
+    generate_performance_dataset,
+    generate_power_dataset,
+)
+
+__all__ = [
+    "performance_dataset",
+    "power_dataset",
+    "fig6_subset",
+    "one_d_subset",
+    "DEFAULT_SEED",
+]
+
+DEFAULT_SEED = 2016
+
+
+@lru_cache(maxsize=4)
+def performance_dataset(seed: int = DEFAULT_SEED) -> PerfDataset:
+    """The cached 3,246-job Performance dataset."""
+    return generate_performance_dataset(seed=seed)
+
+
+@lru_cache(maxsize=4)
+def power_dataset(seed: int = DEFAULT_SEED) -> PerfDataset:
+    """The cached 640-job Power dataset."""
+    return generate_power_dataset(seed=seed)
+
+
+def fig6_subset(seed: int = DEFAULT_SEED):
+    """The paper's AL evaluation subset: poisson1, NP=32 (251 jobs).
+
+    Returns ``(X, y, costs)`` with X = (log10 size, freq) and y = log10
+    runtime; costs in core-seconds.
+    """
+    sub = performance_dataset(seed).subset(operator="poisson1", np_ranks=32)
+    X, y = sub.design_matrix(DesignSpec(variables=("problem_size", "freq_ghz")))
+    return X, y, sub.costs()
+
+
+def one_d_subset(seed: int = DEFAULT_SEED, *, response: str = "runtime_seconds"):
+    """The paper's 1-D cross-section: NP=32, freq=2.4, poisson1.
+
+    Returns ``(X, y)`` with X = log10 problem size (column vector) and
+    y = log10 response.
+    """
+    sub = performance_dataset(seed).subset(
+        operator="poisson1", np_ranks=32, freq_ghz=2.4
+    )
+    return sub.design_matrix(
+        DesignSpec(variables=("problem_size",), response=response)
+    )

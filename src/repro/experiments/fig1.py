@@ -1,0 +1,113 @@
+"""Experiment: Fig. 1 — raw 3-D scatter of Performance/Power subsets.
+
+The paper fixes Operator = ``poisson1``, selects several NP levels, and
+plots (Global Problem Size, CPU Frequency, response) point clouds for both
+datasets, observing that the Power dataset is visibly noisier and sparser.
+``run`` returns exactly those point series plus the two observations as
+numbers: a relative-noise statistic per dataset and the job counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.dataset import PerfDataset
+from .common import DEFAULT_SEED, performance_dataset, power_dataset
+
+__all__ = ["ScatterSeries", "Fig1Result", "run", "relative_noise"]
+
+#: NP levels shown in the paper's subset plots.
+DEFAULT_NP_LEVELS = (8, 32, 128)
+
+
+@dataclass(frozen=True)
+class ScatterSeries:
+    """One NP level's point cloud: (size, freq, response) triples."""
+
+    dataset: str
+    response: str
+    np_ranks: int
+    problem_size: np.ndarray
+    freq_ghz: np.ndarray
+    values: np.ndarray
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    series: list
+    n_performance_points: int
+    n_power_points: int
+    performance_relative_noise: float
+    power_relative_noise: float
+
+
+def relative_noise(dataset: PerfDataset, response: str) -> float:
+    """Median relative spread among repeated measurements.
+
+    For every configuration with >= 2 repeats, compute (max - min) / median
+    of the response; return the median over configurations.  This is the
+    quantitative form of the paper's "variance in the Power dataset is much
+    higher" observation.
+    """
+    groups: dict = defaultdict(list)
+    for r in dataset.records:
+        v = getattr(r, response)
+        if v is None:
+            continue
+        groups[(r.operator, r.problem_size, r.np_ranks, r.freq_ghz)].append(v)
+    spreads = []
+    for values in groups.values():
+        if len(values) >= 2:
+            med = float(np.median(values))
+            if med > 0:
+                spreads.append((max(values) - min(values)) / med)
+    if not spreads:
+        raise ValueError("no repeated configurations to estimate noise from")
+    return float(np.median(spreads))
+
+
+def _series_for(
+    dataset: PerfDataset, response: str, np_levels
+) -> list[ScatterSeries]:
+    out = []
+    for np_ranks in np_levels:
+        sub = dataset.subset(operator="poisson1", np_ranks=np_ranks)
+        rows = [
+            (r.problem_size, r.freq_ghz, getattr(r, response))
+            for r in sub.records
+            if getattr(r, response) is not None
+        ]
+        if not rows:
+            continue
+        size, freq, vals = (np.asarray(col, dtype=float) for col in zip(*rows))
+        out.append(
+            ScatterSeries(
+                dataset=dataset.name,
+                response=response,
+                np_ranks=np_ranks,
+                problem_size=size,
+                freq_ghz=freq,
+                values=vals,
+            )
+        )
+    return out
+
+
+def run(seed: int = DEFAULT_SEED, *, np_levels=DEFAULT_NP_LEVELS) -> Fig1Result:
+    """Build the Fig. 1 point clouds for both datasets."""
+    perf = performance_dataset(seed)
+    power = power_dataset(seed)
+    series = _series_for(perf, "runtime_seconds", np_levels)
+    series += _series_for(power, "energy_joules", np_levels)
+    return Fig1Result(
+        series=series,
+        n_performance_points=sum(
+            s.values.size for s in series if s.dataset == "Performance"
+        ),
+        n_power_points=sum(s.values.size for s in series if s.dataset == "Power"),
+        performance_relative_noise=relative_noise(perf, "runtime_seconds"),
+        power_relative_noise=relative_noise(power, "energy_joules"),
+    )

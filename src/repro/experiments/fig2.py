@@ -1,0 +1,86 @@
+"""Experiment: Fig. 2 — the Fig. 1 subsets with log-transformed responses.
+
+"The plot for the Performance dataset confirms the linear growth of
+Runtime along the problem size dimension, for which the plot also uses the
+log-transformed scale."  ``run`` returns the log-log point clouds plus, for
+each NP level, the slope and R^2 of a least-squares line of log10(runtime)
+against log10(size) — the quantitative form of that observation (slope ~ 1
+for the large-problem regime where work dominates overheads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import DEFAULT_SEED
+from .fig1 import DEFAULT_NP_LEVELS, ScatterSeries
+from .fig1 import run as run_fig1
+
+__all__ = ["LogFit", "Fig2Result", "run"]
+
+
+@dataclass(frozen=True)
+class LogFit:
+    """Least-squares line through a log-log point cloud."""
+
+    dataset: str
+    response: str
+    np_ranks: int
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    series: list  # ScatterSeries with log10-transformed values
+    fits: list  # LogFit per series
+
+
+def _log_series(s: ScatterSeries) -> ScatterSeries:
+    return ScatterSeries(
+        dataset=s.dataset,
+        response=f"log10_{s.response}",
+        np_ranks=s.np_ranks,
+        problem_size=np.log10(s.problem_size),
+        freq_ghz=s.freq_ghz,
+        values=np.log10(s.values),
+    )
+
+
+def _fit(s: ScatterSeries, *, min_log_size: float = 6.0) -> LogFit:
+    """Fit log-response vs log-size on the work-dominated regime.
+
+    Small problems sit on the setup-overhead floor, so the paper's "linear
+    growth" statement applies to the large-size regime; ``min_log_size``
+    restricts the fit accordingly (1e6 DOF by default).
+    """
+    x = s.problem_size  # already log10
+    y = s.values
+    mask = x >= min_log_size
+    if mask.sum() < 3:
+        mask = np.ones_like(x, dtype=bool)
+    A = np.vstack([x[mask], np.ones(mask.sum())]).T
+    coef, *_ = np.linalg.lstsq(A, y[mask], rcond=None)
+    pred = A @ coef
+    ss_res = float(np.sum((y[mask] - pred) ** 2))
+    ss_tot = float(np.sum((y[mask] - np.mean(y[mask])) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LogFit(
+        dataset=s.dataset,
+        response=s.response,
+        np_ranks=s.np_ranks,
+        slope=float(coef[0]),
+        intercept=float(coef[1]),
+        r_squared=r2,
+    )
+
+
+def run(seed: int = DEFAULT_SEED, *, np_levels=DEFAULT_NP_LEVELS) -> Fig2Result:
+    """Log-transform the Fig. 1 series and fit the log-log slopes."""
+    fig1 = run_fig1(seed, np_levels=np_levels)
+    logged = [_log_series(s) for s in fig1.series]
+    fits = [_fit(s) for s in logged]
+    return Fig2Result(series=logged, fits=fits)

@@ -1,0 +1,30 @@
+"""Experiment: regenerate the paper's Table I (dataset parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.summary import Table1Row, format_table1, table1
+from .common import DEFAULT_SEED, performance_dataset, power_dataset
+
+__all__ = ["Table1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Both Table I columns plus the rendered table."""
+
+    performance: Table1Row
+    power: Table1Row
+    text: str
+
+
+def run(seed: int = DEFAULT_SEED) -> Table1Result:
+    """Generate both datasets and summarize them as Table I does."""
+    perf_row = table1(performance_dataset(seed))
+    power_row = table1(power_dataset(seed))
+    return Table1Result(
+        performance=perf_row,
+        power=power_row,
+        text=format_table1(perf_row, power_row),
+    )

@@ -1,0 +1,45 @@
+"""Gaussian Process Regression substrate (replaces scikit-learn 0.18.dev0).
+
+Public API::
+
+    from repro.gp import GaussianProcessRegressor, default_kernel
+    from repro.gp import RBF, Matern, RationalQuadratic, ConstantKernel, WhiteKernel
+"""
+
+from .gpr import GaussianProcessRegressor, default_kernel
+from .kernels import (
+    RBF,
+    ConstantKernel,
+    Hyperparameter,
+    Kernel,
+    Matern,
+    Product,
+    RationalQuadratic,
+    Sum,
+    WhiteKernel,
+)
+from .loocv import LOOResult, fit_loocv, loo_pseudo_likelihood, loo_residuals
+from .optimize import OptimizeOutcome, minimize_with_restarts
+from .trend import TrendGPR, polynomial_basis
+
+__all__ = [
+    "GaussianProcessRegressor",
+    "default_kernel",
+    "Kernel",
+    "Hyperparameter",
+    "ConstantKernel",
+    "WhiteKernel",
+    "RBF",
+    "Matern",
+    "RationalQuadratic",
+    "Sum",
+    "Product",
+    "OptimizeOutcome",
+    "minimize_with_restarts",
+    "LOOResult",
+    "loo_residuals",
+    "loo_pseudo_likelihood",
+    "fit_loocv",
+    "TrendGPR",
+    "polynomial_basis",
+]

@@ -1,0 +1,492 @@
+"""Gaussian Process Regression with explicit noise hyperparameter.
+
+Implements the paper's Section III model (Eqs. 3-13):
+
+    y = f(X) + N(0, sigma_n^2)
+
+with predictive posterior
+
+    mu_*    = k_*^T K_y^{-1} y                         (Eq. 5)
+    sigma_*^2 = k_** - k_*^T K_y^{-1} k_*              (Eq. 6)
+    K_y     = K + sigma_n^2 I                          (Eq. 7)
+
+and Bayesian model selection by maximizing the log marginal likelihood
+(Eqs. 12-13) over the kernel hyperparameters **and** the noise level, with
+multi-restart gradient ascent exactly as the paper describes for the
+scikit-learn implementation it used.
+
+Unlike scikit-learn, the noise variance ``sigma_n^2`` is a first-class
+attribute of the regressor rather than a ``WhiteKernel`` term.  This makes
+the paper's central tuning knob — the lower bound of the ``sigma_n`` search
+space (Section V-B4, Fig. 7) — a single constructor argument:
+
+>>> gpr = GaussianProcessRegressor(noise_variance_bounds=(1e-1, 1e2))
+
+All hyperparameters are optimized in log space.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky, solve_triangular
+
+from .kernels import RBF, ConstantKernel, Kernel
+from .optimize import OptimizeOutcome, minimize_with_restarts
+from .validate import as_1d_array, as_2d_array, check_consistent_rows
+
+__all__ = ["GaussianProcessRegressor", "default_kernel"]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def default_kernel(n_features: int = 1, *, ard: bool = False) -> Kernel:
+    """The paper's covariance: amplitude ``sigma_f^2`` times squared exponential.
+
+    Parameters
+    ----------
+    n_features:
+        Input dimensionality; used only when ``ard`` is true.
+    ard:
+        If true, use a separate length scale per input dimension.
+    """
+    length_scale = np.ones(n_features) if ard else 1.0
+    return ConstantKernel(1.0, (1e-3, 1e3)) * RBF(length_scale, (1e-2, 1e3))
+
+
+@dataclass
+class _FitState:
+    """Quantities cached by :meth:`GaussianProcessRegressor.fit`."""
+
+    X: np.ndarray
+    y: np.ndarray  # normalized training targets
+    y_mean: float
+    y_std: float
+    L: np.ndarray  # Cholesky factor of K_y (lower)
+    alpha: np.ndarray  # K_y^{-1} y
+    lml: float
+    optimize_outcome: OptimizeOutcome | None = None
+    theta_history: list = field(default_factory=list)
+
+
+class GaussianProcessRegressor:
+    """GPR with jointly-optimized kernel hyperparameters and noise variance.
+
+    Parameters
+    ----------
+    kernel:
+        Noise-free covariance of the latent function.  Defaults to
+        ``ConstantKernel * RBF`` (the paper's squared exponential with
+        amplitude), created lazily with the right dimensionality at fit time.
+    noise_variance:
+        Initial value of ``sigma_n^2``.
+    noise_variance_bounds:
+        ``(low, high)`` search interval for ``sigma_n^2`` during marginal-
+        likelihood optimization, or ``"fixed"`` to keep it at its initial
+        value.  The paper studies floors of ``1e-8`` (overfits with few
+        points) and ``1e-1`` (robust).
+    n_restarts:
+        Number of additional random restarts for the hyperparameter search
+        beyond the run started at the current values (the paper: "repeats
+        this search multiple times, each time starting from a random point").
+    normalize_y:
+        If true, center/scale targets before fitting and undo on prediction.
+    optimizer:
+        ``"lbfgs"`` (default) or ``None`` to skip hyperparameter fitting.
+    rng:
+        Seed or :class:`numpy.random.Generator` for restart sampling.
+    jitter:
+        Tiny diagonal regularizer added on top of ``sigma_n^2`` for Cholesky
+        robustness.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        *,
+        noise_variance: float = 1e-2,
+        noise_variance_bounds=(1e-8, 1e3),
+        n_restarts: int = 4,
+        normalize_y: bool = False,
+        optimizer: str | None = "lbfgs",
+        rng=None,
+        jitter: float = 1e-10,
+    ):
+        if noise_variance <= 0:
+            raise ValueError("noise_variance must be positive")
+        if isinstance(noise_variance_bounds, str):
+            if noise_variance_bounds != "fixed":
+                raise ValueError("noise_variance_bounds must be (low, high) or 'fixed'")
+        else:
+            low, high = noise_variance_bounds
+            if low <= 0 or high <= 0 or low > high:
+                raise ValueError(
+                    f"invalid noise_variance_bounds ({low}, {high}): need 0 < low <= high"
+                )
+        if optimizer not in ("lbfgs", None):
+            raise ValueError(f"unknown optimizer {optimizer!r}")
+        if n_restarts < 0:
+            raise ValueError("n_restarts must be >= 0")
+        self.kernel = kernel
+        #: template value: every fit restarts the noise search from here
+        self.noise_variance = float(noise_variance)
+        #: fitted/current value used by predictions and LML evaluations
+        self.noise_variance_ = float(noise_variance)
+        self.noise_variance_bounds = noise_variance_bounds
+        self.n_restarts = int(n_restarts)
+        self.normalize_y = bool(normalize_y)
+        self.optimizer = optimizer
+        self.rng = np.random.default_rng(rng)
+        self.jitter = float(jitter)
+        self.kernel_: Kernel | None = None
+        self._fit: _FitState | None = None
+
+    # ------------------------------------------------------------------ fitting
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._fit is not None
+
+    @property
+    def _noise_free(self) -> bool:
+        return self.noise_variance_bounds == "fixed"
+
+    def _theta(self) -> np.ndarray:
+        """Joint log-space hyperparameter vector [kernel theta..., log sigma_n^2]."""
+        assert self.kernel_ is not None
+        parts = [self.kernel_.theta]
+        if not self._noise_free:
+            parts.append([math.log(self.noise_variance_)])
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def _set_theta(self, theta: np.ndarray) -> None:
+        assert self.kernel_ is not None
+        nk = self.kernel_.n_dims
+        self.kernel_.theta = theta[:nk]
+        if not self._noise_free:
+            self.noise_variance_ = float(np.exp(theta[nk]))
+
+    def _theta_bounds(self) -> np.ndarray:
+        assert self.kernel_ is not None
+        bounds = self.kernel_.bounds
+        if not self._noise_free:
+            nb = np.log(np.asarray(self.noise_variance_bounds, dtype=float))
+            bounds = np.vstack([bounds, nb[np.newaxis, :]]) if bounds.size else nb[np.newaxis, :]
+        return bounds
+
+    def fit(self, X, y) -> "GaussianProcessRegressor":
+        """Fit the GP: optimize hyperparameters by LML ascent, cache posterior.
+
+        Repeated x-rows (the paper's repeated measurements of a noisy
+        function) are supported directly: the noise term makes ``K_y``
+        nonsingular even with duplicate inputs.
+        """
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_rows(X, y)
+
+        # Each fit restarts from the template state (like scikit-learn's
+        # kernel cloning): repeated fits must not warm-start from the
+        # previous fit's optimum.
+        if self.kernel is None:
+            self.kernel_ = default_kernel(X.shape[1])
+        else:
+            self.kernel_ = self.kernel.clone_with_theta(self.kernel.theta)
+        self.noise_variance_ = self.noise_variance
+
+        if self.normalize_y:
+            y_mean = float(np.mean(y))
+            y_std = float(np.std(y))
+            if y_std == 0.0:
+                y_std = 1.0
+        else:
+            y_mean, y_std = 0.0, 1.0
+        y_norm = (y - y_mean) / y_std
+
+        outcome = None
+        theta_history: list[np.ndarray] = []
+        theta0 = self._theta()
+        if self.optimizer is not None and theta0.size > 0:
+
+            def objective(theta: np.ndarray):
+                value, grad = self._nlml_and_grad(theta, X, y_norm)
+                return value, grad
+
+            outcome = minimize_with_restarts(
+                objective,
+                theta0,
+                self._theta_bounds(),
+                n_restarts=self.n_restarts,
+                rng=self.rng,
+            )
+            self._set_theta(outcome.theta)
+            theta_history = outcome.all_thetas
+
+        K = self.kernel_(X)
+        K[np.diag_indices_from(K)] += self.noise_variance_ + self.jitter
+        L = cholesky(K, lower=True, check_finite=False)
+        alpha = cho_solve((L, True), y_norm, check_finite=False)
+        lml = self._lml_from_cholesky(L, alpha, y_norm)
+
+        self._fit = _FitState(
+            X=X,
+            y=y_norm,
+            y_mean=y_mean,
+            y_std=y_std,
+            L=L,
+            alpha=alpha,
+            lml=lml,
+            optimize_outcome=outcome,
+            theta_history=theta_history,
+        )
+        return self
+
+    @staticmethod
+    def _lml_from_cholesky(L: np.ndarray, alpha: np.ndarray, y: np.ndarray) -> float:
+        n = y.shape[0]
+        return float(
+            -0.5 * y @ alpha - np.sum(np.log(np.diag(L))) - 0.5 * n * _LOG_2PI
+        )
+
+    def _nlml_and_grad(
+        self, theta: np.ndarray, X: np.ndarray, y: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Negative LML and its gradient at ``theta`` (for the optimizer)."""
+        lml, grad = self.log_marginal_likelihood(
+            theta, eval_gradient=True, X=X, y=y
+        )
+        return -lml, -grad
+
+    def log_marginal_likelihood(
+        self,
+        theta: np.ndarray | None = None,
+        *,
+        eval_gradient: bool = False,
+        X=None,
+        y=None,
+    ):
+        """Log marginal likelihood (Eq. 12) at ``theta``.
+
+        ``theta`` is the joint vector ``[kernel.theta..., log sigma_n^2]``
+        (the noise entry is absent when the noise is fixed).  With
+        ``theta=None`` the current hyperparameters are evaluated.  ``X, y``
+        default to the stored training data; passing them explicitly lets
+        the Fig. 4/5 experiments scan LML landscapes without refitting.
+        """
+        if X is None or y is None:
+            if self._fit is None:
+                raise RuntimeError("model is not fitted and no (X, y) supplied")
+            X, y = self._fit.X, self._fit.y
+        else:
+            X = as_2d_array(X)
+            y = as_1d_array(y)
+            check_consistent_rows(X, y)
+        if self.kernel_ is None:
+            self.kernel_ = (
+                default_kernel(X.shape[1])
+                if self.kernel is None
+                else self.kernel.clone_with_theta(self.kernel.theta)
+            )
+
+        kernel = self.kernel_
+        saved_theta = self._theta()
+        if theta is not None:
+            theta = np.asarray(theta, dtype=float)
+            if theta.shape != saved_theta.shape:
+                raise ValueError(
+                    f"theta has shape {theta.shape}, expected {saved_theta.shape}"
+                )
+            self._set_theta(theta)
+        try:
+            noise = self.noise_variance_
+            if eval_gradient:
+                K, K_grad = kernel(X, eval_gradient=True)
+            else:
+                K = kernel(X)
+            K[np.diag_indices_from(K)] += noise + self.jitter
+            try:
+                L = cholesky(K, lower=True, check_finite=False)
+            except np.linalg.LinAlgError:
+                if eval_gradient:
+                    return -np.inf, np.zeros_like(saved_theta)
+                return -np.inf
+            alpha = cho_solve((L, True), y, check_finite=False)
+            lml = self._lml_from_cholesky(L, alpha, y)
+            if not eval_gradient:
+                return lml
+            # d lml / d theta_j = 0.5 tr((alpha alpha^T - K^{-1}) dK/dtheta_j)
+            K_inv = cho_solve((L, True), np.eye(K.shape[0]), check_finite=False)
+            inner = np.outer(alpha, alpha) - K_inv
+            grads = 0.5 * np.einsum("ij,ijk->k", inner, K_grad)
+            if not self._noise_free:
+                # dK/d(log sigma_n^2) = sigma_n^2 * I
+                noise_grad = 0.5 * noise * np.trace(inner)
+                grads = np.append(grads, noise_grad)
+            return lml, grads
+        finally:
+            if theta is not None:
+                self._set_theta(saved_theta)
+
+    # --------------------------------------------------------------- prediction
+
+    def predict(
+        self,
+        X,
+        *,
+        return_std: bool = False,
+        return_cov: bool = False,
+        include_noise: bool = True,
+    ):
+        """Posterior predictive mean (and std / covariance) at query points.
+
+        Parameters
+        ----------
+        include_noise:
+            If true (default), the returned std/cov describe the predictive
+            distribution of *observations* ``y_*`` (latent + measurement
+            noise).  This is the quantity the paper's AL strategies consume:
+            it stays ``>= sigma_n`` at already-measured points, which is what
+            allows AL to recommend repeated measurements.  Set false for the
+            latent-function uncertainty only.
+        """
+        if return_std and return_cov:
+            raise ValueError("return_std and return_cov are mutually exclusive")
+        X = as_2d_array(X)
+        if self._fit is None:
+            # Prior prediction.
+            kernel = self.kernel_ or (
+                default_kernel(X.shape[1])
+                if self.kernel is None
+                else self.kernel
+            )
+            mean = np.zeros(X.shape[0])
+            if return_cov:
+                cov = kernel(X).astype(float)
+                if include_noise:
+                    cov[np.diag_indices_from(cov)] += self.noise_variance_
+                return mean, cov
+            if return_std:
+                var = kernel.diag(X).astype(float)
+                if include_noise:
+                    var = var + self.noise_variance_
+                return mean, np.sqrt(var)
+            return mean
+
+        fit = self._fit
+        kernel = self.kernel_
+        assert kernel is not None
+        K_star = kernel(X, fit.X)  # (m, n)
+        mean = K_star @ fit.alpha * fit.y_std + fit.y_mean
+        if not (return_std or return_cov):
+            return mean
+
+        # v = L^{-1} k_*
+        v = solve_triangular(fit.L, K_star.T, lower=True, check_finite=False)
+        if return_cov:
+            cov = kernel(X) - v.T @ v
+            if include_noise:
+                cov[np.diag_indices_from(cov)] += self.noise_variance_
+            cov = cov * fit.y_std**2
+            return mean, cov
+        var = kernel.diag(X) - np.sum(v**2, axis=0)
+        if np.any(var < 0):
+            # Numerically tiny negatives are expected; anything sizable is a bug.
+            if np.min(var) < -1e-6:
+                warnings.warn(
+                    f"predicted variance clipped from {np.min(var):.3e}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            var = np.maximum(var, 0.0)
+        if include_noise:
+            var = var + self.noise_variance_
+        return mean, np.sqrt(var) * fit.y_std
+
+    def predict_gradient(self, x) -> tuple[np.ndarray, np.ndarray]:
+        """Analytic gradients of the predictive mean and std at one point.
+
+        Returns ``(d_mean, d_std)``, each of shape ``(d,)`` in the units of
+        the (normalization-undone) targets.  Enables the gradient-based
+        continuous-domain candidate optimization the paper's Section VI
+        calls for.  ``d_std`` is the gradient of the *observation* SD
+        (latent variance + noise), matching ``predict(include_noise=True)``.
+
+        Raises
+        ------
+        RuntimeError
+            If the model is not fitted.
+        NotImplementedError
+            If the kernel lacks input-space gradients.
+        """
+        if self._fit is None:
+            raise RuntimeError("model is not fitted")
+        fit = self._fit
+        kernel = self.kernel_
+        assert kernel is not None
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape != (fit.X.shape[1],):
+            raise ValueError(
+                f"x has shape {x.shape}, expected ({fit.X.shape[1]},)"
+            )
+        xq = x[np.newaxis, :]
+        k_star = kernel(xq, fit.X)[0]  # (n,)
+        J = kernel.gradient_x(x, fit.X)  # (n, d)
+
+        d_mean = J.T @ fit.alpha * fit.y_std
+
+        # var(x) = k(x,x) - k_*^T K_y^{-1} k_* (+ sigma_n^2); k(x,x) is
+        # constant for stationary kernels, so d var/dx = -2 J^T (K_y^{-1} k_*).
+        K_inv_k = cho_solve((fit.L, True), k_star, check_finite=False)
+        var = float(kernel.diag(xq)[0] - k_star @ K_inv_k)
+        var = max(var, 0.0) + self.noise_variance_
+        d_var = -2.0 * (J.T @ K_inv_k)
+        d_std = d_var / (2.0 * math.sqrt(max(var, 1e-300))) * fit.y_std
+        return d_mean, d_std
+
+    def sample_y(self, X, n_samples: int = 1, rng=None) -> np.ndarray:
+        """Draw samples from the posterior predictive at ``X``.
+
+        Returns an array of shape ``(len(X), n_samples)``.  Uses the latent
+        covariance plus noise on the diagonal (observation samples).
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        rng = np.random.default_rng(rng if rng is not None else self.rng)
+        mean, cov = self.predict(X, return_cov=True)
+        cov = cov + 1e-12 * np.eye(cov.shape[0])
+        return rng.multivariate_normal(mean, cov, size=n_samples, method="cholesky").T
+
+    # ------------------------------------------------------------------- misc
+
+    @property
+    def lml_(self) -> float:
+        """LML of the fitted model at its optimized hyperparameters."""
+        if self._fit is None:
+            raise RuntimeError("model is not fitted")
+        return self._fit.lml
+
+    @property
+    def X_train_(self) -> np.ndarray:
+        """Training design matrix (after coercion to 2-D float64)."""
+        if self._fit is None:
+            raise RuntimeError("model is not fitted")
+        return self._fit.X
+
+    @property
+    def y_train_(self) -> np.ndarray:
+        """Training targets in original (unnormalized) units."""
+        if self._fit is None:
+            raise RuntimeError("model is not fitted")
+        return self._fit.y * self._fit.y_std + self._fit.y_mean
+
+    def __repr__(self) -> str:
+        kern = self.kernel_ if self.kernel_ is not None else self.kernel
+        return (
+            f"GaussianProcessRegressor(kernel={kern!r}, "
+            f"noise_variance={self.noise_variance_:.3g}, "
+            f"bounds={self.noise_variance_bounds})"
+        )

@@ -1,0 +1,132 @@
+"""Multi-restart bounded optimization of the (negative) log marginal likelihood.
+
+The paper relies on scikit-learn's behaviour: gradient ascent on the LML
+within a bounded hyperparameter box, repeated from several random starting
+points "in order to increase reliability".  This module reproduces that with
+``scipy.optimize.minimize(method="L-BFGS-B")``.
+
+The restart count is an explicit knob because it is one of the design
+choices DESIGN.md marks for ablation (``bench_ablation_restarts``): Fig. 4
+shows an LML landscape with a unique peak where one start suffices, while
+Fig. 5's small-data landscape is shallow and benefits from restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from scipy.optimize import minimize
+
+__all__ = ["OptimizeOutcome", "minimize_with_restarts"]
+
+#: Value substituted for non-finite objective evaluations so that L-BFGS-B
+#: treats the point as very bad instead of aborting.
+_BAD_VALUE = 1e25
+
+
+@dataclass
+class OptimizeOutcome:
+    """Result of a multi-restart minimization.
+
+    Attributes
+    ----------
+    theta:
+        Best parameter vector found (log space).
+    value:
+        Objective value at ``theta`` (the *negative* LML for GPR fits).
+    n_restarts:
+        Number of random restarts performed (excludes the initial start).
+    all_thetas / all_values:
+        Per-start optimized parameters and values, in run order; useful for
+        diagnosing multimodal LML landscapes (Fig. 5b).
+    """
+
+    theta: np.ndarray
+    value: float
+    n_restarts: int
+    all_thetas: list = field(default_factory=list)
+    all_values: list = field(default_factory=list)
+
+
+def _wrap(objective: Callable) -> Callable:
+    """Guard an objective(theta) -> (value, grad) against non-finite output."""
+
+    def wrapped(theta: np.ndarray):
+        value, grad = objective(theta)
+        if not np.isfinite(value):
+            return _BAD_VALUE, np.zeros_like(theta)
+        grad = np.asarray(grad, dtype=float)
+        if not np.all(np.isfinite(grad)):
+            grad = np.zeros_like(theta)
+        return float(value), grad
+
+    return wrapped
+
+
+def minimize_with_restarts(
+    objective: Callable,
+    theta0: np.ndarray,
+    bounds: np.ndarray,
+    *,
+    n_restarts: int = 4,
+    rng=None,
+) -> OptimizeOutcome:
+    """Minimize ``objective`` within box ``bounds`` from multiple starts.
+
+    Parameters
+    ----------
+    objective:
+        Callable ``theta -> (value, gradient)``; both in log space.
+    theta0:
+        Initial point for the first (deterministic) run.  It is clipped into
+        the bounds box.
+    bounds:
+        Array of shape ``(n, 2)`` of [low, high] per parameter, log space.
+    n_restarts:
+        Additional starts sampled uniformly inside the box.
+    rng:
+        Seed or generator for restart sampling.
+
+    Returns
+    -------
+    OptimizeOutcome
+        With the best point across all starts.
+    """
+    theta0 = np.asarray(theta0, dtype=float)
+    bounds = np.asarray(bounds, dtype=float)
+    if bounds.shape != (theta0.size, 2):
+        raise ValueError(
+            f"bounds shape {bounds.shape} does not match theta size {theta0.size}"
+        )
+    if np.any(bounds[:, 0] > bounds[:, 1]):
+        raise ValueError("bounds must satisfy low <= high")
+    rng = np.random.default_rng(rng)
+    wrapped = _wrap(objective)
+
+    starts = [np.clip(theta0, bounds[:, 0], bounds[:, 1])]
+    for _ in range(n_restarts):
+        starts.append(rng.uniform(bounds[:, 0], bounds[:, 1]))
+
+    all_thetas: list[np.ndarray] = []
+    all_values: list[float] = []
+    for start in starts:
+        result = minimize(
+            wrapped,
+            start,
+            jac=True,
+            method="L-BFGS-B",
+            bounds=bounds,
+        )
+        all_thetas.append(np.asarray(result.x))
+        all_values.append(float(result.fun))
+
+    best = int(np.argmin(all_values))
+    return OptimizeOutcome(
+        theta=all_thetas[best],
+        value=all_values[best],
+        n_restarts=n_restarts,
+        all_thetas=all_thetas,
+        all_values=all_values,
+    )

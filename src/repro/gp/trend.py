@@ -1,0 +1,166 @@
+"""Semi-parametric GPR: explicit polynomial basis plus a GP residual.
+
+Performance responses in log-log space are dominated by near-linear trends
+(Fig. 2 confirms slope ~1 of log runtime vs log problem size), but a
+zero-mean stationary GP reverts to the prior mean away from data — plain
+GPR therefore extrapolates poorly toward unmeasured large problems.  The
+classical remedy (Rasmussen & Williams §2.7, "explicit basis functions";
+*universal kriging* in geostatistics) models
+
+    y = h(x)^T beta + f(x) + noise
+
+with a polynomial basis ``h`` and a GP ``f``.  :class:`TrendGPR` implements
+it on top of :class:`~repro.gp.gpr.GaussianProcessRegressor`:
+
+1. OLS estimate of ``beta``;
+2. GP hyperparameter fit on the detrended residuals (marginal likelihood);
+3. GLS re-estimate ``beta = (H^T K_y^{-1} H)^{-1} H^T K_y^{-1} y`` under
+   the fitted covariance, and a final GP fit on the new residuals;
+4. predictions add the trend back, and the predictive variance carries the
+   textbook correction ``R^T (H^T K_y^{-1} H)^{-1} R`` with
+   ``R = h(x_*) - H^T K_y^{-1} k_*`` for the estimated coefficients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.linalg import cho_solve, solve
+
+from .gpr import GaussianProcessRegressor
+from .validate import as_1d_array, as_2d_array, check_consistent_rows
+
+__all__ = ["TrendGPR", "polynomial_basis"]
+
+
+def polynomial_basis(degree: int) -> Callable[[np.ndarray], np.ndarray]:
+    """Basis-function factory: ``h(x) = [1, x_1..x_d, x_1^2..]`` up to ``degree``.
+
+    Only pure powers are included (no cross terms) — the standard universal-
+    kriging drift for performance surfaces, keeping the coefficient count at
+    ``1 + degree * d``.
+    """
+    if degree < 0:
+        raise ValueError("degree must be >= 0")
+
+    def h(X: np.ndarray) -> np.ndarray:
+        X = as_2d_array(X)
+        cols = [np.ones(X.shape[0])]
+        for p in range(1, degree + 1):
+            for dim in range(X.shape[1]):
+                cols.append(X[:, dim] ** p)
+        return np.column_stack(cols)
+
+    return h
+
+
+class TrendGPR:
+    """GPR with an explicit polynomial trend (universal kriging).
+
+    Parameters
+    ----------
+    degree:
+        Polynomial degree of the trend (1 = linear, the log-log default).
+    gp_factory:
+        Builds the residual GP; defaults to a fresh
+        :class:`GaussianProcessRegressor` with moderate settings.
+
+    Notes
+    -----
+    The public surface mirrors the plain regressor: :meth:`fit`,
+    :meth:`predict` with ``return_std``.
+    """
+
+    def __init__(
+        self,
+        *,
+        degree: int = 1,
+        gp_factory: Callable[[], GaussianProcessRegressor] | None = None,
+    ):
+        self.basis = polynomial_basis(degree)
+        self.degree = int(degree)
+        self.gp_factory = gp_factory or (
+            lambda: GaussianProcessRegressor(
+                noise_variance=1e-2,
+                noise_variance_bounds=(1e-6, 1e3),
+                n_restarts=2,
+                rng=0,
+            )
+        )
+        self.gp: GaussianProcessRegressor | None = None
+        self.beta_: np.ndarray | None = None
+        self._H: np.ndarray | None = None
+        self._A_inv: np.ndarray | None = None  # (H^T Ky^{-1} H)^{-1}
+        self._X: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.gp is not None
+
+    def fit(self, X, y) -> "TrendGPR":
+        """OLS trend, GP on residuals, GLS trend update, final GP refit."""
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_rows(X, y)
+        H = self.basis(X)
+        if H.shape[0] <= H.shape[1]:
+            raise ValueError(
+                f"need more than {H.shape[1]} points to fit a degree-"
+                f"{self.degree} trend in {X.shape[1]} variables"
+            )
+        beta, *_ = np.linalg.lstsq(H, y, rcond=None)
+
+        gp = self.gp_factory()
+        gp.fit(X, y - H @ beta)
+
+        # GLS refinement under the fitted covariance.
+        fit = gp._fit
+        assert fit is not None
+        Ky_inv_H = cho_solve((fit.L, True), H, check_finite=False)
+        A = H.T @ Ky_inv_H  # H^T Ky^{-1} H
+        Ky_inv_y = cho_solve((fit.L, True), y, check_finite=False)
+        beta = solve(A, H.T @ Ky_inv_y, assume_a="pos")
+        # Refit the residual GP (hyperparameters re-optimized once more).
+        gp = self.gp_factory()
+        gp.fit(X, y - H @ beta)
+        fit = gp._fit
+        assert fit is not None
+        Ky_inv_H = cho_solve((fit.L, True), H, check_finite=False)
+        A = H.T @ Ky_inv_H
+
+        self.gp = gp
+        self.beta_ = beta
+        self._H = H
+        self._A_inv = np.linalg.inv(A)
+        self._X = X
+        return self
+
+    def predict(self, X, *, return_std: bool = False, include_noise: bool = True):
+        """Trend + GP prediction; std includes the coefficient-uncertainty term."""
+        if self.gp is None or self.beta_ is None:
+            raise RuntimeError("model is not fitted")
+        X = as_2d_array(X)
+        h_star = self.basis(X)  # (m, p)
+        mean = h_star @ self.beta_ + self.gp.predict(X)
+        if not return_std:
+            return mean
+        _, sd = self.gp.predict(X, return_std=True, include_noise=include_noise)
+        # Coefficient-uncertainty correction (R&W Eq. 2.42):
+        # R = h(x*) - H^T Ky^{-1} k_*.
+        fit = self.gp._fit
+        assert fit is not None and self.gp.kernel_ is not None
+        k_star = self.gp.kernel_(X, fit.X)  # (m, n)
+        Ky_inv_k = cho_solve((fit.L, True), k_star.T, check_finite=False)  # (n, m)
+        R = h_star.T - self._H.T @ Ky_inv_k  # (p, m)
+        extra = np.einsum("pm,pq,qm->m", R, self._A_inv, R)
+        var = sd**2 + np.maximum(extra, 0.0) * fit.y_std**2
+        return mean, np.sqrt(var)
+
+    @property
+    def trend_coefficients(self) -> np.ndarray:
+        """Fitted GLS trend coefficients ``beta`` (intercept first)."""
+        if self.beta_ is None:
+            raise RuntimeError("model is not fitted")
+        return self.beta_

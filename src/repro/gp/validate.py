@@ -1,0 +1,80 @@
+"""Shared input-validation helpers for the :mod:`repro.gp` package.
+
+These are small, dependency-free utilities used by the kernel and regressor
+classes to normalize user input into contiguous ``float64`` arrays and to
+produce actionable error messages.  They are deliberately strict: the GP
+stack is the numerical core of the reproduction and silent shape coercion
+is a common source of hard-to-find bugs in AL loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_2d_array", "as_1d_array", "check_consistent_rows", "check_bounds"]
+
+
+def as_2d_array(X, *, name: str = "X") -> np.ndarray:
+    """Coerce ``X`` to a C-contiguous 2-D float64 array.
+
+    1-D input is interpreted as a single feature column (``(n,) -> (n, 1)``),
+    which matches how the paper's 1-D problem-size studies pass data.
+
+    Raises
+    ------
+    ValueError
+        If the input has more than two dimensions, is empty, or contains
+        non-finite values.
+    """
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, np.newaxis]
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return np.ascontiguousarray(arr)
+
+
+def as_1d_array(y, *, name: str = "y") -> np.ndarray:
+    """Coerce ``y`` to a contiguous 1-D float64 array and validate finiteness."""
+    arr = np.asarray(y, dtype=np.float64)
+    if arr.ndim == 2 and arr.shape[1] == 1:
+        arr = arr[:, 0]
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_consistent_rows(X: np.ndarray, y: np.ndarray) -> None:
+    """Ensure the design matrix and response vector agree on sample count."""
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y have inconsistent sample counts: {X.shape[0]} vs {y.shape[0]}"
+        )
+
+
+def check_bounds(bounds, *, name: str) -> tuple[float, float]:
+    """Validate a ``(low, high)`` positive bounds pair and return it as floats.
+
+    The pair may also be the string ``"fixed"`` which is passed through; fixed
+    hyperparameters are excluded from optimization.
+    """
+    if isinstance(bounds, str):
+        if bounds != "fixed":
+            raise ValueError(f"{name} bounds must be a (low, high) pair or 'fixed'")
+        return bounds  # type: ignore[return-value]
+    low, high = float(bounds[0]), float(bounds[1])
+    if not (np.isfinite(low) and np.isfinite(high)):
+        raise ValueError(f"{name} bounds must be finite, got ({low}, {high})")
+    if low <= 0 or high <= 0:
+        raise ValueError(f"{name} bounds must be positive, got ({low}, {high})")
+    if low > high:
+        raise ValueError(f"{name} bounds must satisfy low <= high, got ({low}, {high})")
+    return (low, high)

@@ -1,0 +1,104 @@
+"""Mini HPGMG-FE: finite-element geometric multigrid benchmark.
+
+A runnable, from-scratch stand-in for the HPGMG-FE benchmark the paper
+measures: Q1/Q2 finite elements, constant/variable coefficient, optional
+affine mesh deformation, Chebyshev-smoothed V-cycles and Full Multigrid.
+
+Public API::
+
+    from repro.hpgmg import run_benchmark, MultigridSolver, make_problem
+"""
+
+from .benchmark import BenchmarkResult, run_benchmark
+from .dim3 import (
+    Benchmark3Result,
+    Mesh3,
+    MultigridSolver3,
+    assemble3,
+    discretization_error3,
+    exact_solution3,
+    load_vector3,
+    make_problem3,
+    prolong_trilinear,
+    restrict_transpose3,
+    run_benchmark3,
+    source_term3,
+)
+from .fem import ReferenceElement, gauss_rule, reference_element
+from .galerkin import (
+    GalerkinMultigridSolver,
+    galerkin_coarse,
+    prolongation_matrix,
+)
+from .grid import Mesh, coarsen, hierarchy_sizes
+from .manufactured import (
+    discretization_error,
+    exact_solution,
+    nodal_interior_values,
+    source_term,
+)
+from .multigrid import MultigridSolver, SolveResult
+from .operators import (
+    OPERATOR_NAMES,
+    DiscreteOperator,
+    Problem,
+    assemble,
+    load_vector,
+    make_problem,
+)
+from .smoothers import chebyshev, damped_jacobi, estimate_lambda_max
+from .stencil import StencilOperator, q1_stencil, stencil_supported
+from .transfer import (
+    embed_interior,
+    extract_interior,
+    prolong_bilinear,
+    restrict_full_weighting,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "run_benchmark",
+    "Benchmark3Result",
+    "run_benchmark3",
+    "Mesh3",
+    "MultigridSolver3",
+    "make_problem3",
+    "assemble3",
+    "load_vector3",
+    "source_term3",
+    "exact_solution3",
+    "discretization_error3",
+    "prolong_trilinear",
+    "restrict_transpose3",
+    "ReferenceElement",
+    "reference_element",
+    "gauss_rule",
+    "Mesh",
+    "coarsen",
+    "hierarchy_sizes",
+    "MultigridSolver",
+    "SolveResult",
+    "GalerkinMultigridSolver",
+    "galerkin_coarse",
+    "prolongation_matrix",
+    "OPERATOR_NAMES",
+    "Problem",
+    "DiscreteOperator",
+    "make_problem",
+    "assemble",
+    "load_vector",
+    "exact_solution",
+    "source_term",
+    "nodal_interior_values",
+    "discretization_error",
+    "chebyshev",
+    "damped_jacobi",
+    "estimate_lambda_max",
+    "StencilOperator",
+    "q1_stencil",
+    "stencil_supported",
+    "embed_interior",
+    "extract_interior",
+    "prolong_bilinear",
+    "restrict_full_weighting",
+]

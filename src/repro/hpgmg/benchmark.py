@@ -1,0 +1,112 @@
+"""HPGMG-FE-style benchmark harness for the mini solver.
+
+The real HPGMG benchmark ranks machines by solved degrees of freedom per
+second for a Full Multigrid solve.  This harness does the same for the mini
+solver: build the hierarchy, manufacture a right-hand side, run FMG +
+V-cycles to tolerance, and report DOF/s, work units and the verification
+error.  It is the *online oracle* backend for active learning (see
+:class:`repro.al.oracle.OnlineHPGMGOracle`): each AL "experiment" can be an
+actual solve at the suggested configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .manufactured import discretization_error, source_term
+from .multigrid import MultigridSolver
+from .operators import OPERATOR_NAMES, load_vector, make_problem
+
+__all__ = ["BenchmarkResult", "run_benchmark"]
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One benchmark execution record.
+
+    Attributes
+    ----------
+    operator:
+        Operator flavour name.
+    ne:
+        Elements per side of the finest mesh.
+    dofs:
+        Interior unknowns solved for.
+    setup_seconds / solve_seconds:
+        Wall time of hierarchy construction and of the FMG+V-cycle solve.
+    dofs_per_second:
+        The HPGMG figure of merit, ``dofs / solve_seconds``.
+    cycles:
+        V-cycles needed after FMG.
+    final_relative_residual:
+        Last entry of the residual history.
+    work_units:
+        Fine-grid-equivalent operator applications during the solve.
+    verification_error:
+        Max-norm nodal error against the manufactured solution.
+    converged:
+        Whether the requested tolerance was met.
+    """
+
+    operator: str
+    ne: int
+    dofs: int
+    setup_seconds: float
+    solve_seconds: float
+    dofs_per_second: float
+    cycles: int
+    final_relative_residual: float
+    work_units: float
+    verification_error: float
+    converged: bool
+
+
+def run_benchmark(
+    operator: str,
+    ne: int,
+    *,
+    rtol: float = 1e-8,
+    ne_coarsest: int = 2,
+    smoother: str = "chebyshev",
+    rng=None,
+) -> BenchmarkResult:
+    """Run one mini-HPGMG-FE benchmark configuration.
+
+    Parameters
+    ----------
+    operator:
+        One of ``poisson1``, ``poisson2``, ``poisson2affine``.
+    ne:
+        Elements per side (``ne_coarsest * 2**k``).
+    rtol:
+        Target relative residual.
+    """
+    if operator not in OPERATOR_NAMES:
+        raise ValueError(f"unknown operator {operator!r}; expected one of {OPERATOR_NAMES}")
+    problem = make_problem(operator)
+
+    t0 = time.perf_counter()
+    solver = MultigridSolver(
+        problem, ne, ne_coarsest=ne_coarsest, smoother=smoother, rng=rng
+    )
+    mesh = solver.levels[0].mesh
+    f = load_vector(problem, mesh, source_term(problem))
+    setup_seconds = time.perf_counter() - t0
+
+    result = solver.solve(f, rtol=rtol)
+    err = discretization_error(problem, result.u, mesh)
+    solve_seconds = max(result.seconds, 1e-12)
+    return BenchmarkResult(
+        operator=operator,
+        ne=ne,
+        dofs=solver.dofs,
+        setup_seconds=setup_seconds,
+        solve_seconds=result.seconds,
+        dofs_per_second=solver.dofs / solve_seconds,
+        cycles=result.cycles,
+        final_relative_residual=result.residual_history[-1],
+        work_units=result.work_units,
+        verification_error=err,
+        converged=result.converged,
+    )

@@ -1,0 +1,553 @@
+"""Three-dimensional mini HPGMG-FE — the benchmark's native dimension.
+
+The real HPGMG-FE solves on cubic global grids (the paper's problem sizes
+1.7e3..1.1e9 are 12^3..1024^3 DOF); the 2-D solver in the sibling modules
+is the fast default for the AL experiments, and this module provides the
+full-fidelity 3-D variant: hexahedral Q1/Q2 elements, variable coefficient,
+affine shear, trilinear multigrid transfers and the same Chebyshev-smoothed
+V-cycle/FMG driver.
+
+Everything reuses the dimension-agnostic pieces: reference elements come
+from :func:`repro.hpgmg.fem.reference_element` with ``dim=3``, smoothers and
+the direct coarse solve operate on the generic sparse operator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .fem import reference_element
+from .grid import hierarchy_sizes
+from .operators import AFFINE_SHEAR, OPERATOR_NAMES, DiscreteOperator, Problem
+from .smoothers import chebyshev, damped_jacobi, estimate_lambda_max
+
+__all__ = [
+    "Mesh3",
+    "make_problem3",
+    "assemble3",
+    "load_vector3",
+    "prolong_trilinear",
+    "restrict_transpose3",
+    "MultigridSolver3",
+    "run_benchmark3",
+    "Benchmark3Result",
+    "exact_solution3",
+    "source_term3",
+    "nodal_interior_values3",
+    "discretization_error3",
+]
+
+
+# --------------------------------------------------------------------- meshes
+
+
+@dataclass(frozen=True)
+class Mesh3:
+    """Uniform hexahedral mesh on the unit cube with optional affine shear.
+
+    The shear deforms ``x = xhat + s * yhat`` (y and z unchanged), the 3-D
+    analogue of the 2-D mesh's deformation.
+    """
+
+    ne: int
+    order: int = 1
+    shear: float = 0.0
+    _cache: dict = field(default_factory=dict, compare=False, repr=False, hash=False)
+
+    def __post_init__(self):
+        if self.ne < 1:
+            raise ValueError("ne must be >= 1")
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+
+    @property
+    def nodes_per_side(self) -> int:
+        """Nodes along one edge of the lattice."""
+        return self.order * self.ne + 1
+
+    @property
+    def n_nodes(self) -> int:
+        """Total nodes including boundary."""
+        return self.nodes_per_side**3
+
+    @property
+    def n_interior(self) -> int:
+        """Interior (non-Dirichlet) nodes."""
+        return (self.nodes_per_side - 2) ** 3
+
+    @property
+    def h(self) -> float:
+        """Element edge length in reference coordinates."""
+        return 1.0 / self.ne
+
+    @property
+    def affine_matrix(self) -> np.ndarray:
+        """The global affine deformation matrix."""
+        A = np.eye(3)
+        A[0, 1] = self.shear
+        return A
+
+    @property
+    def jacobian(self) -> np.ndarray:
+        """Constant per-element Jacobian (3x3)."""
+        return self.affine_matrix * self.h
+
+    def node_index(self, ix, iy, iz):
+        """Flatten lattice coordinates to global node ids (z-major)."""
+        n = self.nodes_per_side
+        return (np.asarray(iz) * n + np.asarray(iy)) * n + np.asarray(ix)
+
+    def interior_ids(self) -> np.ndarray:
+        """Global ids of interior nodes, ascending."""
+        key = "interior_ids"
+        if key not in self._cache:
+            n = self.nodes_per_side
+            mask = np.zeros((n, n, n), dtype=bool)
+            mask[1:-1, 1:-1, 1:-1] = True
+            self._cache[key] = np.flatnonzero(mask.ravel())
+        return self._cache[key]
+
+    def reference_node_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Node coordinates in reference space, arrays of shape (n, n, n).
+
+        Axis order matches the z-major flattening: index ``[iz, iy, ix]``.
+        """
+        key = "ref_coords"
+        if key not in self._cache:
+            t = np.linspace(0.0, 1.0, self.nodes_per_side)
+            Z, Y, X = np.meshgrid(t, t, t, indexing="ij")
+            self._cache[key] = (X, Y, Z)
+        return self._cache[key]
+
+    def element_node_ids(self) -> np.ndarray:
+        """Global node ids per element, shape ``(ne^3, n_basis)``."""
+        key = "element_nodes"
+        if key not in self._cache:
+            ref = reference_element(self.order, 3)
+            e = np.arange(self.ne)
+            EZ, EY, EX = np.meshgrid(e, e, e, indexing="ij")
+            bx = (self.order * EX).ravel()[:, None]
+            by = (self.order * EY).ravel()[:, None]
+            bz = (self.order * EZ).ravel()[:, None]
+            off = ref.local_offsets  # (nb, 3): (i, j, k)
+            ids = self.node_index(
+                bx + off[None, :, 0], by + off[None, :, 1], bz + off[None, :, 2]
+            )
+            self._cache[key] = ids
+        return self._cache[key]
+
+    def element_centers(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference-space element centers, flattened z-major."""
+        c = (np.arange(self.ne) + 0.5) * self.h
+        CZ, CY, CX = np.meshgrid(c, c, c, indexing="ij")
+        return CX.ravel(), CY.ravel(), CZ.ravel()
+
+
+# ------------------------------------------------------------------- problems
+
+
+def _kappa3_constant(x, y, z):
+    return np.ones_like(x)
+
+
+def _kappa3_smooth(x, y, z):
+    """Smooth strictly positive coefficient in [0.4, 2.6]."""
+    return 1.5 + np.sin(2 * np.pi * x) * np.cos(np.pi * y) * np.cos(np.pi * z)
+
+
+@dataclass(frozen=True)
+class Problem3:
+    """A 3-D operator flavour (mirrors :class:`repro.hpgmg.operators.Problem`)."""
+
+    name: str
+    order: int
+    shear: float
+    kappa: Callable
+
+    def mesh(self, ne: int) -> Mesh3:
+        """The mesh this problem uses at ``ne`` elements per side."""
+        return Mesh3(ne=ne, order=self.order, shear=self.shear)
+
+
+def make_problem3(name: str) -> Problem3:
+    """The three HPGMG-FE operator flavours, 3-D editions."""
+    if name == "poisson1":
+        return Problem3(name, order=1, shear=0.0, kappa=_kappa3_constant)
+    if name == "poisson2":
+        return Problem3(name, order=2, shear=0.0, kappa=_kappa3_smooth)
+    if name == "poisson2affine":
+        return Problem3(name, order=2, shear=AFFINE_SHEAR, kappa=_kappa3_smooth)
+    raise ValueError(f"unknown operator {name!r}; expected one of {OPERATOR_NAMES}")
+
+
+# ------------------------------------------------------------------- assembly
+
+
+@dataclass
+class DiscreteOperator3:
+    """Assembled 3-D stiffness operator on one mesh level."""
+
+    problem: Problem3
+    mesh: Mesh3
+    A: sp.csr_matrix
+    diag: np.ndarray
+    apply_count: int = 0
+
+    @property
+    def n(self) -> int:
+        """Number of interior unknowns."""
+        return self.A.shape[0]
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        """Matrix-vector product (counted for work accounting)."""
+        self.apply_count += 1
+        return self.A @ u
+
+    def residual(self, u: np.ndarray, f: np.ndarray) -> np.ndarray:
+        """``f - A u``."""
+        return f - self.apply(u)
+
+
+def assemble3(problem: Problem3, mesh: Mesh3) -> DiscreteOperator3:
+    """Assemble the interior 3-D stiffness matrix (vectorized over elements)."""
+    if mesh.order != problem.order:
+        raise ValueError(
+            f"mesh order {mesh.order} does not match problem order {problem.order}"
+        )
+    ref = reference_element(problem.order, 3)
+    J = mesh.jacobian
+    detJ = float(np.linalg.det(J))
+    if detJ <= 0:
+        raise ValueError("mesh Jacobian must have positive determinant")
+    Jinv = np.linalg.inv(J)
+    geo = detJ * (Jinv @ Jinv.T)
+    cx, cy, cz = mesh.element_centers()
+    kappa = problem.kappa(cx, cy, cz)
+    if np.any(kappa <= 0):
+        raise ValueError("coefficient field must be strictly positive")
+    G = kappa[:, None, None] * geo[None, :, :]
+    Ke = np.einsum("eab,abij->eij", G, ref.stiffness)
+
+    conn = mesh.element_node_ids()
+    nb = ref.n_basis
+    rows = np.repeat(conn, nb, axis=1).ravel()
+    cols = np.tile(conn, (1, nb)).ravel()
+    A_full = sp.coo_matrix(
+        (Ke.ravel(), (rows, cols)), shape=(mesh.n_nodes, mesh.n_nodes)
+    ).tocsr()
+    interior = mesh.interior_ids()
+    A = A_full[interior][:, interior].tocsr()
+    A.sum_duplicates()
+    return DiscreteOperator3(problem=problem, mesh=mesh, A=A, diag=A.diagonal())
+
+
+def load_vector3(problem: Problem3, mesh: Mesh3, f: Callable) -> np.ndarray:
+    """Consistent FE load vector for source ``f(x, y, z)`` (reference coords)."""
+    ref = reference_element(problem.order, 3)
+    detJ = float(np.linalg.det(mesh.jacobian))
+    c = np.arange(mesh.ne) * mesh.h
+    CZ, CY, CX = np.meshgrid(c, c, c, indexing="ij")
+    ex = CX.ravel()[:, None] + ref.quad_points[None, :, 0] * mesh.h
+    ey = CY.ravel()[:, None] + ref.quad_points[None, :, 1] * mesh.h
+    ez = CZ.ravel()[:, None] + ref.quad_points[None, :, 2] * mesh.h
+    fq = f(ex, ey, ez)
+    be = detJ * (fq * ref.quad_weights[None, :]) @ ref.basis_at_quad.T
+    conn = mesh.element_node_ids()
+    b_full = np.zeros(mesh.n_nodes)
+    np.add.at(b_full, conn.ravel(), be.ravel())
+    return b_full[mesh.interior_ids()]
+
+
+# ------------------------------------------------------------------ transfers
+
+
+def _embed3(u_int: np.ndarray, n: int) -> np.ndarray:
+    full = np.zeros((n, n, n))
+    full[1:-1, 1:-1, 1:-1] = u_int.reshape(n - 2, n - 2, n - 2)
+    return full
+
+
+def _extract3(full: np.ndarray) -> np.ndarray:
+    return full[1:-1, 1:-1, 1:-1].ravel()
+
+
+def prolong_trilinear(coarse: np.ndarray) -> np.ndarray:
+    """Trilinear interpolation from ``m^3`` to ``(2m-1)^3`` lattices."""
+    m = coarse.shape[0]
+    if coarse.shape != (m, m, m) or m < 2:
+        raise ValueError(f"expected a cubic lattice of side >= 2, got {coarse.shape}")
+    n = 2 * (m - 1) + 1
+    fine = np.zeros((n, n, n))
+    # Interpolate axis by axis: exact for trilinear functions.
+    a = np.zeros((n, m, m))
+    a[::2] = coarse
+    a[1::2] = 0.5 * (coarse[:-1] + coarse[1:])
+    b = np.zeros((n, n, m))
+    b[:, ::2] = a
+    b[:, 1::2] = 0.5 * (a[:, :-1] + a[:, 1:])
+    fine[:, :, ::2] = b
+    fine[:, :, 1::2] = 0.5 * (b[:, :, :-1] + b[:, :, 1:])
+    return fine
+
+
+def restrict_transpose3(fine: np.ndarray) -> np.ndarray:
+    """Transpose of trilinear prolongation, rim held at zero (Dirichlet)."""
+    n = fine.shape[0]
+    if fine.shape != (n, n, n) or n < 3 or n % 2 == 0:
+        raise ValueError(f"expected an odd cubic lattice of side >= 3, got {fine.shape}")
+    m = (n + 1) // 2
+    # Adjoint of the axis-by-axis interpolation above, applied in reverse.
+    b = fine.copy()
+    c = np.zeros((n, n, m))
+    c[:, :, 1:-1] = (
+        b[:, :, 2:-2:2]
+        + 0.5 * (b[:, :, 1:-2:2] + b[:, :, 3::2])
+    )
+    a = np.zeros((n, m, m))
+    a[:, 1:-1] = c[:, 2:-2:2] + 0.5 * (c[:, 1:-2:2] + c[:, 3::2])
+    coarse = np.zeros((m, m, m))
+    coarse[1:-1] = a[2:-2:2] + 0.5 * (a[1:-2:2] + a[3::2])
+    return coarse
+
+
+# --------------------------------------------------------------- manufactured
+
+
+def exact_solution3(x, y, z):
+    """Manufactured 3-D solution (reference coordinates, zero on boundary)."""
+    return np.sin(np.pi * x) * np.sin(np.pi * y) * np.sin(np.pi * z)
+
+
+def _u3_grad(x, y, z):
+    pi = np.pi
+    sx, sy, sz = np.sin(pi * x), np.sin(pi * y), np.sin(pi * z)
+    cx, cy, cz = np.cos(pi * x), np.cos(pi * y), np.cos(pi * z)
+    return pi * cx * sy * sz, pi * sx * cy * sz, pi * sx * sy * cz
+
+
+def _u3_hess(x, y, z):
+    pi = np.pi
+    sx, sy, sz = np.sin(pi * x), np.sin(pi * y), np.sin(pi * z)
+    cx, cy, cz = np.cos(pi * x), np.cos(pi * y), np.cos(pi * z)
+    p2 = pi**2
+    H = np.empty((3, 3) + np.shape(x))
+    H[0, 0] = -p2 * sx * sy * sz
+    H[1, 1] = -p2 * sx * sy * sz
+    H[2, 2] = -p2 * sx * sy * sz
+    H[0, 1] = H[1, 0] = p2 * cx * cy * sz
+    H[0, 2] = H[2, 0] = p2 * cx * sy * cz
+    H[1, 2] = H[2, 1] = p2 * sx * cy * cz
+    return H
+
+
+def _kappa3_and_grad(problem: Problem3, x, y, z):
+    if problem.name == "poisson1":
+        one = np.ones_like(x)
+        zero = np.zeros_like(x)
+        return one, (zero, zero, zero)
+    pi = np.pi
+    s2x, c2x = np.sin(2 * pi * x), np.cos(2 * pi * x)
+    cy, sy = np.cos(pi * y), np.sin(pi * y)
+    cz, sz = np.cos(pi * z), np.sin(pi * z)
+    k = 1.5 + s2x * cy * cz
+    return k, (2 * pi * c2x * cy * cz, -pi * s2x * sy * cz, -pi * s2x * cy * sz)
+
+
+def source_term3(problem: Problem3) -> Callable:
+    """Source whose exact solution is :func:`exact_solution3` (3-D pullback)."""
+    B = np.linalg.inv(problem.mesh(1).affine_matrix)
+    M = B @ B.T
+
+    def f(x, y, z):
+        k, kgrad = _kappa3_and_grad(problem, x, y, z)
+        ugrad = _u3_grad(x, y, z)
+        H = _u3_hess(x, y, z)
+        total = np.zeros_like(np.asarray(x), dtype=float)
+        for b in range(3):
+            for c in range(3):
+                total += M[b, c] * (kgrad[b] * ugrad[c] + k * H[b, c])
+        return -total
+
+    return f
+
+
+def nodal_interior_values3(mesh: Mesh3, func: Callable) -> np.ndarray:
+    """Evaluate ``func`` at the mesh's interior nodes (reference coords)."""
+    X, Y, Z = mesh.reference_node_coords()
+    return func(X, Y, Z).ravel()[mesh.interior_ids()]
+
+
+def discretization_error3(problem: Problem3, u_num: np.ndarray, mesh: Mesh3) -> float:
+    """Max-norm nodal error against the manufactured 3-D solution."""
+    u_exact = nodal_interior_values3(mesh, exact_solution3)
+    if u_num.shape != u_exact.shape:
+        raise ValueError(
+            f"solution shape {u_num.shape} does not match mesh interior "
+            f"{u_exact.shape}"
+        )
+    return float(np.max(np.abs(u_num - u_exact)))
+
+
+# --------------------------------------------------------------------- solver
+
+
+class MultigridSolver3:
+    """Geometric multigrid for the 3-D problems (same driver shape as 2-D)."""
+
+    def __init__(
+        self,
+        problem: Problem3,
+        ne: int,
+        *,
+        ne_coarsest: int = 2,
+        smoother: str = "chebyshev",
+        pre_smooth: int = 3,
+        post_smooth: int = 3,
+        rng=None,
+    ):
+        if smoother not in ("chebyshev", "jacobi"):
+            raise ValueError(f"unknown smoother {smoother!r}")
+        self.problem = problem
+        self.smoother = smoother
+        self.pre_smooth = int(pre_smooth)
+        self.post_smooth = int(post_smooth)
+        rng = np.random.default_rng(rng)
+        self.levels: list[DiscreteOperator3] = [
+            assemble3(problem, problem.mesh(size))
+            for size in hierarchy_sizes(ne, ne_coarsest=ne_coarsest)
+        ]
+        self._lambda_max = [estimate_lambda_max(op, rng=rng) for op in self.levels]
+        self._coarse_lu = spla.splu(self.levels[-1].A.tocsc())
+
+    @property
+    def n_levels(self) -> int:
+        """Number of multigrid levels."""
+        return len(self.levels)
+
+    @property
+    def dofs(self) -> int:
+        """Interior unknowns on the finest level."""
+        return self.levels[0].n
+
+    def _smooth(self, level, u, f, amount):
+        op = self.levels[level]
+        if self.smoother == "chebyshev":
+            return chebyshev(op, u, f, degree=amount, lambda_max=self._lambda_max[level])
+        return damped_jacobi(op, u, f, iterations=amount)
+
+    def _restrict(self, level, r):
+        n = self.levels[level].mesh.nodes_per_side
+        return _extract3(restrict_transpose3(_embed3(r, n)))
+
+    def _prolong(self, level, e_coarse):
+        m = self.levels[level + 1].mesh.nodes_per_side
+        return _extract3(prolong_trilinear(_embed3(e_coarse, m)))
+
+    def vcycle(self, f, u=None, *, level: int = 0):
+        """One V-cycle starting at ``level``."""
+        op = self.levels[level]
+        if u is None:
+            u = np.zeros(op.n)
+        if level == self.n_levels - 1:
+            return self._coarse_lu.solve(f)
+        u = self._smooth(level, u, f, self.pre_smooth)
+        r_coarse = self._restrict(level, op.residual(u, f))
+        e_coarse = self.vcycle(r_coarse, level=level + 1)
+        u = u + self._prolong(level, e_coarse)
+        return self._smooth(level, u, f, self.post_smooth)
+
+    def fmg(self, f):
+        """Full multigrid: coarse solve, then prolong + V-cycle per level."""
+        fs = [f]
+        for level in range(self.n_levels - 1):
+            fs.append(self._restrict(level, fs[-1]))
+        u = self._coarse_lu.solve(fs[-1])
+        for level in range(self.n_levels - 2, -1, -1):
+            u = self._prolong(level, u)
+            u = self.vcycle(fs[level], u, level=level)
+        return u
+
+    def work_units(self) -> float:
+        """Fine-grid-equivalent operator applications so far."""
+        n0 = self.levels[0].n
+        return float(sum(op.apply_count * op.n / n0 for op in self.levels))
+
+    def solve(self, f, *, rtol: float = 1e-8, max_cycles: int = 30, use_fmg: bool = True):
+        """Solve ``A u = f`` to relative residual ``rtol`` (FMG + V-cycles)."""
+        from .multigrid import SolveResult
+
+        f = np.asarray(f, dtype=float)
+        if f.shape != (self.dofs,):
+            raise ValueError(f"f has shape {f.shape}, expected ({self.dofs},)")
+        start_work = self.work_units()
+        t0 = time.perf_counter()
+        fine = self.levels[0]
+        f_norm = float(np.linalg.norm(f))
+        if f_norm == 0.0:
+            return SolveResult(
+                u=np.zeros(self.dofs), residual_history=[0.0], cycles=0,
+                converged=True, work_units=0.0, seconds=time.perf_counter() - t0,
+            )
+        u = self.fmg(f) if use_fmg else np.zeros(self.dofs)
+        history = [float(np.linalg.norm(fine.residual(u, f))) / f_norm]
+        cycles = 0
+        while history[-1] > rtol and cycles < max_cycles:
+            u = self.vcycle(f, u)
+            history.append(float(np.linalg.norm(fine.residual(u, f))) / f_norm)
+            cycles += 1
+        return SolveResult(
+            u=u, residual_history=history, cycles=cycles,
+            converged=history[-1] <= rtol,
+            work_units=self.work_units() - start_work,
+            seconds=time.perf_counter() - t0,
+        )
+
+
+# ------------------------------------------------------------------ benchmark
+
+
+@dataclass(frozen=True)
+class Benchmark3Result:
+    """One 3-D benchmark execution (same figure of merit as 2-D)."""
+
+    operator: str
+    ne: int
+    dofs: int
+    solve_seconds: float
+    dofs_per_second: float
+    cycles: int
+    final_relative_residual: float
+    work_units: float
+    verification_error: float
+    converged: bool
+
+
+def run_benchmark3(
+    operator: str, ne: int, *, rtol: float = 1e-8, rng=None
+) -> Benchmark3Result:
+    """Run one 3-D mini-HPGMG-FE configuration end to end."""
+    problem = make_problem3(operator)
+    solver = MultigridSolver3(problem, ne, rng=rng)
+    mesh = solver.levels[0].mesh
+    f = load_vector3(problem, mesh, source_term3(problem))
+    result = solver.solve(f, rtol=rtol)
+    err = discretization_error3(problem, result.u, mesh)
+    seconds = max(result.seconds, 1e-12)
+    return Benchmark3Result(
+        operator=operator,
+        ne=ne,
+        dofs=solver.dofs,
+        solve_seconds=result.seconds,
+        dofs_per_second=solver.dofs / seconds,
+        cycles=result.cycles,
+        final_relative_residual=result.residual_history[-1],
+        work_units=result.work_units,
+        verification_error=err,
+        converged=result.converged,
+    )

@@ -1,0 +1,162 @@
+"""Tensor-product Lagrange finite elements on the reference hypercube.
+
+The real HPGMG-FE discretizes elliptic problems with Q1/Q2 finite elements
+in three dimensions; this module provides the reference-element machinery
+for our mini version in *any* dimension (2-D for the fast default solver,
+3-D for the full-fidelity variant in :mod:`repro.hpgmg.dim3`): 1-D Lagrange
+shape functions on [0, 1], their tensor products, Gauss quadrature, and the
+precomputed *reference stiffness tensors*
+
+    R[a, b, i, j] = sum_q w_q  d_a phi_i(q) d_b phi_j(q)
+
+so that for an element with constant geometric/coefficient tensor ``G``
+(``dim x dim``, from coefficient value, Jacobian determinant and inverse),
+the element stiffness matrix is the contraction ``K_e = G[a,b] R[a,b]``.
+Because the mesh mapping is affine and the coefficient is sampled per
+element, this contraction is exact and whole-mesh assembly vectorizes over
+elements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["ReferenceElement", "reference_element", "gauss_rule"]
+
+
+def gauss_rule(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss-Legendre points/weights on [0, 1].
+
+    Exact for polynomials of degree ``2n - 1``.
+    """
+    if n < 1:
+        raise ValueError("need at least one quadrature point")
+    pts, wts = np.polynomial.legendre.leggauss(n)
+    return 0.5 * (pts + 1.0), 0.5 * wts
+
+
+def _lagrange_1d(order: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Values and derivatives of 1-D Lagrange basis of given order at ``x``.
+
+    Nodes are equispaced on [0, 1] (2 nodes for Q1, 3 for Q2, ...).
+    Returns ``(vals, derivs)`` each of shape ``(order + 1, len(x))``.
+    """
+    nodes = np.linspace(0.0, 1.0, order + 1)
+    n = order + 1
+    x = np.atleast_1d(np.asarray(x, dtype=float))
+    vals = np.ones((n, x.size))
+    for i in range(n):
+        for m in range(n):
+            if m != i:
+                vals[i] *= (x - nodes[m]) / (nodes[i] - nodes[m])
+    derivs = np.zeros((n, x.size))
+    for i in range(n):
+        for k in range(n):
+            if k == i:
+                continue
+            term = np.full(x.size, 1.0 / (nodes[i] - nodes[k]))
+            for m in range(n):
+                if m != i and m != k:
+                    term *= (x - nodes[m]) / (nodes[i] - nodes[m])
+            derivs[i] += term
+    return vals, derivs
+
+
+@dataclass(frozen=True)
+class ReferenceElement:
+    """Precomputed reference-hypercube data for a Q``order`` element.
+
+    Attributes
+    ----------
+    order:
+        Polynomial order (1 = Q1 multilinear, 2 = Q2 multiquadratic).
+    dim:
+        Spatial dimension (2 or 3 in this package; any ``>= 1`` works).
+    n_basis:
+        ``(order + 1)**dim`` local basis functions, ordered last-axis-major
+        (node ``(i, j, k)`` -> index ``(k * n1 + j) * n1 + i`` in 3-D).
+    stiffness:
+        Reference stiffness tensors ``R`` of shape ``(dim, dim, n_basis,
+        n_basis)`` as defined in the module docstring.
+    mass:
+        Reference mass matrix ``M[i, j] = sum_q w_q phi_i phi_j`` (unit
+        Jacobian), shape ``(n_basis, n_basis)``.
+    quad_points / quad_weights:
+        Tensor quadrature on the reference cube, shapes ``(nq, dim)``/``(nq,)``.
+    basis_at_quad:
+        ``phi_i`` at quadrature points, shape ``(n_basis, nq)``.
+    local_offsets:
+        ``(n_basis, dim)`` integer offsets of local nodes on the global
+        node lattice (spacing = element span / order).
+    """
+
+    order: int
+    dim: int
+    n_basis: int
+    stiffness: np.ndarray
+    mass: np.ndarray
+    quad_points: np.ndarray
+    quad_weights: np.ndarray
+    basis_at_quad: np.ndarray
+    local_offsets: np.ndarray
+
+
+@lru_cache(maxsize=8)
+def reference_element(order: int, dim: int = 2) -> ReferenceElement:
+    """Build (and cache) the reference Q``order`` element in ``dim`` dimensions."""
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    nq1 = order + 1  # exact for the bilinear-form integrands of affine maps
+    q1, w1 = gauss_rule(nq1)
+    vals, ders = _lagrange_1d(order, q1)  # (n1, nq1)
+    n1 = order + 1
+    n_basis = n1**dim
+    nq = nq1**dim
+
+    # Multi-indices, last axis major: local index = sum_d idx[d] * n1**d.
+    basis_idx = list(itertools.product(range(n1), repeat=dim))
+    basis_idx = [tuple(reversed(t)) for t in basis_idx]
+    basis_idx.sort(key=lambda t: sum(c * n1**d for d, c in enumerate(t)))
+    quad_idx = list(itertools.product(range(nq1), repeat=dim))
+    quad_idx = [tuple(reversed(t)) for t in quad_idx]
+    quad_idx.sort(key=lambda t: sum(c * nq1**d for d, c in enumerate(t)))
+
+    phi = np.zeros((n_basis, nq))
+    dphi = np.zeros((dim, n_basis, nq))
+    qpts = np.zeros((nq, dim))
+    qwts = np.zeros(nq)
+    for q, qmi in enumerate(quad_idx):
+        qpts[q] = [q1[a] for a in qmi]
+        qwts[q] = np.prod([w1[a] for a in qmi])
+        for k, bmi in enumerate(basis_idx):
+            value = 1.0
+            for d in range(dim):
+                value *= vals[bmi[d], qmi[d]]
+            phi[k, q] = value
+            for grad_d in range(dim):
+                g = 1.0
+                for d in range(dim):
+                    factor = ders if d == grad_d else vals
+                    g *= factor[bmi[d], qmi[d]]
+                dphi[grad_d, k, q] = g
+
+    stiffness = np.einsum("q,aiq,bjq->abij", qwts, dphi, dphi)
+    mass = np.einsum("q,iq,jq->ij", qwts, phi, phi)
+    offsets = np.asarray(basis_idx, dtype=np.int64)
+    return ReferenceElement(
+        order=order,
+        dim=dim,
+        n_basis=n_basis,
+        stiffness=stiffness,
+        mass=mass,
+        quad_points=qpts,
+        quad_weights=qwts,
+        basis_at_quad=phi,
+        local_offsets=offsets,
+    )

@@ -1,0 +1,104 @@
+"""Galerkin (RAP) coarse-grid operators.
+
+The default multigrid hierarchy *rediscretizes* each coarse level (like
+HPGMG itself, whose geometric structure makes rediscretization natural).
+The algebraic alternative builds the coarse operator variationally,
+
+    A_H = P^T A_h P,
+
+from the prolongation ``P``.  For nested Q1 finite-element spaces on these
+meshes the two coincide **exactly** when the coefficient is constant — a
+classical identity that doubles as a strong cross-check of the assembly,
+transfer and hierarchy code (see ``tests/hpgmg/test_galerkin.py``).  With a
+variable coefficient the Galerkin operator is the more faithful coarse
+model (rediscretization samples the coefficient anew at coarse element
+centers), which shows up as slightly fewer V-cycles on the rough-
+coefficient flavours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .grid import Mesh, coarsen
+from .multigrid import MultigridSolver
+from .operators import DiscreteOperator, Problem
+
+__all__ = ["prolongation_matrix", "galerkin_coarse", "GalerkinMultigridSolver"]
+
+
+def prolongation_matrix(fine: Mesh, coarse: Mesh) -> sp.csr_matrix:
+    """Sparse bilinear prolongation between interior node sets.
+
+    Rows: fine interior nodes; columns: coarse interior nodes.  Matches
+    :func:`repro.hpgmg.transfer.prolong_bilinear` restricted to interior
+    unknowns (boundary values are zero under the Dirichlet condition).
+    """
+    nf = fine.nodes_per_side
+    nc = coarse.nodes_per_side
+    if nf != 2 * (nc - 1) + 1:
+        raise ValueError(
+            f"meshes are not a 2:1 lattice pair: fine {nf}, coarse {nc}"
+        )
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    interior_f = {int(g): i for i, g in enumerate(fine.interior_ids())}
+    interior_c = {int(g): i for i, g in enumerate(coarse.interior_ids())}
+
+    for (gc, col) in interior_c.items():
+        cy, cx = divmod(gc, nc)
+        fx, fy = 2 * cx, 2 * cy
+        # Bilinear hat: weights over the 3x3 fine neighbourhood.
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                x, y = fx + dx, fy + dy
+                if not (0 <= x < nf and 0 <= y < nf):
+                    continue
+                gf = y * nf + x
+                row = interior_f.get(gf)
+                if row is None:
+                    continue
+                weight = (1.0 if dx == 0 else 0.5) * (1.0 if dy == 0 else 0.5)
+                rows.append(row)
+                cols.append(col)
+                vals.append(weight)
+    return sp.csr_matrix(
+        (vals, (rows, cols)),
+        shape=(len(interior_f), len(interior_c)),
+    )
+
+
+def galerkin_coarse(op: DiscreteOperator) -> DiscreteOperator:
+    """The variational coarse operator ``P^T A P`` for one level."""
+    coarse_mesh = coarsen(op.mesh)
+    P = prolongation_matrix(op.mesh, coarse_mesh)
+    A_c = (P.T @ op.A @ P).tocsr()
+    A_c.sum_duplicates()
+    return DiscreteOperator(
+        problem=op.problem, mesh=coarse_mesh, A=A_c, diag=A_c.diagonal()
+    )
+
+
+class GalerkinMultigridSolver(MultigridSolver):
+    """Multigrid with Galerkin (RAP) coarse operators.
+
+    Identical to :class:`MultigridSolver` except every level below the
+    finest is built variationally from the level above.
+    """
+
+    def __init__(self, problem: Problem, ne: int, **kwargs):
+        super().__init__(problem, ne, **kwargs)
+        # Rebuild the hierarchy variationally (the base constructor made
+        # rediscretized levels; replace all but the finest).
+        from .smoothers import estimate_lambda_max
+        import scipy.sparse.linalg as spla
+
+        rng = np.random.default_rng(kwargs.get("rng"))
+        levels = [self.levels[0]]
+        while levels[-1].mesh.ne > self.levels[-1].mesh.ne:
+            levels.append(galerkin_coarse(levels[-1]))
+        self.levels = levels
+        self._lambda_max = [estimate_lambda_max(op, rng=rng) for op in self.levels]
+        self._coarse_lu = spla.splu(self.levels[-1].A.tocsc())

@@ -1,0 +1,188 @@
+"""Structured meshes for the mini HPGMG-FE benchmark.
+
+A :class:`Mesh` is a logically rectangular grid of quadrilateral elements on
+the unit square, optionally deformed by an affine shear (the ``affine``
+flavour of the HPGMG-FE ``poisson2affine`` operator).  Because the map is
+affine, every element shares the same constant Jacobian, which keeps the
+finite-element assembly exact with low-order quadrature and lets the whole
+operator be assembled with vectorized NumPy (see :mod:`repro.hpgmg.fem`).
+
+Node lattices: a mesh with ``ne x ne`` elements of order ``p`` carries a
+``(p*ne + 1) x (p*ne + 1)`` node lattice.  Q2 meshes therefore share node
+lattices with twice-refined Q1 meshes, which is what makes plain geometric
+multigrid transfers applicable to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Mesh", "coarsen", "hierarchy_sizes"]
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """Uniform quad mesh on the unit square with optional affine shear.
+
+    Parameters
+    ----------
+    ne:
+        Number of elements per side (must be >= 1).
+    order:
+        Element polynomial order (1 or 2 in this mini benchmark).
+    shear:
+        Affine deformation parameter ``s``: physical coordinates are
+        ``x = xhat + s * yhat, y = yhat``.  ``s = 0`` is the identity map.
+    """
+
+    ne: int
+    order: int = 1
+    shear: float = 0.0
+    _cache: dict = field(default_factory=dict, compare=False, repr=False, hash=False)
+
+    def __post_init__(self):
+        if self.ne < 1:
+            raise ValueError("ne must be >= 1")
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+
+    # --- lattice geometry -----------------------------------------------------
+
+    @property
+    def nodes_per_side(self) -> int:
+        """Number of nodes along one side of the lattice."""
+        return self.order * self.ne + 1
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes (including boundary)."""
+        return self.nodes_per_side**2
+
+    @property
+    def n_interior(self) -> int:
+        """Number of interior (non-Dirichlet) nodes."""
+        return (self.nodes_per_side - 2) ** 2
+
+    @property
+    def h(self) -> float:
+        """Element edge length in reference coordinates."""
+        return 1.0 / self.ne
+
+    @property
+    def jacobian(self) -> np.ndarray:
+        """Constant per-element Jacobian dx/dxi of the element map (2x2).
+
+        The element map is ``x = A @ (xhat0 + h * xi)`` with
+        ``A = [[1, shear], [0, 1]]``, so ``J = A * h``.
+        """
+        A = np.array([[1.0, self.shear], [0.0, 1.0]])
+        return A * self.h
+
+    @property
+    def affine_matrix(self) -> np.ndarray:
+        """The global affine deformation matrix ``A``."""
+        return np.array([[1.0, self.shear], [0.0, 1.0]])
+
+    def reference_node_coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Node coordinates in reference (unit-square) space.
+
+        Returns ``(Xhat, Yhat)`` arrays of shape ``(n, n)`` with
+        ``n = nodes_per_side``, y-major (row index is the y node index).
+        """
+        key = "ref_coords"
+        if key not in self._cache:
+            t = np.linspace(0.0, 1.0, self.nodes_per_side)
+            Yhat, Xhat = np.meshgrid(t, t, indexing="ij")
+            self._cache[key] = (Xhat, Yhat)
+        return self._cache[key]
+
+    def physical_node_coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Node coordinates in physical (deformed) space."""
+        Xhat, Yhat = self.reference_node_coords()
+        return Xhat + self.shear * Yhat, Yhat
+
+    # --- indexing ---------------------------------------------------------------
+
+    def node_index(self, ix, iy):
+        """Flatten lattice coordinates ``(ix, iy)`` to global node ids (y-major)."""
+        return np.asarray(iy) * self.nodes_per_side + np.asarray(ix)
+
+    def interior_mask(self) -> np.ndarray:
+        """Boolean mask of interior nodes over the flattened lattice."""
+        key = "interior_mask"
+        if key not in self._cache:
+            n = self.nodes_per_side
+            mask = np.zeros((n, n), dtype=bool)
+            mask[1:-1, 1:-1] = True
+            self._cache[key] = mask.ravel()
+        return self._cache[key]
+
+    def interior_ids(self) -> np.ndarray:
+        """Global ids of interior nodes, ascending."""
+        key = "interior_ids"
+        if key not in self._cache:
+            self._cache[key] = np.flatnonzero(self.interior_mask())
+        return self._cache[key]
+
+    def element_node_ids(self) -> np.ndarray:
+        """Global node ids per element, shape ``(ne*ne, n_basis)``.
+
+        Element ``(ex, ey)`` (flattened y-major) owns the lattice block
+        starting at ``(order*ex, order*ey)``; local ordering matches
+        :attr:`repro.hpgmg.fem.ReferenceElement.local_offsets`.
+        """
+        key = "element_nodes"
+        if key not in self._cache:
+            from .fem import reference_element
+
+            ref = reference_element(self.order)
+            ex = np.arange(self.ne)
+            ey = np.arange(self.ne)
+            EY, EX = np.meshgrid(ey, ex, indexing="ij")
+            base_x = (self.order * EX).ravel()  # (n_elem,)
+            base_y = (self.order * EY).ravel()
+            off = ref.local_offsets  # (n_basis, 2)
+            ids = self.node_index(
+                base_x[:, None] + off[None, :, 0],
+                base_y[:, None] + off[None, :, 1],
+            )
+            self._cache[key] = ids
+        return self._cache[key]
+
+    def element_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reference-space centers of all elements, flattened y-major."""
+        c = (np.arange(self.ne) + 0.5) * self.h
+        CY, CX = np.meshgrid(c, c, indexing="ij")
+        return CX.ravel(), CY.ravel()
+
+
+def coarsen(mesh: Mesh) -> Mesh:
+    """The next-coarser mesh: halve the element count, keep order and shear."""
+    if mesh.ne % 2 != 0 or mesh.ne < 2:
+        raise ValueError(f"cannot coarsen a mesh with ne={mesh.ne}")
+    return Mesh(ne=mesh.ne // 2, order=mesh.order, shear=mesh.shear)
+
+
+def hierarchy_sizes(ne_fine: int, *, ne_coarsest: int = 2) -> list[int]:
+    """Element counts from fine to coarse for a multigrid hierarchy.
+
+    ``ne_fine`` must be ``ne_coarsest * 2**k`` for some ``k >= 0``.
+    """
+    if ne_coarsest < 1:
+        raise ValueError("ne_coarsest must be >= 1")
+    sizes = [ne_fine]
+    ne = ne_fine
+    while ne > ne_coarsest:
+        if ne % 2 != 0:
+            raise ValueError(
+                f"ne_fine={ne_fine} is not ne_coarsest={ne_coarsest} times a power of two"
+            )
+        ne //= 2
+        sizes.append(ne)
+    if ne != ne_coarsest:
+        raise ValueError(
+            f"ne_fine={ne_fine} is smaller than ne_coarsest={ne_coarsest}"
+        )
+    return sizes

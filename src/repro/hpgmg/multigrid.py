@@ -1,0 +1,219 @@
+"""Geometric multigrid (V-cycle and Full Multigrid) for the mini HPGMG-FE.
+
+Mirrors the structure of HPGMG-FE's solver: rediscretized coarse operators,
+Chebyshev(-Jacobi) smoothing, bilinear transfer, a direct solve on the
+coarsest level, and an FMG (F-cycle) driver followed by V-cycles to a target
+relative residual.  Work is accounted in *work units* (operator applications
+weighted by level size) so benchmark cost is hardware-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from .grid import hierarchy_sizes
+from .operators import DiscreteOperator, Problem, assemble
+from .smoothers import chebyshev, damped_jacobi, estimate_lambda_max
+from .transfer import (
+    embed_interior,
+    extract_interior,
+    prolong_bilinear,
+    restrict_full_weighting,
+)
+
+__all__ = ["MultigridSolver", "SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a multigrid solve.
+
+    Attributes
+    ----------
+    u:
+        Solution on interior nodes of the finest mesh.
+    residual_history:
+        Relative residual ``||f - A u|| / ||f||`` after FMG and after each
+        V-cycle (index 0 is post-FMG).
+    cycles:
+        Number of V-cycles performed after FMG.
+    converged:
+        Whether the target tolerance was reached.
+    work_units:
+        Total fine-grid-equivalent operator applications.
+    seconds:
+        Wall-clock time of the solve.
+    """
+
+    u: np.ndarray
+    residual_history: list[float]
+    cycles: int
+    converged: bool
+    work_units: float
+    seconds: float
+
+
+class MultigridSolver:
+    """Geometric multigrid hierarchy for one :class:`Problem` flavour.
+
+    Parameters
+    ----------
+    problem:
+        Operator flavour (from :func:`repro.hpgmg.operators.make_problem`).
+    ne:
+        Elements per side on the finest mesh; must be ``ne_coarsest * 2**k``.
+    ne_coarsest:
+        Elements per side on the coarsest level (direct solve there).
+    smoother:
+        ``"chebyshev"`` (default, as in HPGMG) or ``"jacobi"``.
+    pre_smooth / post_smooth:
+        Smoothing applications before/after the coarse-grid correction
+        (Chebyshev degree, or Jacobi sweep count).
+    rng:
+        Seed for the power-iteration eigenvalue estimates.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        ne: int,
+        *,
+        ne_coarsest: int = 2,
+        smoother: str = "chebyshev",
+        pre_smooth: int = 3,
+        post_smooth: int = 3,
+        rng=None,
+    ):
+        if smoother not in ("chebyshev", "jacobi"):
+            raise ValueError(f"unknown smoother {smoother!r}")
+        self.problem = problem
+        self.smoother = smoother
+        self.pre_smooth = int(pre_smooth)
+        self.post_smooth = int(post_smooth)
+        rng = np.random.default_rng(rng)
+
+        self.levels: list[DiscreteOperator] = []
+        for size in hierarchy_sizes(ne, ne_coarsest=ne_coarsest):
+            self.levels.append(assemble(problem, problem.mesh(size)))
+        self._lambda_max = [
+            estimate_lambda_max(op, rng=rng) for op in self.levels
+        ]
+        self._coarse_lu = spla.splu(self.levels[-1].A.tocsc())
+
+    @property
+    def n_levels(self) -> int:
+        """Number of multigrid levels (fine to coarsest)."""
+        return len(self.levels)
+
+    @property
+    def dofs(self) -> int:
+        """Interior unknowns on the finest level."""
+        return self.levels[0].n
+
+    # ------------------------------------------------------------------ cycles
+
+    def _smooth(self, level: int, u: np.ndarray, f: np.ndarray, amount: int) -> np.ndarray:
+        op = self.levels[level]
+        if self.smoother == "chebyshev":
+            return chebyshev(
+                op, u, f, degree=amount, lambda_max=self._lambda_max[level]
+            )
+        return damped_jacobi(op, u, f, iterations=amount)
+
+    def _restrict(self, level: int, r: np.ndarray) -> np.ndarray:
+        fine_n = self.levels[level].mesh.nodes_per_side
+        return extract_interior(
+            restrict_full_weighting(embed_interior(r, fine_n))
+        )
+
+    def _prolong(self, level: int, e_coarse: np.ndarray) -> np.ndarray:
+        coarse_n = self.levels[level + 1].mesh.nodes_per_side
+        return extract_interior(
+            prolong_bilinear(embed_interior(e_coarse, coarse_n))
+        )
+
+    def vcycle(self, f: np.ndarray, u: np.ndarray | None = None, *, level: int = 0) -> np.ndarray:
+        """One V-cycle starting at ``level``; returns the improved iterate."""
+        op = self.levels[level]
+        if u is None:
+            u = np.zeros(op.n)
+        if level == self.n_levels - 1:
+            return self._coarse_lu.solve(f)
+        u = self._smooth(level, u, f, self.pre_smooth)
+        r = op.residual(u, f)
+        r_coarse = self._restrict(level, r)
+        e_coarse = self.vcycle(r_coarse, level=level + 1)
+        u = u + self._prolong(level, e_coarse)
+        return self._smooth(level, u, f, self.post_smooth)
+
+    def fmg(self, f: np.ndarray) -> np.ndarray:
+        """Full multigrid: coarse solve, then prolong + one V-cycle per level.
+
+        Requires the full-depth right-hand side; restricts ``f`` down the
+        hierarchy with the transfer operators.
+        """
+        fs = [f]
+        for level in range(self.n_levels - 1):
+            fs.append(self._restrict(level, fs[-1]))
+        u = self._coarse_lu.solve(fs[-1])
+        for level in range(self.n_levels - 2, -1, -1):
+            u = self._prolong(level, u)
+            u = self.vcycle(fs[level], u, level=level)
+        return u
+
+    # ------------------------------------------------------------------- solve
+
+    def work_units(self) -> float:
+        """Operator applications so far, weighted by level size / finest size."""
+        n0 = self.levels[0].n
+        return float(sum(op.apply_count * op.n / n0 for op in self.levels))
+
+    def solve(
+        self,
+        f: np.ndarray,
+        *,
+        rtol: float = 1e-8,
+        max_cycles: int = 30,
+        use_fmg: bool = True,
+    ) -> SolveResult:
+        """Solve ``A u = f`` to relative residual ``rtol``.
+
+        Runs FMG (unless disabled) followed by V-cycles, recording the
+        relative residual after each stage.
+        """
+        f = np.asarray(f, dtype=float)
+        if f.shape != (self.dofs,):
+            raise ValueError(f"f has shape {f.shape}, expected ({self.dofs},)")
+        start_work = self.work_units()
+        t0 = time.perf_counter()
+        fine = self.levels[0]
+        f_norm = float(np.linalg.norm(f))
+        if f_norm == 0.0:
+            return SolveResult(
+                u=np.zeros(self.dofs),
+                residual_history=[0.0],
+                cycles=0,
+                converged=True,
+                work_units=0.0,
+                seconds=time.perf_counter() - t0,
+            )
+
+        u = self.fmg(f) if use_fmg else np.zeros(self.dofs)
+        history = [float(np.linalg.norm(fine.residual(u, f))) / f_norm]
+        cycles = 0
+        while history[-1] > rtol and cycles < max_cycles:
+            u = self.vcycle(f, u)
+            history.append(float(np.linalg.norm(fine.residual(u, f))) / f_norm)
+            cycles += 1
+        return SolveResult(
+            u=u,
+            residual_history=history,
+            cycles=cycles,
+            converged=history[-1] <= rtol,
+            work_units=self.work_units() - start_work,
+            seconds=time.perf_counter() - t0,
+        )

@@ -1,0 +1,202 @@
+"""Elliptic operators of the mini HPGMG-FE benchmark.
+
+The real HPGMG-FE solves constant- and variable-coefficient elliptic
+problems on deformed meshes with Q1/Q2 finite elements.  We reproduce its
+three operator flavours:
+
+``poisson1``
+    Q1 elements, constant coefficient, undeformed mesh.
+``poisson2``
+    Q2 elements, smoothly varying coefficient, undeformed mesh.
+``poisson2affine``
+    Q2 elements, smoothly varying coefficient, affine-sheared mesh.
+
+Each operator assembles a sparse symmetric-positive-definite stiffness
+matrix over the mesh's node lattice (Dirichlet boundary eliminated), plus
+the machinery needed by multigrid: the matrix diagonal, residual/apply
+hooks, and a rediscretization constructor for coarser meshes.
+
+The discrete problem is  ``-div(kappa grad u) = f`` on the (possibly
+sheared) unit square with homogeneous Dirichlet boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from .fem import reference_element
+from .grid import Mesh
+
+__all__ = [
+    "OPERATOR_NAMES",
+    "Problem",
+    "DiscreteOperator",
+    "make_problem",
+    "assemble",
+]
+
+#: Operator flavours, matching the paper's Table I ``Operator`` factor levels.
+OPERATOR_NAMES = ("poisson1", "poisson2", "poisson2affine")
+
+#: Shear used by the affine flavour (any O(1) value exercises the cross terms).
+AFFINE_SHEAR = 0.4
+
+
+def _kappa_constant(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+def _kappa_smooth(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Smooth, strictly positive variable coefficient in [0.5, 2.5]."""
+    return 1.5 + np.sin(2.0 * np.pi * x) * np.cos(np.pi * y)
+
+
+@dataclass(frozen=True)
+class Problem:
+    """An operator flavour: element order, coefficient field, mesh shear.
+
+    ``kappa`` is evaluated in *reference* coordinates (the coefficient field
+    deforms with the mesh, as in HPGMG-FE's mapped problems).
+    """
+
+    name: str
+    order: int
+    shear: float
+    kappa: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def mesh(self, ne: int) -> Mesh:
+        """The mesh this problem uses at ``ne`` elements per side."""
+        return Mesh(ne=ne, order=self.order, shear=self.shear)
+
+
+def make_problem(name: str) -> Problem:
+    """Look up one of the three HPGMG-FE operator flavours by name."""
+    if name == "poisson1":
+        return Problem(name, order=1, shear=0.0, kappa=_kappa_constant)
+    if name == "poisson2":
+        return Problem(name, order=2, shear=0.0, kappa=_kappa_smooth)
+    if name == "poisson2affine":
+        return Problem(name, order=2, shear=AFFINE_SHEAR, kappa=_kappa_smooth)
+    raise ValueError(f"unknown operator {name!r}; expected one of {OPERATOR_NAMES}")
+
+
+@dataclass
+class DiscreteOperator:
+    """Assembled stiffness operator on one mesh level.
+
+    Attributes
+    ----------
+    problem / mesh:
+        The defining problem flavour and mesh.
+    A:
+        Interior-node stiffness matrix (CSR, SPD).
+    diag:
+        ``A.diagonal()``, cached for smoothers.
+    n:
+        Number of interior unknowns.
+    """
+
+    problem: Problem
+    mesh: Mesh
+    A: sp.csr_matrix
+    diag: np.ndarray
+
+    #: stencil applications performed through this operator (work accounting)
+    apply_count: int = 0
+
+    @property
+    def n(self) -> int:
+        """Number of interior unknowns."""
+        return self.A.shape[0]
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        """Matrix-vector product ``A @ u`` (counts as one operator application)."""
+        self.apply_count += 1
+        return self.A @ u
+
+    def residual(self, u: np.ndarray, f: np.ndarray) -> np.ndarray:
+        """``f - A u``."""
+        return f - self.apply(u)
+
+    def coarsen(self) -> "DiscreteOperator":
+        """Rediscretize this problem on the next-coarser mesh."""
+        from .grid import coarsen
+
+        return assemble(self.problem, coarsen(self.mesh))
+
+
+def _element_tensors(problem: Problem, mesh: Mesh) -> np.ndarray:
+    """Per-element constant tensors ``G_e = kappa_e |J| J^{-1} J^{-T}``.
+
+    Shape ``(n_elem, 2, 2)``.  ``J`` is the constant affine element Jacobian.
+    """
+    J = mesh.jacobian
+    detJ = float(np.linalg.det(J))
+    if detJ <= 0:
+        raise ValueError("mesh Jacobian must have positive determinant")
+    Jinv = np.linalg.inv(J)
+    geo = detJ * (Jinv @ Jinv.T)  # 2x2, shared by all elements (affine map)
+    cx, cy = mesh.element_centers()
+    kappa = problem.kappa(cx, cy)
+    if np.any(kappa <= 0):
+        raise ValueError("coefficient field must be strictly positive")
+    return kappa[:, None, None] * geo[None, :, :]
+
+
+def assemble(problem: Problem, mesh: Mesh) -> DiscreteOperator:
+    """Assemble the interior stiffness matrix for ``problem`` on ``mesh``.
+
+    Fully vectorized over elements: the element matrices are a single
+    ``einsum`` contraction of the per-element tensor against the reference
+    stiffness tensors, and the global matrix is built with one COO pass.
+    """
+    if mesh.order != problem.order:
+        raise ValueError(
+            f"mesh order {mesh.order} does not match problem order {problem.order}"
+        )
+    ref = reference_element(problem.order)
+    G = _element_tensors(problem, mesh)  # (n_elem, 2, 2)
+    Ke = np.einsum("eab,abij->eij", G, ref.stiffness)  # (n_elem, nb, nb)
+
+    conn = mesh.element_node_ids()  # (n_elem, nb)
+    nb = ref.n_basis
+    rows = np.repeat(conn, nb, axis=1).ravel()
+    cols = np.tile(conn, (1, nb)).ravel()
+    A_full = sp.coo_matrix(
+        (Ke.ravel(), (rows, cols)), shape=(mesh.n_nodes, mesh.n_nodes)
+    ).tocsr()
+
+    interior = mesh.interior_ids()
+    A = A_full[interior][:, interior].tocsr()
+    A.sum_duplicates()
+    return DiscreteOperator(problem=problem, mesh=mesh, A=A, diag=A.diagonal())
+
+
+def load_vector(
+    problem: Problem, mesh: Mesh, f: Callable[[np.ndarray, np.ndarray], np.ndarray]
+) -> np.ndarray:
+    """Consistent FE load vector for source ``f`` (reference coordinates).
+
+    Returns the interior-node load ``b_i = int f phi_i |J| dxhat`` computed
+    with the element quadrature rule; shape ``(n_interior,)``.
+    """
+    ref = reference_element(problem.order)
+    J = mesh.jacobian
+    detJ = float(np.linalg.det(J))
+    cx = np.arange(mesh.ne) * mesh.h
+    cy = np.arange(mesh.ne) * mesh.h
+    CY, CX = np.meshgrid(cy, cx, indexing="ij")
+    ex = CX.ravel()[:, None] + ref.quad_points[None, :, 0] * mesh.h
+    ey = CY.ravel()[:, None] + ref.quad_points[None, :, 1] * mesh.h
+    fq = f(ex, ey)  # (n_elem, nq)
+    # b_e[i] = sum_q w_q f(x_q) phi_i(q) * detJ
+    be = detJ * (fq * ref.quad_weights[None, :]) @ ref.basis_at_quad.T  # (n_elem, nb)
+
+    conn = mesh.element_node_ids()
+    b_full = np.zeros(mesh.n_nodes)
+    np.add.at(b_full, conn.ravel(), be.ravel())
+    return b_full[mesh.interior_ids()]

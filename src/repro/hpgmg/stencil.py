@@ -1,0 +1,111 @@
+"""Matrix-free stencil application for constant-coefficient Q1 operators.
+
+The real HPGMG is *matrix-free*: it never assembles a sparse matrix but
+applies the operator through its stencil, trading memory traffic for
+recomputation.  For the ``poisson1`` flavour (Q1, constant coefficient,
+affine map) every interior row of the assembled matrix is the same 3x3
+stencil, so the operator application reduces to eight shifted-array adds —
+the idiomatic vectorized NumPy formulation of a stencil sweep.
+
+:class:`StencilOperator` is a drop-in replacement for
+:class:`~repro.hpgmg.operators.DiscreteOperator` within the multigrid
+solver (same ``apply``/``residual``/``diag`` surface); equality with the
+assembled operator is asserted in the tests, and
+``benchmarks/bench_micro_stencil.py`` measures when recomputation beats the
+CSR SpMV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .fem import reference_element
+from .grid import Mesh
+from .operators import Problem
+
+__all__ = ["StencilOperator", "q1_stencil", "stencil_supported"]
+
+
+def stencil_supported(problem: Problem) -> bool:
+    """Whether the matrix-free path applies: Q1 with a constant coefficient."""
+    if problem.order != 1:
+        return False
+    probe = problem.kappa(np.array([0.1, 0.5, 0.9]), np.array([0.2, 0.5, 0.8]))
+    return bool(np.allclose(probe, probe[0]))
+
+
+def q1_stencil(problem: Problem, mesh: Mesh) -> np.ndarray:
+    """The 3x3 nodal stencil of the Q1 operator on ``mesh``.
+
+    ``stencil[1 + dy, 1 + dx]`` is the coupling from neighbour ``(dx, dy)``.
+    Assembled from the four elements sharing an interior node, using the
+    same reference tensors as the sparse path — exactness against the CSR
+    matrix follows by construction.
+    """
+    if not stencil_supported(problem):
+        raise ValueError(
+            "matrix-free stencil requires Q1 with a constant coefficient "
+            f"(got {problem.name!r})"
+        )
+    ref = reference_element(1, 2)
+    J = mesh.jacobian
+    detJ = float(np.linalg.det(J))
+    Jinv = np.linalg.inv(J)
+    kappa = float(problem.kappa(np.array([0.5]), np.array([0.5]))[0])
+    G = kappa * detJ * (Jinv @ Jinv.T)
+    Ke = np.einsum("ab,abij->ij", G, ref.stiffness)  # 4x4 element matrix
+
+    # Node-centred stencil: sum the element contributions of the four
+    # elements around a node.  Local Q1 ordering: (0,0),(1,0),(0,1),(1,1).
+    stencil = np.zeros((3, 3))
+    offsets = [(0, 0), (1, 0), (0, 1), (1, 1)]
+    for (ax, ay), a_local in ((o, i) for i, o in enumerate(offsets)):
+        for (bx, by), b_local in ((o, i) for i, o in enumerate(offsets)):
+            # Element with its (ax, ay) corner at the centre node couples
+            # the centre to the node offset by (bx - ax, by - ay).
+            dx, dy = bx - ax, by - ay
+            stencil[1 + dy, 1 + dx] += Ke[a_local, b_local]
+    return stencil
+
+
+@dataclass
+class StencilOperator:
+    """Matrix-free Q1 operator on one mesh level (Dirichlet interior)."""
+
+    problem: Problem
+    mesh: Mesh
+    stencil: np.ndarray = field(init=False)
+    diag: np.ndarray = field(init=False)
+    apply_count: int = 0
+
+    def __post_init__(self):
+        self.stencil = q1_stencil(self.problem, self.mesh)
+        self.diag = np.full(self.n, self.stencil[1, 1])
+
+    @property
+    def n(self) -> int:
+        """Number of interior unknowns."""
+        return self.mesh.n_interior
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        """Stencil sweep: eight shifted adds over a zero-padded interior."""
+        self.apply_count += 1
+        m = self.mesh.nodes_per_side - 2
+        if u.shape != (m * m,):
+            raise ValueError(f"u has shape {u.shape}, expected ({m * m},)")
+        padded = np.zeros((m + 2, m + 2))
+        padded[1:-1, 1:-1] = u.reshape(m, m)
+        out = np.zeros((m, m))
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                w = self.stencil[1 + dy, 1 + dx]
+                if w == 0.0:
+                    continue
+                out += w * padded[1 + dy : 1 + dy + m, 1 + dx : 1 + dx + m]
+        return out.ravel()
+
+    def residual(self, u: np.ndarray, f: np.ndarray) -> np.ndarray:
+        """``f - A u``."""
+        return f - self.apply(u)

@@ -1,0 +1,86 @@
+"""Grid-transfer operators for the mini HPGMG-FE multigrid.
+
+Transfers act on full node-lattice arrays (boundary included, held at the
+homogeneous Dirichlet value zero).  A Q``p`` mesh with ``ne`` elements per
+side has a ``(p*ne + 1)``-point lattice, so halving ``ne`` always halves the
+lattice 2:1 regardless of element order — the classical full-weighting /
+bilinear pair applies to both Q1 and Q2 hierarchies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "prolong_bilinear",
+    "restrict_full_weighting",
+    "embed_interior",
+    "extract_interior",
+]
+
+
+def embed_interior(u_int: np.ndarray, nodes_per_side: int) -> np.ndarray:
+    """Scatter an interior-node vector into a full lattice array (zeros on rim)."""
+    n = nodes_per_side
+    if u_int.shape != ((n - 2) ** 2,):
+        raise ValueError(
+            f"interior vector has shape {u_int.shape}, expected {((n - 2) ** 2,)}"
+        )
+    full = np.zeros((n, n))
+    full[1:-1, 1:-1] = u_int.reshape(n - 2, n - 2)
+    return full
+
+
+def extract_interior(full: np.ndarray) -> np.ndarray:
+    """Gather the interior of a full lattice array into a flat vector."""
+    if full.ndim != 2 or full.shape[0] != full.shape[1]:
+        raise ValueError(f"expected a square 2-D array, got shape {full.shape}")
+    return full[1:-1, 1:-1].ravel()
+
+
+def prolong_bilinear(coarse: np.ndarray) -> np.ndarray:
+    """Bilinear interpolation from an ``m x m`` lattice to ``(2m-1) x (2m-1)``."""
+    m = coarse.shape[0]
+    if coarse.shape != (m, m) or m < 2:
+        raise ValueError(f"expected a square lattice of side >= 2, got {coarse.shape}")
+    n = 2 * (m - 1) + 1
+    fine = np.empty((n, n))
+    fine[::2, ::2] = coarse
+    fine[1::2, ::2] = 0.5 * (coarse[:-1, :] + coarse[1:, :])
+    fine[::2, 1::2] = 0.5 * (coarse[:, :-1] + coarse[:, 1:])
+    fine[1::2, 1::2] = 0.25 * (
+        coarse[:-1, :-1] + coarse[1:, :-1] + coarse[:-1, 1:] + coarse[1:, 1:]
+    )
+    return fine
+
+
+def restrict_full_weighting(fine: np.ndarray) -> np.ndarray:
+    """Full-weighting restriction from ``n x n`` to ``(n+1)//2`` per side.
+
+    The rim of the coarse array is left at zero (Dirichlet).  The stencil is
+    the exact transpose of :func:`prolong_bilinear` (weights 1, 1/2, 1/4 for
+    center/edge/corner fine neighbours).  With *rediscretized* FE coarse
+    operators — whose entries are h-independent in 2-D — the transpose
+    pairing keeps the coarse right-hand side correctly scaled, which the
+    classical 1/4-scaled finite-difference full weighting would not.
+    """
+    n = fine.shape[0]
+    if fine.shape != (n, n) or n < 3 or n % 2 == 0:
+        raise ValueError(f"expected an odd square lattice of side >= 3, got {fine.shape}")
+    m = (n + 1) // 2
+    coarse = np.zeros((m, m))
+    c = fine[2:-2:2, 2:-2:2]
+    edges = (
+        fine[1:-2:2, 2:-2:2]
+        + fine[3::2, 2:-2:2]
+        + fine[2:-2:2, 1:-2:2]
+        + fine[2:-2:2, 3::2]
+    )
+    corners = (
+        fine[1:-2:2, 1:-2:2]
+        + fine[1:-2:2, 3::2]
+        + fine[3::2, 1:-2:2]
+        + fine[3::2, 3::2]
+    )
+    coarse[1:-1, 1:-1] = c + 0.5 * edges + 0.25 * corners
+    return coarse

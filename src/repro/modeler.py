@@ -1,0 +1,231 @@
+"""High-level facade: the paper's "prototype" as a one-stop API.
+
+The paper's second contribution bullet: "we develop a prototype which can
+be used to construct a number of diverse performance models, including
+models for application runtime, energy consumption, memory usage, and many
+others.  We show how one can efficiently learn relationships between these
+metrics and multiple controlled variables."
+
+:class:`PerformanceModeler` packages that workflow: point it at a
+:class:`~repro.datasets.dataset.PerfDataset`, name the controlled variables
+and the response, and it handles log transforms, GPR fitting, prediction
+with uncertainty, AL-based suggestions for the next experiments, and
+convergence checking — the pieces a performance engineer actually calls.
+
+Example
+-------
+>>> from repro.datasets import generate_performance_dataset
+>>> from repro.modeler import PerformanceModeler
+>>> ds = generate_performance_dataset(seed=2016).subset(operator="poisson1")
+>>> modeler = PerformanceModeler(ds, variables=("problem_size", "np_ranks",
+...                                             "freq_ghz"))
+>>> modeler.fit()
+>>> t, sd = modeler.predict_response([(1e8, 32, 2.4)])   # seconds, ±sd
+>>> suggestions = modeler.suggest_experiments(3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .al.learner import default_model_factory
+from .al.pool import CandidatePool
+from .al.strategies import CostEfficiency, Strategy, VarianceReduction, select_batch
+from .datasets.dataset import DesignSpec, PerfDataset
+from .gp.gpr import GaussianProcessRegressor
+
+__all__ = ["PerformanceModeler", "Suggestion"]
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One recommended follow-up experiment."""
+
+    values: dict  # variable name -> natural-units value
+    predicted_response: float  # natural units
+    predictive_sd_log10: float  # uncertainty in log10 space
+
+
+class PerformanceModeler:
+    """Fit-and-advise wrapper around GPR + AL for one dataset response.
+
+    Parameters
+    ----------
+    dataset:
+        Recorded experiments.  Fix categorical factors first
+        (``dataset.subset(operator=...)``).
+    variables:
+        Controlled variables used as features.
+    response:
+        ``"runtime_seconds"`` (default), ``"energy_joules"``,
+        ``"max_rss_mb_node0"``, or any positive numeric record attribute.
+    log_features:
+        Feature names to log10-transform; defaults to wide-ranged ones
+        (problem size and rank count).
+    noise_floor:
+        Lower bound for the GPR noise variance (the paper's robust default
+        1e-1).
+    """
+
+    _DEFAULT_LOG = frozenset({"problem_size", "np_ranks"})
+
+    def __init__(
+        self,
+        dataset: PerfDataset,
+        *,
+        variables=("problem_size", "np_ranks", "freq_ghz"),
+        response: str = "runtime_seconds",
+        log_features=None,
+        noise_floor: float = 1e-1,
+        rng=None,
+    ):
+        if len(dataset) == 0:
+            raise ValueError("dataset is empty")
+        self.dataset = dataset
+        self.variables = tuple(variables)
+        self.response = response
+        log_features = (
+            frozenset(log_features)
+            if log_features is not None
+            else self._DEFAULT_LOG & set(self.variables)
+        )
+        self.spec = DesignSpec(
+            variables=self.variables,
+            response=response,
+            log_features=log_features,
+            log_response=True,
+        )
+        self.X, self.y = dataset.design_matrix(self.spec)
+        self._model_factory = default_model_factory(noise_floor)
+        self.rng = np.random.default_rng(rng)
+        self.model: GaussianProcessRegressor | None = None
+
+    # ------------------------------------------------------------------ fitting
+
+    def fit(self) -> "PerformanceModeler":
+        """Fit the GPR on every recorded experiment."""
+        model = self._model_factory()
+        model.rng = self.rng
+        model.fit(self.X, self.y)
+        self.model = model
+        return self
+
+    def _require_fitted(self) -> GaussianProcessRegressor:
+        if self.model is None:
+            raise RuntimeError("call fit() first")
+        return self.model
+
+    # --------------------------------------------------------------- transforms
+
+    def _encode(self, configs) -> np.ndarray:
+        rows = []
+        for config in configs:
+            if isinstance(config, dict):
+                values = [config[v] for v in self.variables]
+            else:
+                values = list(config)
+                if len(values) != len(self.variables):
+                    raise ValueError(
+                        f"config has {len(values)} values, expected "
+                        f"{len(self.variables)} ({self.variables})"
+                    )
+            row = []
+            for name, value in zip(self.variables, values):
+                value = float(value)
+                if name in self.spec.log_features:
+                    if value <= 0:
+                        raise ValueError(f"{name} must be positive, got {value}")
+                    value = np.log10(value)
+                row.append(value)
+            rows.append(row)
+        return np.asarray(rows, dtype=float)
+
+    def _decode(self, x: np.ndarray) -> dict:
+        out = {}
+        for name, value in zip(self.variables, x):
+            out[name] = float(10**value if name in self.spec.log_features else value)
+        return out
+
+    # -------------------------------------------------------------- predictions
+
+    def predict_response(self, configs) -> tuple[np.ndarray, np.ndarray]:
+        """Predict the response in natural units with a 1-sd band.
+
+        Returns ``(median, sd_factor)``: the predictive median (back-
+        transformed from log space) and the multiplicative one-sigma factor
+        — the 68% band is ``median / sd_factor .. median * sd_factor``.
+        """
+        model = self._require_fitted()
+        mu, sd = model.predict(self._encode(configs), return_std=True)
+        return 10**mu, 10**sd
+
+    def predict_log10(self, configs) -> tuple[np.ndarray, np.ndarray]:
+        """Predictive mean and sd in log10 space (the modeling space)."""
+        model = self._require_fitted()
+        return model.predict(self._encode(configs), return_std=True)
+
+    # -------------------------------------------------------------- suggestions
+
+    def suggest_experiments(
+        self,
+        n: int = 1,
+        *,
+        strategy: str | Strategy = "variance",
+    ) -> list[Suggestion]:
+        """Recommend the next ``n`` recorded configurations to (re-)measure.
+
+        Uses kriging-believer batch selection over the dataset's own
+        configuration pool, so the ``n`` suggestions are diverse.  Strategy
+        ``"variance"`` maximizes predictive SD; ``"cost-efficiency"``
+        maximizes ``sd - mu`` (the paper's Eq. 14).
+        """
+        model = self._require_fitted()
+        if isinstance(strategy, str):
+            if strategy == "variance":
+                strategy = VarianceReduction()
+            elif strategy == "cost-efficiency":
+                strategy = CostEfficiency()
+            else:
+                raise ValueError(f"unknown strategy {strategy!r}")
+        # Pool = distinct recorded configurations.
+        uniq = np.unique(self.X, axis=0)
+        if n < 1 or n > uniq.shape[0]:
+            raise ValueError(f"n must be in 1..{uniq.shape[0]}")
+        pool = CandidatePool(uniq, np.zeros(uniq.shape[0]), np.zeros(uniq.shape[0]))
+        picks = select_batch(model, pool, strategy, n)
+        suggestions = []
+        for idx in picks:
+            x = uniq[idx]
+            mu, sd = model.predict(x[np.newaxis, :], return_std=True)
+            suggestions.append(
+                Suggestion(
+                    values=self._decode(x),
+                    predicted_response=float(10 ** mu[0]),
+                    predictive_sd_log10=float(sd[0]),
+                )
+            )
+        return suggestions
+
+    # ------------------------------------------------------------------ summary
+
+    def uncertainty_summary(self) -> dict:
+        """AMSD-style summary over the dataset's own configurations."""
+        model = self._require_fitted()
+        _, sd = model.predict(self.X, return_std=True)
+        return {
+            "amsd": float(np.mean(sd)),
+            "max_sd": float(np.max(sd)),
+            "min_sd": float(np.min(sd)),
+            "noise_sd": float(np.sqrt(model.noise_variance_)),
+        }
+
+    def cross_validated_rmse(self) -> float:
+        """Leave-one-out RMSE (log10 space) of the fitted model — a quick
+        honesty check without holding out data."""
+        from .gp.loocv import loo_residuals
+
+        model = self._require_fitted()
+        res = loo_residuals(model)
+        return float(np.sqrt(np.mean((res.mean - self.y) ** 2)))

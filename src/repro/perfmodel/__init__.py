@@ -1,0 +1,25 @@
+"""Analytic HPGMG-FE performance/energy surfaces and measurement noise.
+
+These models stand in for the paper's real testbed measurements when
+generating the paper-scale offline datasets (see DESIGN.md, Section 2).
+
+Public API::
+
+    from repro.perfmodel import RuntimeModel, EnergyModel, NoiseModel
+"""
+
+from .calibrate import CalibrationResult, calibrate_runtime_model
+from .energymodel import EnergyModel
+from .noise import PERFORMANCE_NOISE, POWER_NOISE, NoiseModel
+from .runtime import OPERATOR_COST, RuntimeModel
+
+__all__ = [
+    "RuntimeModel",
+    "CalibrationResult",
+    "calibrate_runtime_model",
+    "EnergyModel",
+    "NoiseModel",
+    "PERFORMANCE_NOISE",
+    "POWER_NOISE",
+    "OPERATOR_COST",
+]

@@ -1,0 +1,58 @@
+"""Analytic energy surface: the power model integrated over the runtime model.
+
+The paper's second response variable is per-job total energy (Joules),
+estimated on the real testbed by integrating IPMI power traces.  For
+dataset generation we need the *noise-free* energy surface, which is simply
+
+    E(op, N, NP, f) = sum_over_nodes P_node(ranks_on_node, f) * t(op, N, NP, f)
+
+with the runtime surface from :class:`repro.perfmodel.runtime.RuntimeModel`
+and the node power model from :class:`repro.cluster.power.PowerModel`.
+Idle power of the occupied nodes is charged for the whole job duration —
+exactly what a server-level power sensor sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.machine import ClusterSpec, wisconsin_cluster
+from ..cluster.power import PowerModel
+from .runtime import RuntimeModel
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Noise-free per-job energy surface on the simulated testbed."""
+
+    runtime_model: RuntimeModel = field(default_factory=RuntimeModel)
+    power_model: PowerModel = field(default_factory=PowerModel)
+    cluster: ClusterSpec = field(default_factory=wisconsin_cluster)
+
+    def total_power(self, np_ranks, freq_ghz) -> np.ndarray:
+        """Aggregate power (W) of all nodes hosting the job; broadcasts."""
+        P = np.asarray(np_ranks, dtype=int)
+        f = np.asarray(freq_ghz, dtype=float)
+        threads_per_node = self.cluster.node.total_threads
+        n_nodes = -(-P // threads_per_node)
+        if np.any(P < 1):
+            raise ValueError("np_ranks must be >= 1")
+        if np.any(n_nodes > self.cluster.n_nodes):
+            raise ValueError("job exceeds cluster capacity")
+        # Full nodes plus one partial node (vectorized).
+        full_nodes = P // threads_per_node
+        remainder = P - full_nodes * threads_per_node
+        power_full = self.power_model.node_power(threads_per_node, f)
+        power_rem = np.where(
+            remainder > 0, self.power_model.node_power(remainder, f), 0.0
+        )
+        return full_nodes * power_full + power_rem
+
+    def energy(self, operator: str, problem_size, np_ranks, freq_ghz) -> np.ndarray:
+        """Noise-free job energy in Joules; broadcasts over array inputs."""
+        t = self.runtime_model.runtime(operator, problem_size, np_ranks, freq_ghz)
+        return self.total_power(np_ranks, freq_ghz) * t

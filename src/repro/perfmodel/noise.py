@@ -1,0 +1,70 @@
+"""Measurement-noise models for the synthetic performance/power data.
+
+The paper emphasizes that computer performance measurements are noisy and
+that the Power dataset is *much* noisier than the Performance dataset
+(Fig. 1), which is why the GPR noise hyperparameter and repeated
+measurements matter.  We model noise as multiplicative log-normal deviations
+(runtime and energy are positive and their variability grows with their
+magnitude) plus a small probability of one-sided outliers (OS jitter,
+straggler ranks) that only ever slow a job down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel", "PERFORMANCE_NOISE", "POWER_NOISE"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative log-normal noise with one-sided outliers.
+
+    A sample is ``value * exp(eps) * (1 + J)`` with
+    ``eps ~ Normal(0, sigma)`` and, with probability ``outlier_prob``,
+    ``J ~ Exponential(outlier_scale)`` (otherwise ``J = 0``).
+
+    Attributes
+    ----------
+    sigma:
+        Standard deviation of the log-normal component.
+    outlier_prob:
+        Probability that a measurement is hit by a slowdown event.
+    outlier_scale:
+        Mean relative magnitude of a slowdown event.
+    """
+
+    sigma: float = 0.03
+    outlier_prob: float = 0.02
+    outlier_scale: float = 0.25
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if not 0.0 <= self.outlier_prob <= 1.0:
+            raise ValueError("outlier_prob must be in [0, 1]")
+        if self.outlier_scale < 0:
+            raise ValueError("outlier_scale must be >= 0")
+
+    def apply(self, values, rng: np.random.Generator) -> np.ndarray:
+        """Return noisy copies of ``values`` (broadcasts over arrays)."""
+        values = np.asarray(values, dtype=float)
+        if np.any(values < 0):
+            raise ValueError("noise model expects non-negative values")
+        eps = rng.normal(0.0, self.sigma, size=values.shape)
+        out = values * np.exp(eps)
+        if self.outlier_prob > 0:
+            hit = rng.random(values.shape) < self.outlier_prob
+            jitter = rng.exponential(self.outlier_scale, size=values.shape)
+            out = out * np.where(hit, 1.0 + jitter, 1.0)
+        return out
+
+
+#: Noise level of the Performance dataset (tight: dedicated bare-metal runs).
+PERFORMANCE_NOISE = NoiseModel(sigma=0.03, outlier_prob=0.02, outlier_scale=0.25)
+
+#: Noise level of the Power/Energy responses (loose: IPMI sampling artifacts,
+#: shared power-plane effects — visibly noisier in the paper's Fig. 1b).
+POWER_NOISE = NoiseModel(sigma=0.12, outlier_prob=0.05, outlier_scale=0.35)

@@ -1,0 +1,10 @@
+"""ASCII chart rendering for the terminal (matplotlib-free).
+
+Public API::
+
+    from repro.viz import line_chart, scatter_chart, heatmap, histogram
+"""
+
+from .ascii import heatmap, histogram, line_chart, scatter_chart
+
+__all__ = ["line_chart", "scatter_chart", "heatmap", "histogram"]

@@ -1,0 +1,158 @@
+"""Terminal-friendly ASCII rendering of the reproduction's figures.
+
+matplotlib is not available in the offline environment, so the example
+scripts render line charts, scatter plots and contour heat maps as text.
+These renderers are deliberately simple — fixed-size character canvases —
+but they make every figure of the paper *viewable* straight from a
+terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_chart", "scatter_chart", "heatmap", "histogram"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def _canvas(height: int, width: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(canvas, x_label: str, y_label: str, title: str,
+            x_range: tuple[float, float], y_range: tuple[float, float]) -> str:
+    width = len(canvas[0])
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for i, row in enumerate(canvas):
+        prefix = f"{y_range[1]:9.3g} |" if i == 0 else (
+            f"{y_range[0]:9.3g} |" if i == len(canvas) - 1 else " " * 10 + "|"
+        )
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    footer = f"{x_range[0]:<12.4g}{x_label.center(max(width - 24, 0))}{x_range[1]:>12.4g}"
+    lines.append(" " * 10 + footer)
+    if y_label:
+        lines.append(f"  y: {y_label}")
+    return "\n".join(lines)
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, n: int) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(values.shape, dtype=int)
+    t = (np.asarray(values, dtype=float) - lo) / (hi - lo)
+    return np.clip((t * (n - 1)).round().astype(int), 0, n - 1)
+
+
+def line_chart(
+    series: dict,
+    *,
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    logy: bool = False,
+) -> str:
+    """Render named (x, y) series as an ASCII line chart.
+
+    ``series`` maps a label to an ``(x, y)`` pair; each series is drawn with
+    the first character of its label.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if logy:
+        ys = np.log10(np.maximum(ys, 1e-300))
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    canvas = _canvas(height, width)
+    for label, (x, y) in series.items():
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if logy:
+            y = np.log10(np.maximum(y, 1e-300))
+        marker = label.strip()[0] if label.strip() else "*"
+        cols = _scale(x, x_lo, x_hi, width)
+        rows = height - 1 - _scale(y, y_lo, y_hi, height)
+        for r, c in zip(rows, cols):
+            canvas[r][c] = marker
+    legend = "   ".join(f"[{label.strip()[0]}] {label}" for label in series)
+    chart = _render(
+        canvas, x_label, y_label + (" (log10)" if logy else ""), title,
+        (x_lo, x_hi), (y_lo, y_hi),
+    )
+    return chart + "\n  " + legend
+
+
+def scatter_chart(
+    x,
+    y,
+    *,
+    width: int = 70,
+    height: int = 18,
+    marker: str = "o",
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    overlay: dict | None = None,
+) -> str:
+    """Render a scatter plot; ``overlay`` adds extra labelled point sets."""
+    series = {f"{marker} data": (x, y)}
+    if overlay:
+        series.update(overlay)
+    return line_chart(
+        series, width=width, height=height, title=title,
+        x_label=x_label, y_label=y_label,
+    )
+
+
+def heatmap(
+    Z: np.ndarray,
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    mark_max: bool = True,
+) -> str:
+    """Render a 2-D array as a character-ramp heat map (row 0 at the top)."""
+    Z = np.asarray(Z, dtype=float)
+    if Z.ndim != 2:
+        raise ValueError("heatmap expects a 2-D array")
+    finite = Z[np.isfinite(Z)]
+    if finite.size == 0:
+        raise ValueError("heatmap needs at least one finite value")
+    lo, hi = float(finite.min()), float(finite.max())
+    idx = _scale(np.where(np.isfinite(Z), Z, lo), lo, hi, len(_RAMP))
+    rows = ["".join(_RAMP[j] for j in row) for row in idx]
+    if mark_max:
+        i, j = np.unravel_index(int(np.nanargmax(Z)), Z.shape)
+        rows[i] = rows[i][:j] + "X" + rows[i][j + 1 :]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("  " + r for r in rows)
+    lines.append(f"  x: {x_label}   y: {y_label}   range: [{lo:.4g}, {hi:.4g}]"
+                 + ("   X = maximum" if mark_max else ""))
+    return "\n".join(lines)
+
+
+def histogram(
+    values,
+    *,
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a horizontal-bar histogram."""
+    values = np.asarray(values, dtype=float)
+    counts, edges = np.histogram(values, bins=bins)
+    top = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(c / top * width))
+        lines.append(f"  {lo:10.3g} .. {hi:10.3g} |{bar} {c}")
+    return "\n".join(lines)

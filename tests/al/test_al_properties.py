@@ -1,0 +1,88 @@
+"""Property-based tests of active-learning loop invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.al import (
+    ActiveLearner,
+    CostEfficiency,
+    RandomSampling,
+    VarianceReduction,
+    default_model_factory,
+    random_partition,
+)
+
+
+def _problem(n, seed):
+    rng = np.random.default_rng(seed)
+    X = np.sort(rng.uniform(0, 10, size=n))[:, np.newaxis]
+    y = 0.4 * X[:, 0] + 0.1 * rng.standard_normal(n)
+    costs = np.exp(0.2 * X[:, 0])
+    return X, y, costs
+
+
+@given(
+    n=st.integers(15, 60),
+    seed=st.integers(0, 50),
+    strategy_kind=st.sampled_from(["vr", "ce", "random"]),
+)
+@settings(max_examples=12, deadline=None)
+def test_property_al_loop_invariants(n, seed, strategy_kind):
+    X, y, costs = _problem(n, seed)
+    part = random_partition(n, rng=seed)
+    strategy = {
+        "vr": VarianceReduction(),
+        "ce": CostEfficiency(),
+        "random": RandomSampling(seed=seed),
+    }[strategy_kind]
+    learner = ActiveLearner(
+        X, y, costs, part, strategy,
+        model_factory=default_model_factory(1e-1),
+    )
+    k = min(6, learner.pool.n_available)
+    trace = learner.run(k)
+
+    # 1. Exactly k iterations, training set grows by k.
+    assert len(trace) == k
+    assert learner.n_train == part.initial.size + k
+
+    # 2. Pool shrank by k; selected indices are distinct.
+    assert learner.pool.n_available == part.active.size - k
+    picks = [r.selected_pool_index for r in trace.records]
+    assert len(set(picks)) == k
+
+    # 3. Costs accumulate exactly and monotonically.
+    cum = trace.series("cumulative_cost")
+    assert np.all(np.diff(cum) > 0)
+    np.testing.assert_allclose(cum[-1], sum(r.cost for r in trace.records))
+
+    # 4. Every queried (x, y) pair exists in the original dataset.
+    for r in trace.records:
+        rows = np.flatnonzero((X == r.x_selected).all(axis=1))
+        assert any(np.isclose(y[i], r.y_selected) for i in rows)
+
+    # 5. Metrics are finite and positive where applicable.
+    for name in ("rmse", "amsd", "gmsd", "sd_at_selected"):
+        series = trace.series(name)
+        assert np.all(np.isfinite(series))
+        assert np.all(series >= 0)
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=10, deadline=None)
+def test_property_vr_picks_pool_argmax(seed):
+    """Every VR selection is the SD-argmax among then-available records."""
+    X, y, costs = _problem(40, seed)
+    part = random_partition(40, rng=seed)
+    learner = ActiveLearner(
+        X, y, costs, part, VarianceReduction(),
+        model_factory=default_model_factory(1e-1),
+    )
+    for _ in range(4):
+        avail_before = learner.pool.available_indices().copy()
+        X_avail = learner.pool.available_X().copy()
+        record = learner.step()
+        model = learner.model
+        _, sd = model.predict(X_avail, return_std=True)
+        assert record.selected_pool_index == avail_before[int(np.argmax(sd))]

@@ -1,0 +1,74 @@
+"""Tests for online AL campaigns through the cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.al.campaign import CampaignConfig, OnlineCampaign
+from repro.datasets.generate import ModelExecutor
+
+
+def _candidates():
+    sizes = [48**3, 96**3, 192**3, 384**3]
+    nps = [1, 8, 32, 128]
+    freqs = [1.2, 2.4]
+    return np.array(
+        [(s, p, f) for s in sizes for p in nps for f in freqs], dtype=float
+    )
+
+
+def _campaign(batch_size=1, n_rounds=4, rng=0):
+    config = CampaignConfig(
+        operator="poisson1",
+        candidates=_candidates(),
+        batch_size=batch_size,
+        n_rounds=n_rounds,
+    )
+    return OnlineCampaign(config, ModelExecutor(), rng=rng)
+
+
+def test_campaign_runs_and_accumulates():
+    result = _campaign(batch_size=2, n_rounds=3).run()
+    # 1 seed + 3 rounds x 2 jobs.
+    assert result.X.shape == (7, 3)
+    assert result.y.shape == (7,)
+    assert result.simulated_seconds > 0
+    assert result.cpu_core_seconds > 0
+    assert len(result.rounds) == 3
+    assert all(r["n_jobs"] == 2 for r in result.rounds)
+    assert result.model.fitted
+
+
+def test_campaign_learns_the_surface():
+    result = _campaign(batch_size=2, n_rounds=6).run()
+    model = result.model
+    # Predict a mid-grid configuration and compare with the ground truth.
+    from repro.perfmodel import RuntimeModel
+
+    truth = float(np.log10(RuntimeModel().runtime("poisson1", 96**3, 32, 2.4)))
+    pred = float(
+        model.predict(np.array([[np.log10(96**3), np.log2(32), 2.4]]))[0]
+    )
+    assert pred == pytest.approx(truth, abs=0.5)
+
+
+def test_batching_reduces_simulated_wall_clock():
+    """Same experiment count: batched rounds finish sooner on 4 nodes."""
+    sequential = _campaign(batch_size=1, n_rounds=8, rng=1).run()
+    batched = _campaign(batch_size=4, n_rounds=2, rng=1).run()
+    assert batched.X.shape[0] == sequential.X.shape[0] == 9
+    assert batched.simulated_seconds < sequential.simulated_seconds
+
+
+def test_round_sd_decreases():
+    result = _campaign(batch_size=1, n_rounds=8).run()
+    sds = [r["max_sd"] for r in result.rounds]
+    assert sds[-1] < sds[0]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(operator="poisson1", candidates=np.zeros((3, 2)))
+    with pytest.raises(ValueError):
+        CampaignConfig(
+            operator="poisson1", candidates=_candidates(), batch_size=0
+        )

@@ -1,0 +1,125 @@
+"""Tests for the static experiment designs (Related-Work baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.al.design import (
+    fractional_factorial,
+    latin_hypercube,
+    nearest_pool_indices,
+    one_factor_at_a_time,
+    static_design_rmse,
+    two_level_factorial,
+)
+
+
+@pytest.fixture()
+def pool():
+    rng = np.random.default_rng(0)
+    X = rng.uniform([0, 1], [10, 3], size=(80, 2))
+    y = 0.4 * X[:, 0] - X[:, 1] + 0.05 * rng.standard_normal(80)
+    return X, y
+
+
+def test_one_factor_at_a_time(pool):
+    X, _ = pool
+    design = one_factor_at_a_time(X, levels_per_factor=5)
+    # Center + 2 sweeps of 5 minus the duplicated center points.
+    assert design.shape[1] == 2
+    assert 8 <= design.shape[0] <= 11
+    center = design.mean(axis=0)
+    # Each point differs from the center in at most one coordinate.
+    mid = np.array([5.0, 2.0])
+    for p in design:
+        assert np.sum(~np.isclose(p, mid, atol=0.35)) <= 1
+
+
+def test_two_level_factorial_corners(pool):
+    X, _ = pool
+    design = two_level_factorial(X)
+    assert design.shape == (4, 2)
+    lo, hi = X.min(axis=0), X.max(axis=0)
+    for p in design:
+        for dim in range(2):
+            assert p[dim] in (lo[dim], hi[dim])
+
+
+def test_fractional_factorial_halves_runs():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(0, 1, size=(50, 4))
+    full = two_level_factorial(X)
+    frac = fractional_factorial(X, p=1)
+    assert full.shape[0] == 16
+    assert frac.shape[0] == 8
+    # Every fractional run is a corner of the full design.
+    full_set = {tuple(np.round(r, 9)) for r in full}
+    assert all(tuple(np.round(r, 9)) in full_set for r in frac)
+
+
+def test_fractional_factorial_validation(pool):
+    X, _ = pool
+    with pytest.raises(ValueError):
+        fractional_factorial(X, p=2)  # d=2 -> p must be < 2... p=2 invalid
+    frac = fractional_factorial(X, p=1)
+    assert frac.shape[0] == 2
+
+
+def test_latin_hypercube_stratification(pool):
+    X, _ = pool
+    design = latin_hypercube(X, 10, rng=0)
+    assert design.shape == (10, 2)
+    lo, hi = X.min(axis=0), X.max(axis=0)
+    assert np.all(design >= lo) and np.all(design <= hi)
+    # One point per decile along each dimension (the LHS property).
+    for dim in range(2):
+        bins = np.floor((design[:, dim] - lo[dim]) / (hi[dim] - lo[dim]) * 10)
+        bins = np.clip(bins, 0, 9)
+        assert len(set(bins.tolist())) == 10
+
+
+def test_latin_hypercube_validation(pool):
+    X, _ = pool
+    with pytest.raises(ValueError):
+        latin_hypercube(X, 0)
+
+
+def test_nearest_pool_indices_unique(pool):
+    X, _ = pool
+    design = two_level_factorial(X)
+    idx = nearest_pool_indices(design, X)
+    assert len(set(idx.tolist())) == len(idx) == 4
+    # Snapped points are close to the requested corners (normalized space).
+    lo, hi = X.min(axis=0), X.max(axis=0)
+    norm = lambda A: (A - lo) / (hi - lo)
+    dists = np.linalg.norm(norm(X[idx]) - norm(design), axis=1)
+    assert dists.max() < 0.5
+
+
+def test_nearest_pool_indices_exhaustion():
+    X = np.zeros((2, 1))
+    X[1] = 1.0
+    design = np.array([[0.0], [0.4], [0.9]])
+    idx = nearest_pool_indices(design, X)
+    assert len(idx) == 2  # pool exhausted before the third point
+
+
+def test_static_design_rmse(pool):
+    X, y = pool
+    X_test, y_test = X[:20], y[:20]
+    design = latin_hypercube(X[20:], 15, rng=0)
+    rmse, n_used = static_design_rmse(design, X[20:], y[20:], X_test, y_test)
+    assert n_used == 15
+    assert 0 < rmse < 1.0
+
+
+@given(n=st.integers(2, 30), seed=st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_property_lhs_in_bounds(n, seed):
+    rng = np.random.default_rng(3)
+    X = rng.uniform(-5, 5, size=(40, 3))
+    design = latin_hypercube(X, n, rng=seed)
+    assert design.shape == (n, 3)
+    assert np.all(design >= X.min(axis=0) - 1e-12)
+    assert np.all(design <= X.max(axis=0) + 1e-12)

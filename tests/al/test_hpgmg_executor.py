@@ -1,0 +1,78 @@
+"""Tests for the real-solver scheduler executor (end-to-end online path)."""
+
+import numpy as np
+import pytest
+
+from repro.al import HPGMGExecutor
+from repro.cluster import (
+    IPMISampler,
+    JobSpec,
+    PowerModel,
+    SlurmSimulator,
+    wisconsin_cluster,
+)
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return HPGMGExecutor(ne_choices=(4, 8, 16))
+
+
+def test_estimate_positive_and_cached(executor):
+    spec = JobSpec("poisson1", 15.0**2, 1, 2.4)
+    t1 = executor.estimate(spec)
+    t2 = executor.estimate(spec)
+    assert t1 == t2 > 0
+
+
+def test_estimate_scales_with_frequency_and_ranks(executor):
+    slow = executor.estimate(JobSpec("poisson1", 15.0**2, 1, 1.2))
+    fast = executor.estimate(JobSpec("poisson1", 15.0**2, 1, 2.4))
+    assert slow > fast
+    wide = executor.estimate(JobSpec("poisson1", 15.0**2, 32, 2.4))
+    assert wide < fast
+
+
+def test_execute_runs_real_solver(executor):
+    rng = np.random.default_rng(0)
+    outcome = executor.execute(JobSpec("poisson2", 15.0**2, 4, 1.8), rng)
+    assert outcome.runtime_seconds > 0
+    assert outcome.mg_cycles > 0
+    assert outcome.final_residual < 1e-7
+    assert outcome.verification_passed
+
+
+def test_full_campaign_through_scheduler(executor):
+    """The documented end-to-end path: SLURM sim + real multigrid solves."""
+    sim = SlurmSimulator(
+        wisconsin_cluster(),
+        executor,
+        power_model=PowerModel(),
+        sampler=IPMISampler(gap_rate_per_minute=0.0),
+        rng=1,
+    )
+    specs = [
+        JobSpec(op, float(size), ranks, freq, repeat_index=i)
+        for i, (op, size, ranks, freq) in enumerate(
+            [
+                ("poisson1", 9.0**2, 1, 2.4),
+                ("poisson1", 15.0**2, 32, 1.2),
+                ("poisson2", 15.0**2, 64, 1.8),
+                ("poisson2affine", 9.0**2, 128, 2.4),
+            ]
+        )
+    ]
+    records = sim.run_batch(specs)
+    assert len(records) == 4
+    for r in records:
+        assert r.state == "COMPLETED"
+        assert r.mg_cycles > 0
+        assert r.verification_passed
+        assert r.energy_joules is not None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HPGMGExecutor(ne_choices=())
+    with pytest.raises(ValueError):
+        HPGMGExecutor(parallel_efficiency=0.0)

@@ -1,0 +1,148 @@
+"""Tests for the active-learning loop."""
+
+import numpy as np
+import pytest
+
+from repro.al import (
+    ActiveLearner,
+    VarianceReduction,
+    default_model_factory,
+    random_partition,
+)
+
+
+def _problem(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.sort(rng.uniform(0, 10, size=n))[:, np.newaxis]
+    y = 0.5 * X[:, 0] + np.sin(X[:, 0]) + 0.05 * rng.standard_normal(n)
+    costs = np.abs(y) + 1.0
+    return X, y, costs
+
+
+def _learner(seed=0, **kw):
+    X, y, costs = _problem(seed=seed)
+    part = random_partition(X.shape[0], rng=seed)
+    defaults = dict(model_factory=default_model_factory(noise_floor=1e-2))
+    defaults.update(kw)
+    return ActiveLearner(X, y, costs, part, VarianceReduction(), **defaults)
+
+
+def test_run_produces_trace():
+    learner = _learner()
+    trace = learner.run(10)
+    assert len(trace) == 10
+    assert trace.strategy == "variance-reduction"
+    assert trace.selected_points.shape == (10, 1)
+
+
+def test_training_set_grows():
+    learner = _learner()
+    assert learner.n_train == 1  # paper: single seed experiment
+    learner.step()
+    assert learner.n_train == 2
+    learner.run(3)
+    assert learner.n_train == 5
+
+
+def test_cumulative_cost_monotone_and_correct():
+    learner = _learner()
+    trace = learner.run(8)
+    cum = trace.series("cumulative_cost")
+    costs = trace.series("cost")
+    assert np.all(np.diff(cum) > 0)
+    np.testing.assert_allclose(np.cumsum(costs), cum)
+
+
+def test_rmse_improves():
+    learner = _learner()
+    trace = learner.run(25)
+    rmse = trace.series("rmse")
+    assert rmse[-1] < 0.5 * rmse[0]
+
+
+def test_queried_values_match_dataset():
+    X, y, costs = _problem()
+    part = random_partition(X.shape[0], rng=0)
+    learner = ActiveLearner(
+        X, y, costs, part, VarianceReduction(),
+        model_factory=default_model_factory(1e-2),
+    )
+    trace = learner.run(5)
+    for rec in trace.records:
+        # The measured y of the selected x must be the dataset value.
+        matches = np.flatnonzero((X == rec.x_selected).all(axis=1))
+        assert any(y[m] == rec.y_selected for m in matches)
+
+
+def test_pool_exhaustion_run_stops():
+    learner = _learner()
+    n_pool = learner.pool.n_available
+    trace = learner.run(10_000)  # asks for more than exists
+    assert len(trace) == n_pool
+    assert learner.pool.exhausted
+    with pytest.raises(ValueError, match="exhausted"):
+        learner.step()
+
+
+def test_noise_floor_schedule_applied():
+    floors = []
+
+    def schedule(iteration):
+        floor = 0.5 / np.sqrt(iteration + 1)
+        floors.append(floor)
+        return floor
+
+    learner = _learner(noise_floor_schedule=schedule)
+    trace = learner.run(5)
+    assert len(floors) == 5
+    for rec, floor in zip(trace.records, floors):
+        assert rec.noise_variance >= floor * 0.999
+
+
+def test_bad_noise_floor_schedule_rejected():
+    learner = _learner(noise_floor_schedule=lambda i: -1.0)
+    with pytest.raises(ValueError, match="positive"):
+        learner.step()
+
+
+def test_iteration_record_fields():
+    learner = _learner()
+    rec = learner.step()
+    assert rec.iteration == 0
+    assert rec.n_train == 1
+    assert rec.sd_at_selected > 0
+    assert rec.rmse > 0
+    assert rec.amsd > 0
+    assert np.isfinite(rec.lml)
+    assert rec.cost > 0
+
+
+def test_input_validation():
+    X, y, costs = _problem()
+    part = random_partition(X.shape[0], rng=0)
+    with pytest.raises(ValueError):
+        ActiveLearner(X, y[:-1], costs, part, VarianceReduction())
+    with pytest.raises(ValueError):
+        ActiveLearner(X[:-1], y[:-1], costs[:-1], part, VarianceReduction())
+    learner = _learner()
+    with pytest.raises(ValueError):
+        learner.run(-1)
+
+
+def test_deterministic_runs():
+    t1 = _learner(seed=3).run(6)
+    t2 = _learner(seed=3).run(6)
+    np.testing.assert_allclose(t1.series("rmse"), t2.series("rmse"))
+    np.testing.assert_allclose(
+        t1.selected_points, t2.selected_points
+    )
+
+
+def test_trace_final_and_empty():
+    from repro.al import ALTrace
+
+    with pytest.raises(ValueError):
+        ALTrace(strategy="x").final
+    learner = _learner()
+    learner.run(2)
+    assert learner.trace.final.iteration == 1

@@ -1,0 +1,78 @@
+"""Tests for AL convergence metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.al import amsd, evaluate_model, gmsd, nlpd, rmse
+from repro.gp import RBF, ConstantKernel, GaussianProcessRegressor
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 5, size=(15, 1))
+    y = X[:, 0] + 0.1 * rng.standard_normal(15)
+    m = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(1.0, "fixed"),
+        noise_variance=0.01,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+    )
+    return m.fit(X, y)
+
+
+def test_rmse_formula(model):
+    X_test = np.array([[1.0], [2.0], [3.0]])
+    y_test = np.array([1.0, 2.0, 3.0])
+    pred = model.predict(X_test)
+    expected = math.sqrt(np.mean((pred - y_test) ** 2))
+    assert rmse(model, X_test, y_test) == pytest.approx(expected)
+
+
+def test_rmse_zero_for_perfect_predictions(model):
+    X_test = np.array([[1.5]])
+    y_test = model.predict(X_test)
+    assert rmse(model, X_test, y_test) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_amsd_is_mean_sd(model):
+    X = np.linspace(0, 8, 9)[:, np.newaxis]
+    _, sd = model.predict(X, return_std=True)
+    assert amsd(model, X) == pytest.approx(float(np.mean(sd)))
+
+
+def test_gmsd_leq_amsd(model):
+    """Geometric mean never exceeds the arithmetic mean."""
+    X = np.linspace(0, 8, 9)[:, np.newaxis]
+    assert gmsd(model, X) <= amsd(model, X) + 1e-12
+
+
+def test_nlpd_formula(model):
+    X_test = np.array([[2.0]])
+    y_test = np.array([2.0])
+    mu, sd = model.predict(X_test, return_std=True)
+    expected = 0.5 * math.log(2 * math.pi) + math.log(sd[0]) + 0.5 * (
+        (y_test[0] - mu[0]) / sd[0]
+    ) ** 2
+    assert nlpd(model, X_test, y_test) == pytest.approx(expected)
+
+
+def test_nlpd_penalizes_confident_misses(model):
+    """A miss far outside the predictive band must cost more."""
+    X_test = np.array([[2.0]])
+    good = nlpd(model, X_test, model.predict(X_test))
+    bad = nlpd(model, X_test, model.predict(X_test) + 5.0)
+    assert bad > good + 1.0
+
+
+def test_evaluate_model_consistency(model):
+    X_active = np.linspace(0, 8, 9)[:, np.newaxis]
+    X_test = np.array([[1.0], [4.0]])
+    y_test = np.array([1.0, 4.0])
+    out = evaluate_model(model, X_active, X_test, y_test)
+    assert out["rmse"] == pytest.approx(rmse(model, X_test, y_test))
+    assert out["amsd"] == pytest.approx(amsd(model, X_active))
+    assert out["gmsd"] == pytest.approx(gmsd(model, X_active))
+    assert out["nlpd"] == pytest.approx(nlpd(model, X_test, y_test))

@@ -1,0 +1,82 @@
+"""Tests for the offline and online experiment oracles."""
+
+import numpy as np
+import pytest
+
+from repro.al import Observation, OfflineOracle, OnlineHPGMGOracle
+
+
+def test_offline_oracle_replays_records():
+    X = np.arange(6, dtype=float)[:, np.newaxis]
+    y = X[:, 0] ** 2
+    costs = np.ones(6)
+    oracle = OfflineOracle(X, y, costs)
+    obs = oracle.query(3)
+    assert isinstance(obs, Observation)
+    np.testing.assert_allclose(obs.x, [3.0])
+    assert obs.y == 9.0
+    assert obs.cost == 1.0
+
+
+def test_offline_oracle_validation():
+    with pytest.raises(ValueError):
+        OfflineOracle(np.zeros((3, 1)), np.zeros(2), np.zeros(3))
+    with pytest.raises(ValueError):
+        OfflineOracle(np.zeros((3, 1)), np.zeros(3), np.zeros(2))
+
+
+@pytest.fixture(scope="module")
+def online():
+    return OnlineHPGMGOracle("poisson1", ne_choices=(4, 8), rng=0)
+
+
+def test_online_candidate_grid(online):
+    grid = online.candidate_grid()
+    assert grid.shape == (2 * 5, 2)
+    # First column: log10 interior DOFs for ne in {4, 8}.
+    assert 10 ** grid[0, 0] == pytest.approx(9)  # (4-1)^2
+    assert set(np.round(grid[:, 1], 1)) == {1.2, 1.5, 1.8, 2.1, 2.4}
+
+
+def test_online_query_runs_real_solve(online):
+    x = online.candidate_grid()[0]
+    obs = online.query(x)
+    # The oracle snaps to the nearest feasible config and reports it back.
+    assert obs.x[1] in online.freq_choices
+    assert 10 ** obs.x[0] in (9, 49)
+    assert np.isfinite(obs.y)
+    assert obs.cost > 0
+    # Response is log10 runtime of the (noise-scaled) solve.
+    assert obs.y == pytest.approx(np.log10(obs.cost))
+
+
+def test_online_dvfs_slowdown(online):
+    """Lower frequency yields systematically longer simulated runtimes.
+
+    The oracle times *real* solves, whose microsecond-scale wall clock is
+    noisy under load, so compare paired lo/hi queries and require only the
+    median ratio to reflect the (2.4/1.2)^0.75 ~ 1.68x DVFS slowdown.
+    """
+    grid = online.candidate_grid()
+    x_lo = np.array([grid[0, 0], 1.2])
+    x_hi = np.array([grid[0, 0], 2.4])
+    ratios = [
+        online.query(x_lo).cost / online.query(x_hi).cost for _ in range(15)
+    ]
+    assert np.median(ratios) > 1.1
+
+
+def test_online_snaps_to_nearest(online):
+    obs = online.query(np.array([1.0, 1.33]))
+    assert obs.x[1] == 1.2  # nearest DVFS level
+    assert 10 ** obs.x[0] == pytest.approx(9)  # nearest mesh
+
+
+def test_online_query_validation(online):
+    with pytest.raises(ValueError):
+        online.query(np.array([1.0]))
+
+
+def test_online_oracle_validation():
+    with pytest.raises(ValueError):
+        OnlineHPGMGOracle("poisson1", ne_choices=())

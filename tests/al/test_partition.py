@@ -1,0 +1,102 @@
+"""Tests for Initial/Active/Test partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.al import Partition, random_partition, random_partitions
+
+
+def test_default_split_matches_paper():
+    """Initial=1; Active:Test ~ 8:2 of the rest (Section IV)."""
+    p = random_partition(251, rng=0)
+    assert p.initial.size == 1
+    assert p.test.size == 50  # round(250 * 0.2)
+    assert p.active.size == 200
+    assert p.n_total == 251
+
+
+def test_partition_disjoint_and_complete():
+    p = random_partition(100, rng=1)
+    all_idx = np.concatenate([p.initial, p.active, p.test])
+    assert sorted(all_idx.tolist()) == list(range(100))
+
+
+def test_partition_reproducible():
+    a = random_partition(50, rng=3)
+    b = random_partition(50, rng=3)
+    np.testing.assert_array_equal(a.active, b.active)
+    c = random_partition(50, rng=4)
+    assert not np.array_equal(a.active, c.active)
+
+
+def test_custom_initial_and_test_fraction():
+    p = random_partition(101, rng=0, n_initial=5, test_fraction=0.25)
+    assert p.initial.size == 5
+    assert p.test.size == 24  # round(96 * 0.25)
+    assert p.active.size == 72
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        random_partition(2, rng=0)  # too small for 1/active/test
+    # n=3 is the smallest valid dataset: 1 initial, 1 active, 1 test.
+    p = random_partition(3, rng=0)
+    assert (p.initial.size, p.active.size, p.test.size) == (1, 1, 1)
+    with pytest.raises(ValueError):
+        random_partition(100, rng=0, n_initial=0)
+    with pytest.raises(ValueError):
+        random_partition(100, rng=0, test_fraction=0.0)
+    with pytest.raises(ValueError):
+        random_partition(100, rng=0, test_fraction=1.0)
+
+
+def test_partition_dataclass_validation():
+    with pytest.raises(ValueError, match="overlap"):
+        Partition(
+            initial=np.array([0]),
+            active=np.array([0, 1]),
+            test=np.array([2]),
+        )
+    with pytest.raises(ValueError):
+        Partition(
+            initial=np.array([0.5]),  # not integer
+            active=np.array([1]),
+            test=np.array([2]),
+        )
+    with pytest.raises(ValueError, match="initial"):
+        Partition(
+            initial=np.array([], dtype=int),
+            active=np.array([1]),
+            test=np.array([2]),
+        )
+
+
+def test_random_partitions_batch():
+    parts = random_partitions(100, 10, seed=0)
+    assert len(parts) == 10
+    # Partitions differ from one another.
+    assert not np.array_equal(parts[0].active, parts[1].active)
+    # But the batch is reproducible.
+    again = random_partitions(100, 10, seed=0)
+    np.testing.assert_array_equal(parts[3].active, again[3].active)
+    with pytest.raises(ValueError):
+        random_partitions(100, 0)
+
+
+@given(
+    n=st.integers(10, 500),
+    n_initial=st.integers(1, 5),
+    frac=st.floats(0.05, 0.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_partition_invariants(n, n_initial, frac):
+    try:
+        p = random_partition(n, rng=0, n_initial=n_initial, test_fraction=frac)
+    except ValueError:
+        return  # legitimately too small
+    assert p.n_total == n
+    all_idx = np.concatenate([p.initial, p.active, p.test])
+    assert len(set(all_idx.tolist())) == n
+    assert p.initial.size == n_initial

@@ -1,0 +1,80 @@
+"""Tests for the candidate pool."""
+
+import numpy as np
+import pytest
+
+from repro.al import CandidatePool
+
+
+def _pool(n=5):
+    X = np.arange(n, dtype=float)[:, np.newaxis]
+    y = X[:, 0] * 2.0
+    costs = np.full(n, 1.5)
+    return CandidatePool(X, y, costs)
+
+
+def test_initial_state():
+    pool = _pool(5)
+    assert pool.n_total == 5
+    assert pool.n_available == 5
+    assert not pool.exhausted
+    np.testing.assert_array_equal(pool.available_indices(), np.arange(5))
+
+
+def test_consume_returns_record():
+    pool = _pool()
+    x, y, cost = pool.consume(2)
+    np.testing.assert_allclose(x, [2.0])
+    assert y == 4.0
+    assert cost == 1.5
+    assert pool.n_available == 4
+    assert 2 not in pool.available_indices()
+
+
+def test_double_consume_rejected():
+    pool = _pool()
+    pool.consume(1)
+    with pytest.raises(ValueError, match="already consumed"):
+        pool.consume(1)
+
+
+def test_out_of_range_rejected():
+    pool = _pool()
+    with pytest.raises(IndexError):
+        pool.consume(99)
+    with pytest.raises(IndexError):
+        pool.consume(-1)
+
+
+def test_exhaustion():
+    pool = _pool(2)
+    pool.consume(0)
+    pool.consume(1)
+    assert pool.exhausted
+    assert pool.available_X().shape == (0, 1)
+
+
+def test_repeated_measurements_stay_available():
+    """Duplicate x rows are distinct records (paper: noisy revisits)."""
+    X = np.array([[1.0], [1.0], [1.0]])
+    y = np.array([2.0, 2.1, 1.9])
+    pool = CandidatePool(X, y, np.ones(3))
+    pool.consume(0)
+    assert pool.n_available == 2
+    np.testing.assert_allclose(pool.available_X(), [[1.0], [1.0]])
+
+
+def test_full_X_includes_consumed():
+    pool = _pool()
+    pool.consume(0)
+    assert pool.X.shape == (5, 1)
+    assert pool.available_X().shape == (4, 1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CandidatePool(np.zeros(3), np.zeros(3), np.zeros(3))  # X not 2-D
+    with pytest.raises(ValueError):
+        CandidatePool(np.zeros((3, 1)), np.zeros(2), np.zeros(3))
+    with pytest.raises(ValueError):
+        CandidatePool(np.zeros((3, 1)), np.zeros(3), -np.ones(3))

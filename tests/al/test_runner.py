@@ -1,0 +1,125 @@
+"""Tests for batched AL runs over random partitions."""
+
+import numpy as np
+import pytest
+
+from repro.al import (
+    CostEfficiency,
+    VarianceReduction,
+    default_model_factory,
+    run_batch,
+)
+
+
+def _data(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.sort(rng.uniform(0, 10, size=n))[:, np.newaxis]
+    y = 0.3 * X[:, 0] + 0.05 * rng.standard_normal(n)
+    costs = np.exp(y)
+    return X, y, costs
+
+
+def _run(strategy_factory, **kw):
+    X, y, costs = _data()
+    defaults = dict(
+        n_partitions=3,
+        n_iterations=8,
+        seed=1,
+        model_factory=default_model_factory(1e-2),
+    )
+    defaults.update(kw)
+    return run_batch(X, y, costs, strategy_factory=strategy_factory, **defaults)
+
+
+def test_batch_shapes():
+    result = _run(lambda i: VarianceReduction())
+    assert result.n_partitions == 3
+    mat = result.series_matrix("rmse")
+    assert mat.shape == (3, 8)
+    assert result.mean_series("rmse").shape == (8,)
+    assert result.std_series("amsd").shape == (8,)
+
+
+def test_strategy_factory_receives_index():
+    seen = []
+
+    def factory(i):
+        seen.append(i)
+        return VarianceReduction()
+
+    _run(factory)
+    assert seen == [0, 1, 2]
+
+
+def test_same_seed_same_partitions():
+    """Two strategies with the same seed see identical partitions (Fig. 8)."""
+    vr = _run(lambda i: VarianceReduction())
+    ce = _run(lambda i: CostEfficiency())
+    # Iteration-0 metrics depend only on the seed model => identical.
+    np.testing.assert_allclose(
+        vr.series_matrix("rmse")[:, 0], ce.series_matrix("rmse")[:, 0]
+    )
+
+
+def test_different_seed_different_partitions():
+    a = _run(lambda i: VarianceReduction(), seed=1)
+    b = _run(lambda i: VarianceReduction(), seed=2)
+    assert not np.allclose(
+        a.series_matrix("rmse")[:, 0], b.series_matrix("rmse")[:, 0]
+    )
+
+
+def test_batch_name_from_strategy():
+    assert _run(lambda i: CostEfficiency()).strategy == "cost-efficiency"
+
+
+def test_series_matrix_truncates_to_common_length():
+    from repro.al.runner import BatchResult
+    from repro.al.learner import ALTrace, IterationRecord
+
+    def rec(i):
+        return IterationRecord(
+            iteration=i, n_train=1, selected_pool_index=0,
+            x_selected=np.zeros(1), y_selected=0.0, sd_at_selected=1.0,
+            cost=1.0, cumulative_cost=float(i + 1), rmse=1.0, amsd=1.0,
+            gmsd=1.0, nlpd=1.0, noise_variance=0.1, lml=0.0,
+        )
+
+    t1 = ALTrace(strategy="s", records=[rec(0), rec(1), rec(2)])
+    t2 = ALTrace(strategy="s", records=[rec(0), rec(1)])
+    result = BatchResult(strategy="s", traces=[t1, t2])
+    assert result.series_matrix("rmse").shape == (2, 2)
+
+
+def test_empty_batch_rejected():
+    from repro.al.runner import BatchResult
+
+    with pytest.raises(ValueError):
+        BatchResult(strategy="s", traces=[]).series_matrix("rmse")
+
+
+def test_aggregate_series():
+    from repro.al import aggregate_series
+
+    result = _run(lambda i: VarianceReduction())
+    its, mean, std = aggregate_series(result, "rmse")
+    assert its.shape == mean.shape == std.shape == (8,)
+    np.testing.assert_allclose(mean, result.mean_series("rmse"))
+
+
+def test_parallel_matches_serial():
+    """Thread-pooled partitions must be bit-identical to the serial run."""
+    serial = _run(lambda i: VarianceReduction(), n_workers=1)
+    parallel = _run(lambda i: VarianceReduction(), n_workers=4)
+    np.testing.assert_array_equal(
+        serial.series_matrix("rmse"), parallel.series_matrix("rmse")
+    )
+    np.testing.assert_array_equal(
+        serial.series_matrix("cumulative_cost"),
+        parallel.series_matrix("cumulative_cost"),
+    )
+
+
+def test_invalid_workers():
+    with pytest.raises(ValueError):
+        _run(lambda i: VarianceReduction(), n_workers=0)

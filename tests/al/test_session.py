@@ -1,0 +1,111 @@
+"""Tests for AL campaign checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.al import (
+    ActiveLearner,
+    CostEfficiency,
+    VarianceReduction,
+    default_model_factory,
+    random_partition,
+)
+from repro.al.session import (
+    ALSessionState,
+    load_session,
+    restore,
+    save_session,
+    snapshot,
+)
+
+
+def _learner(seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.sort(rng.uniform(0, 10, size=50))[:, np.newaxis]
+    y = 0.4 * X[:, 0] + 0.05 * rng.standard_normal(50)
+    costs = np.abs(y) + 1.0
+    part = random_partition(50, rng=seed)
+    return ActiveLearner(
+        X, y, costs, part, VarianceReduction(),
+        model_factory=default_model_factory(1e-2),
+    )
+
+
+def test_snapshot_roundtrip_continues_identically():
+    """A resumed campaign must produce exactly the run-through trajectory."""
+    straight = _learner()
+    straight.run(10)
+
+    resumed = _learner()
+    resumed.run(5)
+    state = snapshot(resumed)
+    resumed2 = restore(
+        state, VarianceReduction(), model_factory=default_model_factory(1e-2)
+    )
+    resumed2.run(5)
+
+    np.testing.assert_allclose(
+        straight.trace.series("rmse"), resumed2.trace.series("rmse")
+    )
+    np.testing.assert_allclose(
+        straight.trace.selected_points, resumed2.trace.selected_points
+    )
+    assert straight.cumulative_cost == pytest.approx(resumed2.cumulative_cost)
+
+
+def test_save_and_load_file(tmp_path):
+    learner = _learner()
+    learner.run(4)
+    path = save_session(snapshot(learner), tmp_path / "campaign.json")
+    state = load_session(path)
+    assert isinstance(state, ALSessionState)
+    assert state.strategy == "variance-reduction"
+    assert len(state.records) == 4
+    restored = restore(state, VarianceReduction(),
+                       model_factory=default_model_factory(1e-2))
+    assert restored.n_train == learner.n_train
+    assert restored.pool.n_available == learner.pool.n_available
+    assert len(restored.trace) == 4
+
+
+def test_restore_preserves_consumed_pool_entries():
+    learner = _learner()
+    learner.run(6)
+    consumed_before = set(
+        np.flatnonzero(~learner.pool._available).tolist()
+    )
+    restored = restore(snapshot(learner), VarianceReduction())
+    consumed_after = set(np.flatnonzero(~restored.pool._available).tolist())
+    assert consumed_before == consumed_after
+
+
+def test_strategy_mismatch_rejected():
+    learner = _learner()
+    learner.run(2)
+    with pytest.raises(ValueError, match="strategy mismatch"):
+        restore(snapshot(learner), CostEfficiency())
+
+
+def test_bad_version_rejected():
+    learner = _learner()
+    learner.run(1)
+    state = snapshot(learner)
+    state.version = 99
+    with pytest.raises(ValueError, match="version"):
+        restore(state, VarianceReduction())
+
+
+def test_malformed_file_rejected(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError):
+        load_session(path)
+
+
+def test_snapshot_before_any_step():
+    learner = _learner()
+    restored = restore(snapshot(learner), VarianceReduction(),
+                       model_factory=default_model_factory(1e-2))
+    assert len(restored.trace) == 0
+    restored.step()
+    assert len(restored.trace) == 1

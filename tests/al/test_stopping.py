@@ -1,0 +1,101 @@
+"""Tests for stopping rules and dynamic noise floors."""
+
+import numpy as np
+import pytest
+
+from repro.al import AMSDConvergence, dynamic_noise_floor, first_converged_iteration
+from repro.al.learner import ALTrace, IterationRecord
+
+
+def _trace_with_amsd(values):
+    records = []
+    for i, v in enumerate(values):
+        records.append(
+            IterationRecord(
+                iteration=i, n_train=i + 1, selected_pool_index=i,
+                x_selected=np.zeros(1), y_selected=0.0, sd_at_selected=v,
+                cost=1.0, cumulative_cost=float(i + 1), rmse=v, amsd=v,
+                gmsd=v, nlpd=v, noise_variance=0.1, lml=0.0,
+            )
+        )
+    return ALTrace(strategy="s", records=records)
+
+
+def test_not_converged_while_decreasing():
+    trace = _trace_with_amsd([1.0, 0.8, 0.6, 0.4, 0.3, 0.25])
+    assert not AMSDConvergence(window=4, rel_tol=0.05).converged(trace)
+
+
+def test_converged_when_flat():
+    trace = _trace_with_amsd([1.0, 0.5, 0.32, 0.31, 0.312, 0.311, 0.310])
+    assert AMSDConvergence(window=4, rel_tol=0.05).converged(trace)
+
+
+def test_short_trace_not_converged():
+    trace = _trace_with_amsd([0.3, 0.3])
+    assert not AMSDConvergence(window=5).converged(trace)
+
+
+def test_first_converged_iteration():
+    values = [1.0, 0.7, 0.5, 0.4, 0.4, 0.401, 0.399, 0.4]
+    trace = _trace_with_amsd(values)
+    rule = AMSDConvergence(window=3, rel_tol=0.05)
+    it = first_converged_iteration(trace, rule)
+    assert it == 5  # window [0.4, 0.4, 0.401] at indices 3..5
+    assert first_converged_iteration(
+        _trace_with_amsd([1.0, 0.5, 0.25, 0.12]), rule
+    ) is None
+
+
+def test_all_zero_amsd_converged():
+    trace = _trace_with_amsd([0.0, 0.0, 0.0, 0.0, 0.0])
+    assert AMSDConvergence(window=3).converged(trace)
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        AMSDConvergence(window=1)
+    with pytest.raises(ValueError):
+        AMSDConvergence(rel_tol=0.0)
+
+
+def test_dynamic_noise_floor_schedule():
+    """The paper's sigma_n >= 1/sqrt(N) proposal (Section V-B4)."""
+    schedule = dynamic_noise_floor(scale=1.0)
+    assert schedule(0) == pytest.approx(1.0)
+    assert schedule(3) == pytest.approx(0.5)
+    assert schedule(99) == pytest.approx(0.1)
+    # Monotone non-increasing.
+    floors = [schedule(i) for i in range(50)]
+    assert all(a >= b for a, b in zip(floors, floors[1:]))
+
+
+def test_dynamic_noise_floor_minimum():
+    schedule = dynamic_noise_floor(scale=1.0, minimum=0.2)
+    assert schedule(1000) == pytest.approx(0.2)
+
+
+def test_dynamic_noise_floor_validation():
+    with pytest.raises(ValueError):
+        dynamic_noise_floor(scale=0.0)
+    with pytest.raises(ValueError):
+        dynamic_noise_floor(minimum=-1.0)
+
+
+def test_dynamic_floor_integrates_with_learner():
+    from repro.al import ActiveLearner, VarianceReduction, random_partition
+
+    rng = np.random.default_rng(0)
+    X = np.sort(rng.uniform(0, 10, size=40))[:, np.newaxis]
+    y = X[:, 0] * 0.3 + 0.05 * rng.standard_normal(40)
+    part = random_partition(40, rng=0)
+    learner = ActiveLearner(
+        X, y, np.ones(40), part, VarianceReduction(),
+        noise_floor_schedule=dynamic_noise_floor(scale=0.5),
+    )
+    trace = learner.run(6)
+    floors = [0.5 / np.sqrt(i + 1) for i in range(6)]
+    for rec, floor in zip(trace.records, floors):
+        assert rec.noise_variance >= floor * 0.999
+    # Later iterations may settle on lower noise than early ones allowed.
+    assert trace.records[-1].noise_variance <= trace.records[0].noise_variance + 1e-9

@@ -1,0 +1,190 @@
+"""Tests for the experiment-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.al import (
+    EMCM,
+    CandidatePool,
+    CostEfficiency,
+    RandomSampling,
+    VarianceReduction,
+    select_batch,
+)
+from repro.gp import RBF, ConstantKernel, GaussianProcessRegressor
+
+
+@pytest.fixture()
+def fitted_model():
+    """GP trained on the left half of [0, 10]: uncertainty grows rightward."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 4, size=(12, 1))
+    y = np.sin(X[:, 0]) + 0.05 * rng.standard_normal(12)
+    model = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(1.0, "fixed"),
+        noise_variance=0.01,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+    )
+    return model.fit(X, y)
+
+
+@pytest.fixture()
+def pool():
+    X = np.linspace(0, 10, 21)[:, np.newaxis]
+    y = np.sin(X[:, 0])
+    costs = np.linspace(1, 3, 21)
+    return CandidatePool(X, y, costs)
+
+
+def test_variance_reduction_picks_most_uncertain(fitted_model, pool):
+    idx = VarianceReduction().select(fitted_model, pool)
+    _, sd = fitted_model.predict(pool.X, return_std=True)
+    assert idx == int(np.argmax(sd))
+    # Data lives on [0, 4]; the most uncertain candidate is far right.
+    assert pool.X[idx, 0] > 7.0
+
+
+def test_variance_reduction_revisits_after_consumption(fitted_model, pool):
+    strat = VarianceReduction()
+    first = strat.select(fitted_model, pool)
+    pool.consume(first)
+    second = strat.select(fitted_model, pool)
+    assert second != first
+
+
+def test_cost_efficiency_penalizes_predicted_cost(fitted_model, pool):
+    """With cost_weight high, CE must pick low-mean (cheap) points."""
+    ce = CostEfficiency(cost_weight=50.0)
+    idx = ce.select(fitted_model, pool)
+    mu = fitted_model.predict(pool.X)
+    assert mu[idx] == pytest.approx(mu.min(), abs=1e-9)
+
+
+def test_cost_efficiency_zero_weight_is_variance_reduction(fitted_model, pool):
+    ce = CostEfficiency(cost_weight=0.0)
+    vr = VarianceReduction()
+    assert ce.select(fitted_model, pool) == vr.select(fitted_model, pool)
+
+
+def test_cost_efficiency_score_formula(fitted_model, pool):
+    ce = CostEfficiency()
+    scores = ce.scores(fitted_model, pool)
+    mu, sd = fitted_model.predict(pool.available_X(), return_std=True)
+    np.testing.assert_allclose(scores, sd - mu)
+
+
+def test_random_sampling_reproducible(fitted_model, pool):
+    a = RandomSampling(seed=5)
+    b = RandomSampling(seed=5)
+    assert a.select(fitted_model, pool) == b.select(fitted_model, pool)
+
+
+def test_random_sampling_covers_pool(fitted_model):
+    X = np.linspace(0, 10, 10)[:, np.newaxis]
+    pool = CandidatePool(X, np.zeros(10), np.ones(10))
+    strat = RandomSampling(seed=0)
+    picks = set()
+    for _ in range(10):
+        idx = strat.select(fitted_model, pool)
+        picks.add(idx)
+        pool.consume(idx)
+    assert picks == set(range(10))
+
+
+def test_emcm_scores_positive_and_shaped(fitted_model, pool):
+    emcm = EMCM(n_members=3, seed=0)
+    scores = emcm.scores(fitted_model, pool)
+    assert scores.shape == (pool.n_available,)
+    assert np.all(scores >= 0)
+    assert scores.max() > 0
+
+
+def test_emcm_requires_fitted_model(pool):
+    with pytest.raises(ValueError, match="fitted"):
+        EMCM().scores(GaussianProcessRegressor(), pool)
+
+
+def test_emcm_blind_to_extrapolation_region(fitted_model, pool):
+    """EMCM's Monte-Carlo disagreement vanishes far from the data.
+
+    With a mean-reverting GP, every bootstrap member predicts the prior
+    mean in unexplored regions, so EMCM sees no "model change" there —
+    exactly the weakness (noisy, data-bound variance estimates) that makes
+    the paper prefer the GPR posterior variance (Section III).
+    """
+    emcm = EMCM(n_members=8, seed=1)
+    scores = emcm.scores(fitted_model, pool)
+    x = pool.X[:, 0]
+    assert scores[x < 2.0].mean() > 10 * scores[x > 8.0].mean()
+
+
+def test_exhausted_pool_raises(fitted_model):
+    pool = CandidatePool(np.zeros((1, 1)), np.zeros(1), np.ones(1))
+    pool.consume(0)
+    with pytest.raises(ValueError, match="exhausted"):
+        VarianceReduction().select(fitted_model, pool)
+
+
+def test_select_batch_distinct_and_spread(fitted_model, pool):
+    picks = select_batch(fitted_model, pool, VarianceReduction(), 4)
+    assert len(picks) == len(set(picks)) == 4
+    # Kriging-believer conditioning must spread picks, not cluster them at
+    # the single highest-variance spot.
+    xs = np.sort(pool.X[picks, 0])
+    assert np.min(np.diff(xs)) > 0.4
+
+
+def test_select_batch_consumes_pool(fitted_model, pool):
+    n0 = pool.n_available
+    select_batch(fitted_model, pool, VarianceReduction(), 3)
+    assert pool.n_available == n0 - 3
+
+
+def test_select_batch_validation(fitted_model, pool):
+    with pytest.raises(ValueError):
+        select_batch(fitted_model, pool, VarianceReduction(), 0)
+    with pytest.raises(ValueError):
+        select_batch(fitted_model, pool, VarianceReduction(), pool.n_available + 1)
+
+
+def test_cost_model_efficiency_uses_external_cost(fitted_model, pool):
+    """With a separate cost model, CE avoids configurations the *cost*
+    model flags as expensive even when the response model is flat."""
+    from repro.al import CostModelEfficiency
+
+    # Cost grows steeply to the right of the domain.
+    cost_gp = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(2.0, "fixed"),
+        noise_variance=1e-4, noise_variance_bounds="fixed", optimizer=None,
+    ).fit(pool.X, 0.5 * pool.X[:, 0])
+    strat = CostModelEfficiency(cost_model=cost_gp, cost_weight=10.0)
+    idx = strat.select(fitted_model, pool)
+    assert pool.X[idx, 0] < 2.0  # pushed to the cheap side
+
+    # With zero weight it reduces to variance reduction.
+    neutral = CostModelEfficiency(cost_model=cost_gp, cost_weight=0.0)
+    assert neutral.select(fitted_model, pool) == VarianceReduction().select(
+        fitted_model, pool
+    )
+
+
+def test_cost_model_efficiency_requires_fitted_cost_model(fitted_model, pool):
+    from repro.al import CostModelEfficiency
+
+    with pytest.raises(ValueError, match="cost_model"):
+        CostModelEfficiency().scores(fitted_model, pool)
+    with pytest.raises(ValueError, match="cost_model"):
+        CostModelEfficiency(cost_model=GaussianProcessRegressor()).scores(
+            fitted_model, pool
+        )
+
+
+def test_strategy_names():
+    from repro.al import CostModelEfficiency
+
+    assert VarianceReduction().name == "variance-reduction"
+    assert CostEfficiency().name == "cost-efficiency"
+    assert CostModelEfficiency().name == "cost-model-efficiency"
+    assert RandomSampling().name == "random"
+    assert EMCM().name == "emcm"

@@ -1,0 +1,120 @@
+"""Tests for cost-error tradeoff analysis (Fig. 8b machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.al.learner import ALTrace, IterationRecord
+from repro.al.runner import BatchResult
+from repro.al.tradeoff import (
+    TradeoffCurve,
+    compare_strategies,
+    crossover_cost,
+    relative_reduction,
+    tradeoff_curve,
+)
+
+
+def _trace(costs, errors, strategy="s"):
+    records = []
+    cum = 0.0
+    for i, (c, e) in enumerate(zip(costs, errors)):
+        cum += c
+        records.append(
+            IterationRecord(
+                iteration=i, n_train=i + 1, selected_pool_index=i,
+                x_selected=np.zeros(1), y_selected=0.0, sd_at_selected=1.0,
+                cost=c, cumulative_cost=cum, rmse=e, amsd=e, gmsd=e, nlpd=e,
+                noise_variance=0.1, lml=0.0,
+            )
+        )
+    return ALTrace(strategy=strategy, records=records)
+
+
+def _curve(costs, errors, strategy="s"):
+    return TradeoffCurve(
+        strategy=strategy,
+        costs=np.asarray(costs, float),
+        errors=np.asarray(errors, float),
+    )
+
+
+def test_step_interpolation():
+    curve = _curve([1.0, 10.0, 100.0], [1.0, 0.5, 0.1])
+    np.testing.assert_allclose(curve.error_at([1.0, 5.0, 10.0, 50.0, 1000.0]),
+                               [1.0, 1.0, 0.5, 0.5, 0.1])
+    # Below the first grid point, clamp to the first value.
+    assert curve.error_at(0.1) == 1.0
+
+
+def test_tradeoff_curve_from_batch():
+    t1 = _trace([1, 1, 1, 1], [1.0, 0.8, 0.6, 0.4])
+    t2 = _trace([2, 2, 2, 2], [1.2, 0.9, 0.7, 0.5])
+    batch = BatchResult(strategy="s", traces=[t1, t2])
+    curve = tradeoff_curve(batch, n_grid=50)
+    assert curve.costs.shape == (50,)
+    # Monotone non-increasing average error.
+    assert np.all(np.diff(curve.errors) <= 1e-12)
+    # At cost 4.5, trace1 has err 0.4 (4 experiments done) and trace2 err
+    # 0.9 (2 done) -> mean 0.65.
+    assert curve.error_at(4.5) == pytest.approx(0.65)
+
+
+def test_crossover_detection():
+    base = _curve([1, 2, 4, 8, 16], [1.0, 0.8, 0.6, 0.4, 0.2], "base")
+    # Challenger: worse early, better from cost 4 onward.
+    chal = _curve([1, 2, 4, 8, 16], [1.2, 1.0, 0.5, 0.3, 0.15], "chal")
+    C = crossover_cost(base, chal)
+    assert C is not None
+    assert 2.0 < C <= 4.5  # grid discretization may land just past 4
+
+
+def test_crossover_none_when_never_wins():
+    base = _curve([1, 10, 100], [0.5, 0.3, 0.1])
+    chal = _curve([1, 10, 100], [0.9, 0.6, 0.3])
+    assert crossover_cost(base, chal) is None
+
+
+def test_crossover_requires_sustained_win():
+    """A transient dip must not count as the crossover."""
+    base = _curve([1, 2, 4, 8, 16, 32], [1.0, 0.9, 0.8, 0.7, 0.6, 0.5])
+    chal = _curve([1, 2, 4, 8, 16, 32], [1.1, 0.85, 0.95, 0.95, 0.55, 0.45])
+    C = crossover_cost(base, chal)
+    assert C is not None
+    assert C > 8.0  # skips the dip at cost 2
+
+
+def test_crossover_min_cost():
+    base = _curve([1, 2, 4, 8], [1.0, 0.8, 0.6, 0.4])
+    chal = _curve([1, 2, 4, 8], [0.9, 0.7, 0.5, 0.3])
+    assert crossover_cost(base, chal) == pytest.approx(1.0)
+    C = crossover_cost(base, chal, min_cost=3.0)
+    assert C == pytest.approx(3.0)
+
+
+def test_relative_reduction():
+    base = _curve([1, 10], [1.0, 0.5])
+    chal = _curve([1, 10], [0.8, 0.31])
+    red = relative_reduction(base, chal, [1.0, 10.0])
+    np.testing.assert_allclose(red, [0.2, 0.38])
+
+
+def test_compare_strategies_summary():
+    base = _curve([1, 2, 4, 8, 16, 32], [1.0, 0.9, 0.8, 0.6, 0.4, 0.2], "vr")
+    chal = _curve([1, 2, 4, 8, 16, 32], [1.3, 1.1, 0.5, 0.4, 0.3, 0.19], "ce")
+    comp = compare_strategies(base, chal)
+    assert comp.baseline == "vr"
+    assert comp.challenger == "ce"
+    assert comp.crossover is not None
+    assert comp.max_reduction > 0.2
+    assert set(comp.reductions_at_multiples) <= {2.0, 3.0, 5.0, 10.0}
+    for red in comp.reductions_at_multiples.values():
+        assert -1.0 < red < 1.0
+
+
+def test_compare_strategies_no_crossover():
+    base = _curve([1, 10, 100], [0.5, 0.3, 0.1], "vr")
+    chal = _curve([1, 10, 100], [0.9, 0.6, 0.3], "ce")
+    comp = compare_strategies(base, chal)
+    assert comp.crossover is None
+    assert comp.max_reduction < 0  # challenger strictly worse
+    assert comp.reductions_at_multiples == {}

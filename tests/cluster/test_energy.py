@@ -1,0 +1,77 @@
+"""Tests for energy integration and the trace-quality rule."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    MIN_RECORDS_PER_MINUTE,
+    PowerTrace,
+    integrate_energy,
+    records_per_minute,
+    trace_is_usable,
+)
+
+
+def _trace(times, watts):
+    return PowerTrace(times=np.asarray(times, float), watts=np.asarray(watts, float))
+
+
+def test_constant_power_exact():
+    trace = _trace(np.arange(0.0, 11.0), np.full(11, 200.0))
+    assert integrate_energy(trace, 10.0) == pytest.approx(2000.0)
+
+
+def test_linear_power_trapezoid_exact():
+    t = np.linspace(0, 10, 11)
+    trace = _trace(t, 100.0 + 10.0 * t)
+    # integral of 100 + 10t over [0,10] = 1000 + 500
+    assert integrate_energy(trace, 10.0) == pytest.approx(1500.0)
+
+
+def test_boundary_hold_extension():
+    """Samples not reaching the job boundaries are extended (ZOH)."""
+    trace = _trace([2.0, 8.0], [100.0, 100.0])
+    assert integrate_energy(trace, 10.0) == pytest.approx(1000.0)
+
+
+def test_samples_beyond_duration_clipped():
+    trace = _trace([0.0, 5.0, 50.0], [100.0, 100.0, 100.0])
+    assert integrate_energy(trace, 10.0) == pytest.approx(1000.0)
+
+
+def test_single_sample_zoh():
+    trace = _trace([3.0], [150.0])
+    assert integrate_energy(trace, 10.0) == pytest.approx(1500.0)
+
+
+def test_empty_trace_rejected():
+    trace = _trace([0.0], [100.0])
+    with pytest.raises(ValueError):
+        integrate_energy(
+            PowerTrace(times=np.empty(0), watts=np.empty(0)), 10.0
+        )
+    with pytest.raises(ValueError):
+        integrate_energy(trace, -1.0)
+    assert integrate_energy(trace, 0.0) == 0.0
+
+
+def test_records_per_minute():
+    trace = _trace(np.arange(0.0, 60.0), np.full(60, 100.0))
+    assert records_per_minute(trace, 60.0) == pytest.approx(60.0)
+    assert records_per_minute(trace, 120.0) == pytest.approx(30.0)
+    assert records_per_minute(trace, 0.0) == np.inf
+
+
+def test_usability_rule_matches_paper():
+    """'less than 10 [records] for 60 seconds of computation' is excluded."""
+    assert MIN_RECORDS_PER_MINUTE == 10.0
+    dense = _trace(np.arange(0.0, 60.0, 5.0), np.full(12, 100.0))  # 12/min
+    sparse = _trace(np.arange(0.0, 60.0, 8.0), np.full(8, 100.0))  # 8/min
+    assert trace_is_usable(dense, 60.0)
+    assert not trace_is_usable(sparse, 60.0)
+    assert not trace_is_usable(PowerTrace(times=np.empty(0), watts=np.empty(0)), 60.0)
+
+
+def test_usability_custom_threshold():
+    trace = _trace(np.arange(0.0, 60.0, 8.0), np.full(8, 100.0))
+    assert trace_is_usable(trace, 60.0, min_records_per_minute=5.0)

@@ -1,0 +1,116 @@
+"""Failure-injection tests: crashed jobs, timeouts, total trace loss."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ExecutionOutcome,
+    IPMISampler,
+    JobSpec,
+    PowerModel,
+    SlurmSimulator,
+    wisconsin_cluster,
+)
+
+
+class FlakyExecutor:
+    """Every third job crashes; others run for their requested seconds."""
+
+    def __init__(self):
+        self.count = 0
+
+    def estimate(self, spec):
+        return spec.problem_size
+
+    def execute(self, spec, rng):
+        self.count += 1
+        failed = self.count % 3 == 0
+        return ExecutionOutcome(
+            runtime_seconds=spec.problem_size * (0.2 if failed else 1.0),
+            failed=failed,
+            verification_passed=not failed,
+        )
+
+
+def _spec(seconds, ranks, rep):
+    return JobSpec("poisson1", float(seconds), ranks, 2.4, repeat_index=rep)
+
+
+def test_failed_jobs_recorded_not_lost():
+    sim = SlurmSimulator(wisconsin_cluster(), FlakyExecutor(), rng=0)
+    specs = [_spec(5.0, 32, i) for i in range(9)]
+    records = sim.run_batch(specs)
+    assert len(records) == 9
+    failed = [r for r in records if r.state == "FAILED"]
+    assert len(failed) == 3
+    for r in failed:
+        assert r.exit_code == 1
+        assert not r.verification_passed
+    # The schedule keeps flowing after failures.
+    assert all(r.end_time > r.start_time for r in records)
+
+
+def test_failed_jobs_release_nodes():
+    """Crashes must free their nodes for queued work."""
+    sim = SlurmSimulator(wisconsin_cluster(), FlakyExecutor(), rng=0)
+    specs = [_spec(5.0, 128, i) for i in range(6)]  # serialized full-cluster jobs
+    records = sim.run_batch(specs)
+    records.sort(key=lambda r: r.start_time)
+    for a, b in zip(records, records[1:]):
+        assert b.start_time >= a.end_time - 1e-9
+
+
+class NoTraceSampler(IPMISampler):
+    """An IPMI sensor that lost every sample (extreme gap pathology)."""
+
+    def sample(self, duration_s, mean_watts, rng):
+        trace = super().sample(duration_s, mean_watts, rng)
+        from repro.cluster.power import PowerTrace
+
+        return PowerTrace(times=np.empty(0), watts=np.empty(0))
+
+
+def test_total_trace_loss_yields_unusable_energy():
+    sim = SlurmSimulator(
+        wisconsin_cluster(),
+        FlakyExecutor(),
+        power_model=PowerModel(),
+        sampler=NoTraceSampler(),
+        rng=0,
+    )
+    records = sim.run_batch([_spec(60.0, 32, 0)])
+    r = records[0]
+    assert r.power_records == 0
+    assert not r.energy_usable
+    assert r.energy_joules is None
+    assert r.mean_power_watts is None
+
+
+def test_dataset_generation_excludes_pathological_jobs():
+    """The Power campaign filter drops FAILED/TIMEOUT/gappy jobs."""
+    from repro.datasets.generate import generate_power_dataset
+
+    ds = generate_power_dataset(seed=7, n_jobs=50, min_runtime_s=60.0)
+    assert len(ds) == 50
+    assert all(r.state == "COMPLETED" for r in ds.records)
+    assert all(r.energy_usable for r in ds.records)
+
+
+def test_timeout_pathology_contained():
+    class SlowExecutor:
+        def estimate(self, spec):
+            return spec.problem_size
+
+        def execute(self, spec, rng):
+            return ExecutionOutcome(runtime_seconds=spec.problem_size * 100)
+
+    sim = SlurmSimulator(
+        wisconsin_cluster(), SlowExecutor(), rng=0, time_limit_seconds=10.0
+    )
+    records = sim.run_batch([_spec(5.0, 32, 0), _spec(5.0, 32, 1)])
+    assert all(r.state == "TIMEOUT" for r in records)
+    assert all(r.runtime_seconds == pytest.approx(10.0) for r in records)
+    # Timeouts release nodes; second job starts right after the first ends
+    # (same node pool would allow concurrency here — both fit, so equal
+    # start times are fine; the key property is completion).
+    assert len(records) == 2

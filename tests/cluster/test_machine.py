@@ -1,0 +1,70 @@
+"""Tests for the testbed hardware description."""
+
+import pytest
+
+from repro.cluster import CPUSpec, ClusterSpec, NodeSpec, wisconsin_cluster
+from repro.cluster.machine import DVFS_LEVELS_GHZ
+
+
+def test_wisconsin_matches_paper():
+    """4 nodes x 2 x 8-core E5-2630v3, 128 GB, 10 GbE, 1.2-2.4 GHz."""
+    c = wisconsin_cluster()
+    assert c.n_nodes == 4
+    assert c.node.n_sockets == 2
+    assert c.node.cpu.model == "E5-2630v3"
+    assert c.node.cpu.cores == 8
+    assert c.node.ram_gb == 128.0
+    assert c.node.nic_gbps == 10.0
+    assert c.node.cpu.min_freq_ghz == 1.2
+    assert c.node.cpu.base_freq_ghz == 2.4
+    assert DVFS_LEVELS_GHZ == (1.2, 1.5, 1.8, 2.1, 2.4)
+
+
+def test_core_and_thread_counts():
+    c = wisconsin_cluster()
+    assert c.node.total_cores == 16
+    assert c.node.total_threads == 32
+    assert c.total_cores == 64
+    assert c.total_threads == 128  # the paper's NP=128 upper level
+
+
+@pytest.mark.parametrize(
+    "ranks,nodes",
+    [(1, 1), (16, 1), (32, 1), (33, 2), (64, 2), (96, 3), (128, 4)],
+)
+def test_nodes_for_ranks(ranks, nodes):
+    assert wisconsin_cluster().nodes_for_ranks(ranks) == nodes
+
+
+def test_nodes_for_ranks_capacity():
+    c = wisconsin_cluster()
+    with pytest.raises(ValueError):
+        c.nodes_for_ranks(129)
+    with pytest.raises(ValueError):
+        c.nodes_for_ranks(0)
+
+
+def test_frequency_validation():
+    cpu = CPUSpec()
+    cpu.validate_frequency(1.8)
+    with pytest.raises(ValueError):
+        cpu.validate_frequency(3.0)
+    with pytest.raises(ValueError):
+        cpu.validate_frequency(1.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CPUSpec(cores=0)
+    with pytest.raises(ValueError):
+        CPUSpec(threads_per_core=0)
+    with pytest.raises(ValueError):
+        CPUSpec(min_freq_ghz=3.0, base_freq_ghz=2.0)
+    with pytest.raises(ValueError):
+        CPUSpec(tdp_watts=-5.0)
+    with pytest.raises(ValueError):
+        NodeSpec(n_sockets=0)
+    with pytest.raises(ValueError):
+        NodeSpec(ram_gb=0.0)
+    with pytest.raises(ValueError):
+        ClusterSpec(n_nodes=0)

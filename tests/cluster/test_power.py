@@ -1,0 +1,124 @@
+"""Tests for the power model and IPMI trace sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import IPMISampler, PowerModel, PowerTrace
+
+
+def test_idle_power():
+    pm = PowerModel()
+    assert float(pm.node_power(0, 2.4)) == pytest.approx(pm.idle_watts)
+
+
+def test_power_increases_with_load_and_frequency():
+    pm = PowerModel()
+    assert pm.node_power(8, 2.4) > pm.node_power(4, 2.4)
+    assert pm.node_power(8, 2.4) > pm.node_power(8, 1.2)
+
+
+def test_frequency_scaling_exponent():
+    pm = PowerModel()
+    dyn_hi = float(pm.node_power(16, 2.4)) - pm.idle_watts
+    dyn_lo = float(pm.node_power(16, 1.2)) - pm.idle_watts
+    assert dyn_hi / dyn_lo == pytest.approx(2.0**pm.freq_exponent, rel=1e-9)
+
+
+def test_smt_ranks_cost_less():
+    pm = PowerModel()
+    base = float(pm.node_power(16, 2.4)) - float(pm.node_power(15, 2.4))
+    smt = float(pm.node_power(17, 2.4)) - float(pm.node_power(16, 2.4))
+    assert smt < base
+    assert smt == pytest.approx(base * pm.smt_power_fraction, rel=1e-9)
+
+
+def test_full_node_power_realistic():
+    """A fully loaded Wisconsin node draws ~200-300 W."""
+    from repro.cluster import NodeSpec
+
+    pm = PowerModel()
+    watts = pm.full_node_power(NodeSpec(), 2.4)
+    assert 200 < watts < 320
+
+
+def test_power_model_validation():
+    pm = PowerModel()
+    with pytest.raises(ValueError):
+        pm.node_power(-1, 2.4)
+    with pytest.raises(ValueError):
+        pm.node_power(4, 0.0)
+    with pytest.raises(ValueError):
+        pm.node_power(4, 2.4, utilization=1.5)
+    with pytest.raises(ValueError):
+        PowerModel(idle_watts=-1.0)
+    with pytest.raises(ValueError):
+        PowerModel(base_freq_ghz=0.0)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        PowerTrace(times=np.array([0.0, 1.0]), watts=np.array([1.0]))
+    with pytest.raises(ValueError):
+        PowerTrace(times=np.array([1.0, 0.5]), watts=np.array([1.0, 2.0]))
+    t = PowerTrace(times=np.array([0.0, 1.0]), watts=np.array([100.0, 101.0]))
+    assert t.n_records == 2
+
+
+def test_sampler_produces_plausible_trace():
+    sampler = IPMISampler(gap_rate_per_minute=0.0, timestamp_jitter_s=0.0)
+    rng = np.random.default_rng(0)
+    trace = sampler.sample(60.0, 200.0, rng)
+    assert trace.n_records == 61
+    assert np.all(trace.watts >= 0)
+    # Quantized to whole Watts.
+    np.testing.assert_allclose(trace.watts, np.rint(trace.watts))
+    assert abs(trace.watts.mean() - 200.0) < 5.0
+
+
+def test_sampler_gaps_remove_records():
+    rng_seed = 5
+    no_gaps = IPMISampler(gap_rate_per_minute=0.0).sample(
+        300.0, 200.0, np.random.default_rng(rng_seed)
+    )
+    gappy = IPMISampler(gap_rate_per_minute=5.0, mean_gap_s=20.0).sample(
+        300.0, 200.0, np.random.default_rng(rng_seed)
+    )
+    assert gappy.n_records < no_gaps.n_records
+
+
+def test_sampler_timestamps_strictly_increasing():
+    sampler = IPMISampler(timestamp_jitter_s=0.5)
+    rng = np.random.default_rng(1)
+    for _ in range(5):
+        trace = sampler.sample(30.0, 150.0, rng)
+        if trace.n_records > 1:
+            assert np.all(np.diff(trace.times) > 0)
+
+
+def test_sampler_zero_duration():
+    trace = IPMISampler().sample(0.0, 100.0, np.random.default_rng(0))
+    assert trace.n_records >= 0  # a single instantaneous reading may survive
+
+
+def test_sampler_validation():
+    with pytest.raises(ValueError):
+        IPMISampler(period_s=0.0)
+    with pytest.raises(ValueError):
+        IPMISampler(mean_gap_s=0.0)
+    with pytest.raises(ValueError):
+        IPMISampler().sample(-1.0, 100.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        IPMISampler().sample(10.0, -5.0, np.random.default_rng(0))
+
+
+@given(duration=st.floats(1.0, 600.0), watts=st.floats(50.0, 400.0))
+@settings(max_examples=25, deadline=None)
+def test_property_trace_bounds(duration, watts):
+    """Readings stay within noise bounds of the mean; counts match period."""
+    sampler = IPMISampler(gap_rate_per_minute=0.0)
+    rng = np.random.default_rng(0)
+    trace = sampler.sample(duration, watts, rng)
+    assert trace.n_records == int(duration / sampler.period_s) + 1
+    assert np.all(np.abs(trace.watts - watts) < 8 * sampler.reading_noise_watts + 1)

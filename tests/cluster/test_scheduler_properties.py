@@ -1,0 +1,72 @@
+"""Property-based tests for the scheduler: invariants over random job mixes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ExecutionOutcome,
+    JobSpec,
+    SlurmSimulator,
+    wisconsin_cluster,
+)
+
+
+class _Exec:
+    def estimate(self, spec):
+        return spec.problem_size
+
+    def execute(self, spec, rng):
+        return ExecutionOutcome(runtime_seconds=spec.problem_size)
+
+
+job_strategy = st.tuples(
+    st.floats(0.5, 30.0),  # runtime seconds (stored in problem_size)
+    st.sampled_from([1, 2, 8, 16, 32, 48, 64, 96, 128]),
+)
+
+
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_property_scheduler_invariants(jobs):
+    specs = [
+        JobSpec("poisson1", seconds, ranks, 2.4, repeat_index=i)
+        for i, (seconds, ranks) in enumerate(jobs)
+    ]
+    sim = SlurmSimulator(wisconsin_cluster(), _Exec(), rng=0)
+    records = sim.run_batch(specs)
+
+    # 1. Every submitted job completes exactly once.
+    assert len(records) == len(specs)
+    assert len({r.job_id for r in records}) == len(specs)
+
+    # 2. Time sanity: start >= submit, end = start + runtime.
+    for r in records:
+        assert r.start_time >= r.submit_time - 1e-9
+        assert r.end_time == r.start_time + r.runtime_seconds
+        assert r.wait_seconds >= -1e-9
+
+    # 3. Node capacity never exceeded (process releases before acquisitions
+    #    at tie timestamps).
+    events = []
+    for r in records:
+        events.append((r.start_time, r.n_nodes))
+        events.append((r.end_time, -r.n_nodes))
+    in_use = 0
+    for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+        in_use += delta
+        assert 0 <= in_use <= 4
+
+    # 4. No node hosts two jobs at once.
+    spans: dict = {}
+    for r in records:
+        for node in r.node_list.split(","):
+            spans.setdefault(node, []).append((r.start_time, r.end_time))
+    for node_spans in spans.values():
+        node_spans.sort()
+        for (s1, e1), (s2, e2) in zip(node_spans, node_spans[1:]):
+            assert s2 >= e1 - 1e-9
+
+    # 5. Node count matches the rank requirement.
+    for r, spec in zip(sorted(records, key=lambda x: x.job_id), specs):
+        assert r.n_nodes == -(-spec.np_ranks // 32)

@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+The paper-scale Performance dataset costs ~20 s to generate; the
+``repro.experiments.common`` accessors are process-cached, so the fixtures
+here simply delegate to them and the cost is paid once per pytest session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def performance_dataset():
+    from repro.experiments.common import performance_dataset as _get
+
+    return _get()
+
+
+@pytest.fixture(scope="session")
+def power_dataset():
+    from repro.experiments.common import power_dataset as _get
+
+    return _get()
+
+
+@pytest.fixture(scope="session")
+def fig6_data():
+    """(X, y, costs) of the paper's 251-job AL evaluation subset."""
+    from repro.experiments.common import fig6_subset
+
+    return fig6_subset()
+
+
+@pytest.fixture(scope="session")
+def small_1d_problem():
+    """A small noisy 1-D regression problem with known structure."""
+    rng = np.random.default_rng(7)
+    X = np.sort(rng.uniform(0, 10, size=30))[:, np.newaxis]
+    y = np.sin(X[:, 0]) + 0.1 * rng.standard_normal(30)
+    return X, y

@@ -1,0 +1,164 @@
+"""Tests for the PerfDataset container and design-matrix extraction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DesignSpec, PerfDataset
+
+
+def test_subset_by_attributes(performance_dataset):
+    sub = performance_dataset.subset(operator="poisson2", np_ranks=16)
+    assert len(sub) > 0
+    assert all(r.operator == "poisson2" and r.np_ranks == 16 for r in sub)
+    assert "poisson2" in sub.name
+
+
+def test_subset_by_predicate(performance_dataset):
+    sub = performance_dataset.subset(lambda r: r.runtime_seconds > 100.0)
+    assert all(r.runtime_seconds > 100.0 for r in sub)
+
+
+def test_subset_combined(performance_dataset):
+    sub = performance_dataset.subset(
+        lambda r: r.freq_ghz > 2.0, operator="poisson1"
+    )
+    assert all(r.freq_ghz > 2.0 and r.operator == "poisson1" for r in sub)
+
+
+def test_design_matrix_log_transforms(performance_dataset):
+    sub = performance_dataset.subset(operator="poisson1", np_ranks=32)
+    X, y = sub.design_matrix(DesignSpec(variables=("problem_size", "freq_ghz")))
+    assert X.shape == (len(sub), 2)
+    # Problem size is log10-transformed; freq is not.
+    assert X[:, 0].max() < 10.0
+    assert set(np.round(X[:, 1], 1)) <= {1.2, 1.5, 1.8, 2.1, 2.4}
+    # Response is log10 runtime.
+    runtimes = np.array([r.runtime_seconds for r in sub])
+    np.testing.assert_allclose(sorted(y), sorted(np.log10(runtimes)))
+
+
+def test_design_matrix_no_log(performance_dataset):
+    sub = performance_dataset.subset(operator="poisson1", np_ranks=32)
+    spec = DesignSpec(
+        variables=("freq_ghz",), log_features=frozenset(), log_response=False
+    )
+    X, y = sub.design_matrix(spec)
+    assert y.min() > 0  # raw seconds
+
+
+def test_design_matrix_skips_missing_energy(performance_dataset):
+    sub = performance_dataset.subset(operator="poisson1", np_ranks=32)
+    with pytest.raises(ValueError, match="no usable records"):
+        sub.design_matrix(
+            DesignSpec(variables=("freq_ghz",), response="energy_joules")
+        )
+
+
+def test_design_spec_validation():
+    with pytest.raises(ValueError):
+        DesignSpec(variables=())
+    with pytest.raises(ValueError, match="distinct"):
+        DesignSpec(variables=("freq_ghz",), categories=("a", "a"))
+
+
+def test_design_matrix_one_hot_operator(performance_dataset):
+    """The categorical operator expands into indicator columns."""
+    sub = performance_dataset.subset(np_ranks=32, freq_ghz=2.4)
+    spec = DesignSpec(variables=("operator", "problem_size"))
+    X, y = sub.design_matrix(spec)
+    assert X.shape[1] == spec.n_columns == 4
+    assert spec.column_names() == (
+        "operator=poisson1",
+        "operator=poisson2",
+        "operator=poisson2affine",
+        "problem_size",
+    )
+    onehot = X[:, :3]
+    np.testing.assert_allclose(onehot.sum(axis=1), 1.0)
+    assert set(np.unique(onehot)) == {0.0, 1.0}
+    # The indicator matches each record's operator.
+    for row, r in zip(onehot, sub.records):
+        expected = ["poisson1", "poisson2", "poisson2affine"].index(r.operator)
+        assert row[expected] == 1.0
+
+
+def test_design_matrix_unknown_category_rejected(performance_dataset):
+    sub = performance_dataset.subset(np_ranks=32, freq_ghz=2.4)
+    spec = DesignSpec(variables=("operator",), categories=("poisson1",))
+    with pytest.raises(ValueError, match="not in spec.categories"):
+        sub.design_matrix(spec)
+
+
+def test_full_factor_space_model_learns_operator_cost(performance_dataset):
+    """A single GP over all 4 factors resolves the operator cost ordering."""
+    from repro.gp import GaussianProcessRegressor, default_kernel
+
+    spec = DesignSpec(
+        variables=("operator", "problem_size", "np_ranks", "freq_ghz"),
+        log_features=frozenset({"problem_size", "np_ranks"}),
+    )
+    rng = np.random.default_rng(0)
+    idx = rng.choice(len(performance_dataset), size=250, replace=False)
+    sub = performance_dataset.subset(lambda r: True)
+    sub.records = [sub.records[i] for i in idx]
+    X, y = sub.design_matrix(spec)
+    model = GaussianProcessRegressor(
+        kernel=default_kernel(X.shape[1], ard=True),
+        noise_variance=1e-1, noise_variance_bounds=(1e-2, 1e2),
+        n_restarts=1, rng=0, normalize_y=True,
+    ).fit(X, y)
+    base = np.array([0.0, 0.0, 0.0, 8.0, np.log10(32), 2.4])
+    preds = []
+    for k in range(3):
+        q = base.copy()
+        q[k] = 1.0
+        preds.append(float(model.predict(q[np.newaxis, :])[0]))
+    # poisson1 < poisson2 < poisson2affine in predicted log runtime.
+    assert preds[0] < preds[1] < preds[2]
+
+
+def test_costs_metrics(performance_dataset):
+    sub = performance_dataset.subset(operator="poisson1", np_ranks=32)
+    core_s = sub.costs()
+    seconds = sub.costs(metric="seconds")
+    np.testing.assert_allclose(core_s, seconds * 32)
+    with pytest.raises(ValueError):
+        sub.costs(metric="dollars")
+    with pytest.raises(ValueError, match="energy"):
+        sub.costs(metric="energy")  # perf dataset lacks energy
+
+
+def test_costs_energy(power_dataset):
+    e = power_dataset.costs(metric="energy")
+    assert np.all(e > 0)
+
+
+def test_with_energy_filter(power_dataset, performance_dataset):
+    assert len(power_dataset.with_energy()) == len(power_dataset)
+    assert len(performance_dataset.with_energy()) == 0
+
+
+def test_column_and_levels(performance_dataset):
+    ops = performance_dataset.column("operator")
+    assert ops.dtype == object
+    rt = performance_dataset.column("runtime_seconds")
+    assert rt.dtype == float
+    assert performance_dataset.unique_levels("freq_ghz") == [1.2, 1.5, 1.8, 2.1, 2.4]
+
+
+def test_response_range_missing():
+    ds = PerfDataset(name="empty")
+    with pytest.raises(ValueError):
+        ds.response_range("runtime_seconds")
+
+
+def test_extend():
+    ds = PerfDataset(name="x")
+    assert len(ds) == 0
+    ds.extend([])
+    assert len(ds) == 0
+
+
+def test_iteration(performance_dataset):
+    first = next(iter(performance_dataset))
+    assert first is performance_dataset.records[0]

@@ -1,0 +1,83 @@
+"""Property-based tests over the generated datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import DesignSpec
+
+
+def test_every_record_internally_consistent(performance_dataset):
+    for r in performance_dataset.records:
+        # Scheduling arithmetic.
+        assert r.end_time == pytest.approx(r.start_time + r.runtime_seconds)
+        assert r.wait_seconds == pytest.approx(r.start_time - r.submit_time)
+        assert r.wait_seconds >= -1e-9
+        # Node counts match rank requirements (32 rank slots per node).
+        assert r.n_nodes == -(-r.np_ranks // 32)
+        assert 1 <= r.n_nodes <= 4
+        # RSS reported on exactly the used nodes.
+        rss = [r.max_rss_mb_node0, r.max_rss_mb_node1,
+               r.max_rss_mb_node2, r.max_rss_mb_node3]
+        assert all(v > 0 for v in rss[: r.n_nodes])
+        assert all(v == 0 for v in rss[r.n_nodes:])
+        # Controlled variables on their Table I levels.
+        assert r.operator in ("poisson1", "poisson2", "poisson2affine")
+        assert r.np_ranks in (1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128)
+        assert r.freq_ghz in (1.2, 1.5, 1.8, 2.1, 2.4)
+        assert 0 <= r.repeat_index <= 2
+
+
+def test_power_records_energy_consistency(power_dataset):
+    for r in power_dataset.records:
+        assert r.energy_joules is not None
+        assert r.mean_power_watts == pytest.approx(
+            r.energy_joules / r.runtime_seconds, rel=1e-6
+        )
+        # Power plausibility: between idle of 1 node and max of 4 nodes.
+        assert 60 <= r.mean_power_watts <= 1400
+        assert r.power_records_per_minute >= 10.0  # the paper's rule
+
+
+def test_runtime_memory_feasibility(performance_dataset):
+    """No job violates the memory rule the generator enforces."""
+    for r in performance_dataset.records:
+        need_gb = r.problem_size * 48.0 / 1e9
+        assert need_gb <= r.n_nodes * 120.0 + 1e-9
+
+
+@given(
+    np_ranks=st.sampled_from([1, 8, 32, 128]),
+    freq=st.sampled_from([1.2, 1.8, 2.4]),
+)
+@settings(max_examples=12, deadline=None)
+def test_property_any_slice_yields_valid_design_matrix(
+    performance_dataset, np_ranks, freq
+):
+    sub = performance_dataset.subset(
+        operator="poisson2", np_ranks=np_ranks, freq_ghz=freq
+    )
+    if len(sub) == 0:
+        return
+    X, y = sub.design_matrix(DesignSpec(variables=("problem_size",)))
+    assert X.shape == (len(sub), 1)
+    assert np.all(np.isfinite(X)) and np.all(np.isfinite(y))
+    # Log-size features within the Table I range.
+    assert X.min() >= np.log10(1.7e3) - 0.01
+    assert X.max() <= np.log10(1.1e9) + 0.01
+
+
+def test_repeated_configurations_have_distinct_measurements(performance_dataset):
+    """Repeats are independent noisy measurements, not copies."""
+    from collections import defaultdict
+
+    groups = defaultdict(list)
+    for r in performance_dataset.records:
+        groups[(r.operator, r.problem_size, r.np_ranks, r.freq_ghz)].append(
+            r.runtime_seconds
+        )
+    multi = [v for v in groups.values() if len(v) > 1]
+    assert multi
+    distinct = sum(1 for v in multi if len(set(v)) == len(v))
+    assert distinct / len(multi) > 0.99

@@ -1,0 +1,57 @@
+"""Tests for CSV persistence of job records."""
+
+import pytest
+
+from repro.datasets import PerfDataset, read_csv, write_csv
+
+
+def test_roundtrip_power(power_dataset, tmp_path):
+    path = write_csv(power_dataset, tmp_path / "power.csv")
+    back = read_csv(path)
+    assert len(back) == len(power_dataset)
+    assert back.records == power_dataset.records
+
+
+def test_roundtrip_preserves_none_energy(performance_dataset, tmp_path):
+    subset = PerfDataset("sub", performance_dataset.records[:20])
+    path = write_csv(subset, tmp_path / "perf.csv")
+    back = read_csv(path)
+    assert back.records == subset.records
+    assert all(r.energy_joules is None for r in back.records)
+
+
+def test_roundtrip_float_exact(power_dataset, tmp_path):
+    """repr-based float serialization is bit-exact."""
+    subset = PerfDataset("sub", power_dataset.records[:5])
+    back = read_csv(write_csv(subset, tmp_path / "x.csv"))
+    for a, b in zip(subset.records, back.records):
+        assert a.runtime_seconds == b.runtime_seconds
+        assert a.energy_joules == b.energy_joules
+
+
+def test_read_csv_name(power_dataset, tmp_path):
+    path = write_csv(power_dataset, tmp_path / "power.csv")
+    assert read_csv(path).name == "power"
+    assert read_csv(path, name="Power").name == "Power"
+
+
+def test_bad_header_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError, match="schema"):
+        read_csv(path)
+
+
+def test_malformed_row_rejected(power_dataset, tmp_path):
+    path = write_csv(PerfDataset("s", power_dataset.records[:2]), tmp_path / "x.csv")
+    lines = path.read_text().splitlines()
+    lines.append("1,2,3")
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="malformed"):
+        read_csv(path)
+
+
+def test_write_creates_parent_dirs(power_dataset, tmp_path):
+    subset = PerfDataset("s", power_dataset.records[:1])
+    path = write_csv(subset, tmp_path / "deep" / "nested" / "x.csv")
+    assert path.exists()

@@ -1,0 +1,64 @@
+"""Tests for Table I factor levels and the feasibility rule."""
+
+import pytest
+
+from repro.datasets import (
+    FREQ_LEVELS_GHZ,
+    NP_LEVELS,
+    OPERATORS,
+    PROBLEM_SIZES,
+    FeasibilityRule,
+    full_factorial,
+)
+
+
+def test_factor_levels_match_table1():
+    assert OPERATORS == ("poisson1", "poisson2", "poisson2affine")
+    assert NP_LEVELS == (1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128)
+    assert FREQ_LEVELS_GHZ == (1.2, 1.5, 1.8, 2.1, 2.4)
+
+
+def test_problem_size_range_matches_table1():
+    """Table I: 1.7e3 - 1.1e9."""
+    assert min(PROBLEM_SIZES) == 12**3 == 1728
+    assert max(PROBLEM_SIZES) == 1024**3
+    assert 1.6e3 < min(PROBLEM_SIZES) < 1.8e3
+    assert 1.0e9 < max(PROBLEM_SIZES) < 1.1e9
+
+
+def test_full_factorial_size():
+    grid = full_factorial()
+    assert len(grid) == len(OPERATORS) * len(PROBLEM_SIZES) * len(NP_LEVELS) * len(
+        FREQ_LEVELS_GHZ
+    )
+    assert len(set(grid)) == len(grid)
+
+
+def test_memory_rule():
+    rule = FeasibilityRule()
+    # 1.07e9 DOF x 48 B = ~51 GB: fits one node.
+    assert rule.memory_ok(1024**3, 32)
+    # A hypothetical ~8x larger problem would not fit one node...
+    assert not rule.memory_ok(9e9, 32)
+    # ...but spreads across the 4 nodes of a 128-rank job (432 <= 480 GB).
+    assert rule.memory_ok(9e9, 128)
+
+
+def test_runtime_rule():
+    rule = FeasibilityRule()
+    assert rule.runtime_ok(100.0)
+    assert not rule.runtime_ok(1000.0)
+
+
+def test_feasible_combines_both():
+    rule = FeasibilityRule()
+    assert rule.feasible(1e6, 1, 10.0)
+    assert not rule.feasible(1e6, 1, 1e4)
+    assert not rule.feasible(1e11, 1, 10.0)
+
+
+def test_nodes_for():
+    rule = FeasibilityRule()
+    assert rule.nodes_for(1) == 1
+    assert rule.nodes_for(33) == 2
+    assert rule.nodes_for(128) == 4

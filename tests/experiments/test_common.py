@@ -1,0 +1,38 @@
+"""Tests for the shared experiment context (caching, determinism)."""
+
+import numpy as np
+
+from repro.experiments import common
+
+
+def test_dataset_accessors_are_cached():
+    a = common.performance_dataset()
+    b = common.performance_dataset()
+    assert a is b
+    assert common.power_dataset() is common.power_dataset()
+
+
+def test_fig6_subset_shape_and_determinism():
+    X1, y1, c1 = common.fig6_subset()
+    X2, y2, c2 = common.fig6_subset()
+    assert X1.shape == (251, 2)
+    np.testing.assert_array_equal(X1, X2)
+    np.testing.assert_array_equal(y1, y2)
+    np.testing.assert_array_equal(c1, c2)
+    # Features: (log10 size, GHz).
+    assert 3.0 < X1[:, 0].min() < X1[:, 0].max() < 9.5
+    assert set(np.round(X1[:, 1], 1)) == {1.2, 1.5, 1.8, 2.1, 2.4}
+    assert np.all(c1 > 0)
+
+
+def test_one_d_subset():
+    X, y = common.one_d_subset()
+    assert X.shape[1] == 1
+    # The 1-D cross-section (NP=32, 2.4 GHz, poisson1) has all 17 sizes,
+    # most with multiple repeats.
+    assert X.shape[0] > 17
+    assert len(np.unique(X[:, 0])) == 17
+
+
+def test_default_seed_constant():
+    assert common.DEFAULT_SEED == 2016

@@ -1,0 +1,69 @@
+"""Tests for the textual report renderers behind ``python -m repro``."""
+
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    report,
+    table1,
+)
+
+
+def test_render_table1():
+    text = report.render_table1(table1.run())
+    assert "TABLE I" in text
+    assert "3246" in text and "640" in text
+
+
+def test_render_fig1():
+    text = report.render_fig1(fig1.run())
+    assert "poisson1" in text
+    assert "noise" in text
+
+
+def test_render_fig2():
+    text = report.render_fig2(fig2.run())
+    assert "slope" in text
+    assert "Performance" in text
+
+
+def test_render_fig3():
+    text = report.render_fig3(fig3.run())
+    assert "(a) all measurements" in text
+    assert "(b) 4 random points" in text
+    assert "panel (a), l=1.0" in text
+
+
+def test_render_fig4():
+    text = report.render_fig4(fig4.run())
+    assert "unique" in text
+    assert "X = maximum" in text
+
+
+def test_render_fig5():
+    text = report.render_fig5(fig5.run())
+    assert "widest-CI candidate" in text
+    assert "shallow" in text
+
+
+def test_render_fig6():
+    text = report.render_fig6(fig6.run())
+    assert "251" in text
+    assert "boundary" in text
+
+
+@pytest.mark.parametrize("renderer,module,kwargs", [
+    (report.render_fig7, fig7, dict(n_partitions=3, n_iterations=12)),
+    (report.render_fig8, fig8, dict(n_partitions=3, n_iterations=25)),
+])
+def test_render_al_figures(renderer, module, kwargs):
+    text = renderer(module.run(**kwargs))
+    assert "Fig." in text
+    assert "|" in text  # contains an ASCII chart

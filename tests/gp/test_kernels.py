@@ -1,0 +1,236 @@
+"""Unit and property-based tests for the kernel stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import (
+    RBF,
+    ConstantKernel,
+    Hyperparameter,
+    Matern,
+    Product,
+    RationalQuadratic,
+    Sum,
+    WhiteKernel,
+)
+
+ALL_KERNELS = [
+    lambda: ConstantKernel(2.0),
+    lambda: WhiteKernel(0.5),
+    lambda: RBF(1.3),
+    lambda: RBF([0.8, 2.0]),
+    lambda: Matern(0.9, nu=0.5),
+    lambda: Matern(0.9, nu=1.5),
+    lambda: Matern(0.9, nu=2.5),
+    lambda: Matern(0.9, nu=float("inf")),
+    lambda: RationalQuadratic(1.1, 0.7),
+    lambda: ConstantKernel(1.5) * RBF(0.7) + WhiteKernel(0.2),
+]
+
+
+def _data(d=1, n=9, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-2, 2, size=(n, d))
+
+
+@pytest.mark.parametrize("make", ALL_KERNELS)
+def test_symmetry(make):
+    k = make()
+    d = 2 if getattr(k, "anisotropic", False) else 1
+    X = _data(d)
+    K = k(X)
+    np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+
+@pytest.mark.parametrize("make", ALL_KERNELS)
+def test_positive_semidefinite(make):
+    k = make()
+    d = 2 if getattr(k, "anisotropic", False) else 1
+    X = _data(d)
+    eigvals = np.linalg.eigvalsh(k(X))
+    assert eigvals.min() > -1e-9
+
+
+@pytest.mark.parametrize("make", ALL_KERNELS)
+def test_diag_matches_full(make):
+    k = make()
+    d = 2 if getattr(k, "anisotropic", False) else 1
+    X = _data(d)
+    np.testing.assert_allclose(k.diag(X), np.diag(k(X)), atol=1e-12)
+
+
+@pytest.mark.parametrize("make", ALL_KERNELS)
+def test_cross_covariance_consistent(make):
+    """k(X, X) as cross-covariance must match k(X) except for White noise."""
+    k = make()
+    d = 2 if getattr(k, "anisotropic", False) else 1
+    X = _data(d)
+    K_sym = k(X)
+    K_cross = k(X, X)
+    has_white = "White" in repr(k)
+    if has_white:
+        # The noise term appears only on the K(X) diagonal.
+        off = ~np.eye(len(X), dtype=bool)
+        np.testing.assert_allclose(K_cross[off], K_sym[off], atol=1e-12)
+    else:
+        np.testing.assert_allclose(K_cross, K_sym, atol=1e-12)
+
+
+@pytest.mark.parametrize("make", ALL_KERNELS)
+def test_gradient_matches_finite_differences(make):
+    k = make()
+    d = 2 if getattr(k, "anisotropic", False) else 1
+    X = _data(d)
+    K, grad = k(X, eval_gradient=True)
+    theta = k.theta
+    assert grad.shape == (len(X), len(X), theta.size)
+    eps = 1e-6
+    for j in range(theta.size):
+        tp, tm = theta.copy(), theta.copy()
+        tp[j] += eps
+        tm[j] -= eps
+        num = (k.clone_with_theta(tp)(X) - k.clone_with_theta(tm)(X)) / (2 * eps)
+        np.testing.assert_allclose(grad[:, :, j], num, atol=1e-6)
+
+
+@pytest.mark.parametrize("make", ALL_KERNELS)
+def test_theta_roundtrip(make):
+    k = make()
+    theta = k.theta
+    k.theta = theta + 0.3
+    np.testing.assert_allclose(k.theta, theta + 0.3)
+    k2 = k.clone_with_theta(theta)
+    np.testing.assert_allclose(k2.theta, theta)
+    # Clone must not alias the original (which still holds theta + 0.3).
+    k2.theta = theta - 1.0
+    np.testing.assert_allclose(k.theta, theta + 0.3)
+
+
+def test_theta_is_log_space():
+    k = RBF(2.0)
+    assert k.theta[0] == pytest.approx(np.log(2.0))
+    k.theta = np.array([np.log(5.0)])
+    assert k.length_scale == pytest.approx(5.0)
+
+
+def test_fixed_hyperparameters_excluded():
+    k = ConstantKernel(2.0, "fixed") * RBF(1.0)
+    assert k.n_dims == 1  # only the RBF length scale is free
+    K, grad = k(_data(), eval_gradient=True)
+    assert grad.shape[-1] == 1
+
+
+def test_fully_fixed_kernel_has_empty_theta():
+    k = ConstantKernel(2.0, "fixed") * RBF(1.0, "fixed")
+    assert k.theta.size == 0
+    assert k.bounds.shape == (0, 2)
+
+
+def test_bounds_shape_and_log_space():
+    k = ConstantKernel(1.0, (1e-2, 1e2)) * RBF(1.0, (1e-1, 1e1))
+    b = k.bounds
+    assert b.shape == (2, 2)
+    np.testing.assert_allclose(b[0], np.log([1e-2, 1e2]))
+    np.testing.assert_allclose(b[1], np.log([1e-1, 1e1]))
+
+
+def test_sum_and_product_values():
+    X = _data()
+    k1, k2 = RBF(1.0), ConstantKernel(3.0)
+    np.testing.assert_allclose(Sum(k1, k2)(X), k1(X) + k2(X))
+    np.testing.assert_allclose(Product(k1, k2)(X), k1(X) * k2(X))
+
+
+def test_operator_overloads_with_scalars():
+    X = _data()
+    k = 2.0 * RBF(1.0)
+    np.testing.assert_allclose(k(X), 2.0 * RBF(1.0)(X))
+    k = RBF(1.0) + 0.5
+    np.testing.assert_allclose(np.diag(k(X)), np.ones(len(X)) + 0.5)
+
+
+def test_composite_theta_ordering():
+    k = ConstantKernel(2.0) * RBF(3.0) + WhiteKernel(0.1)
+    np.testing.assert_allclose(k.theta, np.log([2.0, 3.0, 0.1]))
+    k.theta = np.log([4.0, 5.0, 0.2])
+    assert k.k1.k1.constant_value == pytest.approx(4.0)
+    assert k.k1.k2.length_scale == pytest.approx(5.0)
+    assert k.k2.noise_level == pytest.approx(0.2)
+
+
+def test_matern_inf_equals_rbf():
+    X = _data()
+    np.testing.assert_allclose(
+        Matern(0.8, nu=float("inf"))(X), RBF(0.8)(X), atol=1e-12
+    )
+
+
+def test_matern_smoothness_ordering():
+    """At moderate distance, rougher Matern decays no slower than smoother."""
+    X = np.array([[0.0], [1.0]])
+    vals = [Matern(1.0, nu=nu)(X)[0, 1] for nu in (0.5, 1.5, 2.5)]
+    assert vals[0] < vals[1] < vals[2]
+
+
+def test_rbf_ard_mismatched_dims_raises():
+    with pytest.raises(ValueError, match="ARD"):
+        RBF([1.0, 2.0])(_data(d=3))
+
+
+def test_invalid_constructor_args():
+    with pytest.raises(ValueError):
+        RBF(-1.0)
+    with pytest.raises(ValueError):
+        ConstantKernel(0.0)
+    with pytest.raises(ValueError):
+        WhiteKernel(-0.1)
+    with pytest.raises(ValueError):
+        Matern(1.0, nu=1.7)
+    with pytest.raises(ValueError):
+        RationalQuadratic(1.0, -1.0)
+
+
+def test_gradient_with_Y_raises():
+    X = _data()
+    with pytest.raises(ValueError, match="gradient"):
+        RBF(1.0)(X, X, eval_gradient=True)
+
+
+def test_hyperparameter_bounds_validation():
+    with pytest.raises(ValueError):
+        Hyperparameter("x", (1.0, 0.5))
+    with pytest.raises(ValueError):
+        Hyperparameter("x", (-1.0, 2.0))
+    with pytest.raises(ValueError):
+        Hyperparameter("x", "frozen")
+    h = Hyperparameter("x", "fixed")
+    assert h.fixed
+    with pytest.raises(ValueError):
+        h.log_bounds()
+
+
+@given(
+    ls=st.floats(0.1, 10.0),
+    amp=st.floats(0.1, 10.0),
+    n=st.integers(2, 12),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_psd_and_bounded(ls, amp, n):
+    """C*RBF kernels are PSD with entries in [0, amp]."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-3, 3, size=(n, 2))
+    K = (ConstantKernel(amp) * RBF(ls))(X)
+    assert np.all(K <= amp + 1e-12)
+    assert np.all(K >= 0)
+    assert np.linalg.eigvalsh(K).min() > -1e-8 * amp
+
+
+@given(shift=st.floats(-5, 5))
+@settings(max_examples=25, deadline=None)
+def test_property_stationarity(shift):
+    """Stationary kernels are invariant under input translation."""
+    X = _data()
+    for k in (RBF(1.0), Matern(1.0, nu=1.5), RationalQuadratic(1.0, 1.0)):
+        np.testing.assert_allclose(k(X), k(X + shift), atol=1e-10)

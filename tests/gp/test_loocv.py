@@ -1,0 +1,109 @@
+"""Tests for leave-one-out pseudo-likelihood model selection."""
+
+import numpy as np
+import pytest
+
+from repro.gp import (
+    RBF,
+    ConstantKernel,
+    GaussianProcessRegressor,
+    fit_loocv,
+    loo_pseudo_likelihood,
+    loo_residuals,
+)
+
+
+def _model_and_data(seed=0, n=14):
+    rng = np.random.default_rng(seed)
+    X = np.sort(rng.uniform(0, 6, size=n))[:, np.newaxis]
+    y = np.sin(X[:, 0]) + 0.05 * rng.standard_normal(n)
+    model = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(1.0, "fixed"),
+        noise_variance=0.01,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+    ).fit(X, y)
+    return model, X, y
+
+
+def test_loo_matches_brute_force():
+    """The O(1) LOO formulas must equal actually refitting without point i."""
+    model, X, y = _model_and_data()
+    res = loo_residuals(model)
+    for i in range(len(y)):
+        mask = np.ones(len(y), dtype=bool)
+        mask[i] = False
+        sub = GaussianProcessRegressor(
+            kernel=model.kernel_,
+            noise_variance=model.noise_variance_,
+            noise_variance_bounds="fixed",
+            optimizer=None,
+        ).fit(X[mask], y[mask])
+        mu_i, sd_i = sub.predict(X[i : i + 1], return_std=True, include_noise=True)
+        assert res.mean[i] == pytest.approx(mu_i[0], rel=1e-6, abs=1e-8)
+        assert res.std[i] == pytest.approx(sd_i[0], rel=1e-5, abs=1e-8)
+
+
+def test_loo_requires_fitted_model():
+    model = GaussianProcessRegressor()
+    with pytest.raises(RuntimeError):
+        loo_residuals(model)
+
+
+def test_pseudo_likelihood_prefers_reasonable_hypers():
+    rng = np.random.default_rng(0)
+    X = np.sort(rng.uniform(0, 6, size=14))[:, np.newaxis]
+    y = np.sin(X[:, 0]) + 0.05 * rng.standard_normal(14)
+    model = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(1.0, (1e-3, 1e3)),
+        noise_variance=0.01,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+    ).fit(X, y)
+    good = loo_pseudo_likelihood(model, np.log([1.0]), X, y)
+    bad = loo_pseudo_likelihood(model, np.log([100.0]), X, y)
+    assert good > bad
+
+
+def test_pseudo_likelihood_shape_validated():
+    model, X, y = _model_and_data()  # fully fixed: theta is empty
+    with pytest.raises(ValueError, match="shape"):
+        loo_pseudo_likelihood(model, np.log([0.01]), X, y)
+
+
+def test_fit_loocv_improves_pseudo_likelihood():
+    model, X, y = _model_and_data()
+    # Free the length scale and noise for the LOO fit.
+    model = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, (1e-2, 1e2)) * RBF(5.0, (1e-2, 1e2)),
+        noise_variance=0.5,
+        noise_variance_bounds=(1e-4, 10.0),
+        n_restarts=1,
+        rng=0,
+    )
+    before = loo_pseudo_likelihood(
+        model,
+        np.log([1.0, 5.0, 0.5]),
+        X,
+        y,
+    )
+    outcome = fit_loocv(model, X, y, n_restarts=1)
+    assert -outcome.value >= before - 1e-9
+    assert model.fitted
+    # The fitted model predicts well.
+    pred = model.predict(X)
+    assert np.sqrt(np.mean((pred - y) ** 2)) < 0.2
+
+
+def test_fit_loocv_restores_optimizer_setting():
+    model, X, y = _model_and_data()
+    model.optimizer = "lbfgs"
+    fit_loocv(model, X, y, n_restarts=0)
+    assert model.optimizer == "lbfgs"
+
+
+def test_pseudo_likelihood_state_restored():
+    model, X, y = _model_and_data()
+    before = model._theta().copy()
+    loo_pseudo_likelihood(model, before + 0.7, X, y)
+    np.testing.assert_allclose(model._theta(), before)

@@ -1,0 +1,98 @@
+"""Tests for the multi-restart L-BFGS-B wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.gp import minimize_with_restarts
+
+
+def _quadratic(center):
+    def f(theta):
+        d = theta - center
+        return float(d @ d), 2 * d
+
+    return f
+
+
+def test_finds_minimum_of_quadratic():
+    center = np.array([0.3, -0.2])
+    out = minimize_with_restarts(
+        _quadratic(center), np.zeros(2), np.array([[-2, 2], [-2, 2]]), n_restarts=0
+    )
+    np.testing.assert_allclose(out.theta, center, atol=1e-6)
+    assert out.value == pytest.approx(0.0, abs=1e-10)
+
+
+def test_respects_bounds():
+    center = np.array([5.0])  # outside the box
+    out = minimize_with_restarts(
+        _quadratic(center), np.zeros(1), np.array([[-1.0, 1.0]]), n_restarts=2, rng=0
+    )
+    assert -1.0 <= out.theta[0] <= 1.0
+    assert out.theta[0] == pytest.approx(1.0, abs=1e-8)
+
+
+def test_restarts_escape_local_minimum():
+    """A bimodal objective where the deterministic start hits the bad basin."""
+
+    def f(theta):
+        x = theta[0]
+        # Minima near x=-1 (value ~0.5) and x=2 (value 0); barrier between.
+        val = 0.5 * (x + 1) ** 2 * (x < 0.5) + ((x - 2) ** 2) * (x >= 0.5) + 0.5 * (x < 0.5)
+        grad = np.array([(x + 1) * (x < 0.5) + 2 * (x - 2) * (x >= 0.5)])
+        return float(val), grad
+
+    none = minimize_with_restarts(
+        f, np.array([-1.0]), np.array([[-3.0, 3.0]]), n_restarts=0
+    )
+    assert none.theta[0] == pytest.approx(-1.0, abs=1e-6)  # stuck
+
+    many = minimize_with_restarts(
+        f, np.array([-1.0]), np.array([[-3.0, 3.0]]), n_restarts=8, rng=0
+    )
+    assert many.theta[0] == pytest.approx(2.0, abs=1e-4)
+    assert many.value < none.value
+
+
+def test_nonfinite_objective_handled():
+    def f(theta):
+        if theta[0] < 0:
+            return np.inf, np.zeros(1)
+        return float(theta[0] ** 2), np.array([2 * theta[0]])
+
+    out = minimize_with_restarts(
+        f, np.array([1.0]), np.array([[-2.0, 2.0]]), n_restarts=3, rng=1
+    )
+    assert np.isfinite(out.value)
+    # The infinite half-space wall hampers the line search; it must still
+    # land close to the constrained optimum without blowing up.
+    assert 0.0 <= out.theta[0] < 0.1
+    assert out.value < 0.01
+
+
+def test_outcome_records_all_starts():
+    out = minimize_with_restarts(
+        _quadratic(np.zeros(1)), np.ones(1), np.array([[-2.0, 2.0]]), n_restarts=4, rng=0
+    )
+    assert len(out.all_thetas) == 5
+    assert len(out.all_values) == 5
+    assert out.value == min(out.all_values)
+    assert out.n_restarts == 4
+
+
+def test_deterministic_given_seed():
+    f = _quadratic(np.array([0.5]))
+    a = minimize_with_restarts(f, np.zeros(1), np.array([[-2.0, 2.0]]), n_restarts=3, rng=7)
+    b = minimize_with_restarts(f, np.zeros(1), np.array([[-2.0, 2.0]]), n_restarts=3, rng=7)
+    np.testing.assert_allclose(a.all_thetas, b.all_thetas)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError, match="bounds"):
+        minimize_with_restarts(
+            _quadratic(np.zeros(2)), np.zeros(2), np.array([[-1.0, 1.0]])
+        )
+    with pytest.raises(ValueError, match="low <= high"):
+        minimize_with_restarts(
+            _quadratic(np.zeros(1)), np.zeros(1), np.array([[1.0, -1.0]])
+        )

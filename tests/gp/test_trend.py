@@ -1,0 +1,101 @@
+"""Tests for the semi-parametric (universal-kriging) regressor."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcessRegressor
+from repro.gp.trend import TrendGPR, polynomial_basis
+
+
+def test_polynomial_basis_shapes():
+    X = np.arange(10.0).reshape(5, 2)
+    assert polynomial_basis(0)(X).shape == (5, 1)
+    assert polynomial_basis(1)(X).shape == (5, 3)
+    assert polynomial_basis(2)(X).shape == (5, 5)
+    np.testing.assert_allclose(polynomial_basis(1)(X)[:, 0], 1.0)
+    with pytest.raises(ValueError):
+        polynomial_basis(-1)
+
+
+def test_recovers_pure_linear_trend():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 10, size=(25, 1))
+    y = 2.0 + 0.7 * X[:, 0] + 0.01 * rng.standard_normal(25)
+    model = TrendGPR(degree=1).fit(X, y)
+    beta = model.trend_coefficients
+    assert beta[0] == pytest.approx(2.0, abs=0.1)
+    assert beta[1] == pytest.approx(0.7, abs=0.02)
+    pred = model.predict(np.array([[20.0]]))  # extrapolate 2x the domain
+    assert pred[0] == pytest.approx(2.0 + 0.7 * 20.0, abs=0.3)
+
+
+def test_extrapolates_better_than_plain_gp():
+    """The motivating property: linear trends persist outside the data."""
+    rng = np.random.default_rng(1)
+    X = rng.uniform(0, 5, size=(30, 1))
+    y = 1.0 + 0.9 * X[:, 0] + 0.3 * np.sin(3 * X[:, 0]) + 0.02 * rng.standard_normal(30)
+    X_far = np.array([[9.0], [10.0]])
+    y_far = 1.0 + 0.9 * X_far[:, 0] + 0.3 * np.sin(3 * X_far[:, 0])
+
+    trend = TrendGPR(degree=1).fit(X, y)
+    plain = GaussianProcessRegressor(
+        noise_variance=1e-2, noise_variance_bounds=(1e-6, 1e3), n_restarts=2, rng=0
+    ).fit(X, y)
+
+    err_trend = np.abs(trend.predict(X_far) - y_far).max()
+    err_plain = np.abs(plain.predict(X_far) - y_far).max()
+    assert err_trend < 0.5 * err_plain
+
+
+def test_interpolation_quality_matches_plain_gp():
+    rng = np.random.default_rng(2)
+    X = np.sort(rng.uniform(0, 6, size=40))[:, np.newaxis]
+    y = np.sin(X[:, 0]) + 0.05 * rng.standard_normal(40)
+    model = TrendGPR(degree=1).fit(X, y)
+    grid = np.linspace(0.5, 5.5, 20)[:, np.newaxis]
+    pred = model.predict(grid)
+    np.testing.assert_allclose(pred, np.sin(grid[:, 0]), atol=0.2)
+
+
+def test_std_includes_coefficient_uncertainty():
+    """Far extrapolation must be *more* uncertain than the GP residual alone
+    (the trend coefficients themselves are uncertain)."""
+    rng = np.random.default_rng(3)
+    X = rng.uniform(0, 3, size=(12, 1))
+    y = 0.5 * X[:, 0] + 0.05 * rng.standard_normal(12)
+    model = TrendGPR(degree=1).fit(X, y)
+    _, sd_near = model.predict(np.array([[1.5]]), return_std=True)
+    _, sd_far = model.predict(np.array([[30.0]]), return_std=True)
+    assert sd_far[0] > 2.0 * sd_near[0]
+    # And beyond the residual GP's saturated prior sd.
+    _, sd_gp_far = model.gp.predict(np.array([[30.0]]), return_std=True)
+    assert sd_far[0] > sd_gp_far[0]
+
+
+def test_multidimensional_trend():
+    rng = np.random.default_rng(4)
+    X = rng.uniform(0, 5, size=(40, 2))
+    y = 1.0 + 0.5 * X[:, 0] - 0.3 * X[:, 1] + 0.01 * rng.standard_normal(40)
+    model = TrendGPR(degree=1).fit(X, y)
+    beta = model.trend_coefficients
+    np.testing.assert_allclose(beta, [1.0, 0.5, -0.3], atol=0.05)
+
+
+def test_validation():
+    model = TrendGPR(degree=1)
+    with pytest.raises(RuntimeError):
+        model.predict(np.zeros((1, 1)))
+    with pytest.raises(ValueError, match="more than"):
+        model.fit(np.zeros((2, 1)), np.zeros(2))  # 2 points, 2 coefficients
+
+
+def test_loglog_performance_surface(fig6_data):
+    """On the paper's subset, the linear-log trend captures the work law."""
+    X, y, _ = fig6_data
+    model = TrendGPR(degree=1).fit(X, y)
+    beta = model.trend_coefficients
+    # d log10(runtime) / d log10(size) ~ slope < 1.2 (work-dominated tail is
+    # ~1; the setup-floor region drags the global fit slightly down).
+    assert 0.3 < beta[1] < 1.2
+    # d log10(runtime) / d f < 0: higher frequency is faster.
+    assert beta[2] < 0.0

@@ -1,0 +1,43 @@
+"""Tests for the HPGMG-FE-style benchmark harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.hpgmg.benchmark import run_benchmark
+
+
+def test_benchmark_runs_and_verifies():
+    result = run_benchmark("poisson1", 8, rng=0)
+    assert result.converged
+    assert result.dofs == 49
+    assert result.dofs_per_second > 0
+    assert result.solve_seconds > 0
+    assert result.setup_seconds > 0
+    assert result.verification_error < 0.05
+    assert result.final_relative_residual <= 1e-8
+    assert result.work_units > 0
+
+
+def test_benchmark_q2_operator():
+    result = run_benchmark("poisson2affine", 8, rng=0)
+    assert result.converged
+    assert result.dofs == 225  # (2*8 - 1)^2
+
+
+def test_benchmark_rejects_unknown_operator():
+    with pytest.raises(ValueError, match="unknown operator"):
+        run_benchmark("laplace", 8)
+
+
+def test_benchmark_result_frozen():
+    result = run_benchmark("poisson1", 4, rng=0)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        result.dofs = 0
+
+
+def test_larger_problem_is_not_slower_per_dof():
+    """DOF/s should not degrade drastically with size (multigrid is O(N))."""
+    small = run_benchmark("poisson1", 8, rng=0)
+    large = run_benchmark("poisson1", 32, rng=0)
+    assert large.dofs_per_second > small.dofs_per_second * 0.5

@@ -1,0 +1,161 @@
+"""Tests for the 3-D mini HPGMG-FE (hexahedral Q1/Q2 multigrid)."""
+
+import numpy as np
+import pytest
+
+from repro.hpgmg.dim3 import (
+    Mesh3,
+    MultigridSolver3,
+    assemble3,
+    discretization_error3,
+    exact_solution3,
+    load_vector3,
+    make_problem3,
+    nodal_interior_values3,
+    prolong_trilinear,
+    restrict_transpose3,
+    run_benchmark3,
+    source_term3,
+)
+
+
+def test_mesh3_counts():
+    m = Mesh3(ne=4, order=1)
+    assert m.nodes_per_side == 5
+    assert m.n_nodes == 125
+    assert m.n_interior == 27
+    q2 = Mesh3(ne=4, order=2)
+    assert q2.nodes_per_side == 9
+    assert q2.n_interior == 343
+
+
+def test_mesh3_element_connectivity_covers_lattice():
+    for order in (1, 2):
+        m = Mesh3(ne=2, order=order)
+        conn = m.element_node_ids()
+        assert conn.shape == (8, (order + 1) ** 3)
+        assert set(conn.ravel().tolist()) == set(range(m.n_nodes))
+
+
+def test_mesh3_first_element_ids():
+    m = Mesh3(ne=2, order=1)  # 3x3x3 lattice
+    conn = m.element_node_ids()
+    # Element (0,0,0): corners (i,j,k) in {0,1}^3, id = (k*3 + j)*3 + i.
+    np.testing.assert_array_equal(sorted(conn[0]), [0, 1, 3, 4, 9, 10, 12, 13])
+
+
+@pytest.mark.parametrize("name", ["poisson1", "poisson2", "poisson2affine"])
+def test_assembled_operator3_spd(name):
+    problem = make_problem3(name)
+    op = assemble3(problem, problem.mesh(2))
+    A = op.A.toarray()
+    np.testing.assert_allclose(A, A.T, atol=1e-12)
+    assert np.linalg.eigvalsh(A).min() > 0
+
+
+def test_poisson1_3d_row_sums_vanish_deep_interior():
+    problem = make_problem3("poisson1")
+    mesh = problem.mesh(6)
+    op = assemble3(problem, mesh)
+    n = mesh.nodes_per_side
+    ids = mesh.interior_ids()
+    row_sums = np.asarray(op.A.sum(axis=1)).ravel()
+    for local, gid in enumerate(ids):
+        iz, rem = divmod(int(gid), n * n)
+        iy, ix = divmod(rem, n)
+        if all(2 <= v <= n - 3 for v in (ix, iy, iz)):
+            assert abs(row_sums[local]) < 1e-12
+
+
+def test_prolong_trilinear_exact_for_trilinear_fields():
+    m = 4
+    t = np.linspace(0, 1, m)
+    Z, Y, X = np.meshgrid(t, t, t, indexing="ij")
+    coarse = 1 + 2 * X + 3 * Y + 4 * Z + 5 * X * Y * Z
+    fine = prolong_trilinear(coarse)
+    n = 2 * (m - 1) + 1
+    tf = np.linspace(0, 1, n)
+    Zf, Yf, Xf = np.meshgrid(tf, tf, tf, indexing="ij")
+    np.testing.assert_allclose(
+        fine, 1 + 2 * Xf + 3 * Yf + 4 * Zf + 5 * Xf * Yf * Zf, atol=1e-12
+    )
+
+
+def test_restriction3_is_adjoint_of_prolongation():
+    rng = np.random.default_rng(0)
+    m, n = 4, 7
+    uc = np.zeros((m, m, m))
+    uc[1:-1, 1:-1, 1:-1] = rng.standard_normal((m - 2,) * 3)
+    vf = np.zeros((n, n, n))
+    vf[1:-1, 1:-1, 1:-1] = rng.standard_normal((n - 2,) * 3)
+    lhs = float(np.sum(prolong_trilinear(uc) * vf))
+    rhs = float(np.sum(uc * restrict_transpose3(vf)))
+    assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+def test_transfer3_validation():
+    with pytest.raises(ValueError):
+        prolong_trilinear(np.zeros((1, 1, 1)))
+    with pytest.raises(ValueError):
+        restrict_transpose3(np.zeros((4, 4, 4)))
+
+
+@pytest.mark.parametrize("name", ["poisson1", "poisson2", "poisson2affine"])
+def test_multigrid3_converges(name):
+    problem = make_problem3(name)
+    solver = MultigridSolver3(problem, 8, rng=0)
+    f = load_vector3(problem, solver.levels[0].mesh, source_term3(problem))
+    result = solver.solve(f, rtol=1e-8)
+    assert result.converged
+    assert result.cycles <= 15
+
+
+@pytest.mark.parametrize("name,meshes", [
+    ("poisson1", (4, 8)),
+    # The oscillatory 3-D coefficient needs ne >= 8 to leave the
+    # pre-asymptotic regime (rate 1.29 at 4->8, 1.86 at 8->16).
+    ("poisson2", (8, 16)),
+])
+def test_mms3_second_order(name, meshes):
+    problem = make_problem3(name)
+    errs = []
+    for ne in meshes:
+        solver = MultigridSolver3(problem, ne, rng=0)
+        mesh = solver.levels[0].mesh
+        f = load_vector3(problem, mesh, source_term3(problem))
+        result = solver.solve(f, rtol=1e-10)
+        errs.append(discretization_error3(problem, result.u, mesh))
+    rate = np.log2(errs[0] / errs[1])
+    assert rate > 1.5
+
+
+def test_mms3_affine():
+    problem = make_problem3("poisson2affine")
+    solver = MultigridSolver3(problem, 8, rng=0)
+    mesh = solver.levels[0].mesh
+    f = load_vector3(problem, mesh, source_term3(problem))
+    result = solver.solve(f, rtol=1e-10)
+    err = discretization_error3(problem, result.u, mesh)
+    u_scale = np.abs(nodal_interior_values3(mesh, exact_solution3)).max()
+    assert err < 0.05 * u_scale
+
+
+def test_run_benchmark3():
+    result = run_benchmark3("poisson1", 8, rng=0)
+    assert result.converged
+    assert result.dofs == 7**3
+    assert result.dofs_per_second > 0
+    assert result.verification_error < 0.05
+
+
+def test_benchmark3_unknown_operator():
+    with pytest.raises(ValueError):
+        run_benchmark3("stokes", 4)
+
+
+def test_dofs_match_paper_scale():
+    """The paper's problem sizes are 12^3..1024^3 — cubic lattices."""
+    mesh = Mesh3(ne=12, order=1)
+    assert mesh.n_nodes == 13**3
+    # Global (including boundary) size ~ the paper's smallest 1.7e3.
+    assert 1.7e3 < mesh.n_nodes < 2.5e3

@@ -1,0 +1,120 @@
+"""Tests for the reference finite elements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpgmg.fem import _lagrange_1d, gauss_rule, reference_element
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5])
+def test_gauss_rule_integrates_polynomials_exactly(n):
+    pts, wts = gauss_rule(n)
+    assert wts.sum() == pytest.approx(1.0)
+    for degree in range(2 * n):
+        exact = 1.0 / (degree + 1)  # integral of x^degree over [0, 1]
+        assert np.sum(wts * pts**degree) == pytest.approx(exact, rel=1e-12)
+
+
+def test_gauss_rule_invalid():
+    with pytest.raises(ValueError):
+        gauss_rule(0)
+
+
+@pytest.mark.parametrize("order", [1, 2, 3])
+def test_lagrange_partition_of_unity(order):
+    x = np.linspace(0, 1, 17)
+    vals, ders = _lagrange_1d(order, x)
+    np.testing.assert_allclose(vals.sum(axis=0), 1.0, atol=1e-12)
+    np.testing.assert_allclose(ders.sum(axis=0), 0.0, atol=1e-10)
+
+
+@pytest.mark.parametrize("order", [1, 2, 3])
+def test_lagrange_kronecker_at_nodes(order):
+    nodes = np.linspace(0, 1, order + 1)
+    vals, _ = _lagrange_1d(order, nodes)
+    np.testing.assert_allclose(vals, np.eye(order + 1), atol=1e-12)
+
+
+def test_lagrange_derivative_matches_fd():
+    x = np.linspace(0.05, 0.95, 7)
+    eps = 1e-6
+    for order in (1, 2):
+        _, ders = _lagrange_1d(order, x)
+        vp, _ = _lagrange_1d(order, x + eps)
+        vm, _ = _lagrange_1d(order, x - eps)
+        np.testing.assert_allclose(ders, (vp - vm) / (2 * eps), atol=1e-6)
+
+
+@pytest.mark.parametrize("order", [1, 2])
+def test_reference_element_shapes(order):
+    ref = reference_element(order)
+    nb = (order + 1) ** 2
+    assert ref.n_basis == nb
+    assert ref.stiffness.shape == (2, 2, nb, nb)
+    assert ref.mass.shape == (nb, nb)
+    assert ref.local_offsets.shape == (nb, 2)
+    assert ref.quad_weights.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("order", [1, 2])
+def test_stiffness_tensor_symmetry(order):
+    """R[a, b, i, j] == R[b, a, j, i] so G:R is symmetric for symmetric G."""
+    R = reference_element(order).stiffness
+    np.testing.assert_allclose(R[0, 1], R[1, 0].T, atol=1e-14)
+    np.testing.assert_allclose(R[0, 0], R[0, 0].T, atol=1e-14)
+    np.testing.assert_allclose(R[1, 1], R[1, 1].T, atol=1e-14)
+
+
+@pytest.mark.parametrize("order", [1, 2])
+def test_stiffness_annihilates_constants(order):
+    """Gradients of a constant field vanish: R contracted with 1s is 0."""
+    R = reference_element(order).stiffness
+    ones = np.ones(R.shape[-1])
+    for a in range(2):
+        for b in range(2):
+            np.testing.assert_allclose(R[a, b] @ ones, 0.0, atol=1e-13)
+
+
+def test_q1_stiffness_matches_textbook():
+    """The Q1 Laplacian element matrix on the unit square is known exactly."""
+    R = reference_element(1).stiffness
+    K = R[0, 0] + R[1, 1]
+    expected = (1.0 / 6.0) * np.array(
+        [
+            [4, -1, -1, -2],
+            [-1, 4, -2, -1],
+            [-1, -2, 4, -1],
+            [-2, -1, -1, 4],
+        ]
+    )
+    np.testing.assert_allclose(K, expected, atol=1e-12)
+
+
+@pytest.mark.parametrize("order", [1, 2])
+def test_mass_matrix_total_is_one(order):
+    """Sum of all mass entries = integral of 1 over the unit square."""
+    M = reference_element(order).mass
+    assert M.sum() == pytest.approx(1.0, rel=1e-12)
+    # Mass matrices are SPD.
+    assert np.linalg.eigvalsh(M).min() > 0
+
+
+def test_reference_element_cached():
+    assert reference_element(1) is reference_element(1)
+
+
+def test_reference_element_invalid_order():
+    with pytest.raises(ValueError):
+        reference_element(0)
+
+
+@given(order=st.sampled_from([1, 2]), gx=st.floats(0.2, 5.0), gy=st.floats(0.2, 5.0))
+@settings(max_examples=20, deadline=None)
+def test_property_contracted_stiffness_psd(order, gx, gy):
+    """For any diagonal SPD tensor G, K_e = G:R is symmetric PSD."""
+    R = reference_element(order).stiffness
+    Ke = gx * R[0, 0] + gy * R[1, 1]
+    np.testing.assert_allclose(Ke, Ke.T, atol=1e-12)
+    assert np.linalg.eigvalsh(Ke).min() > -1e-12

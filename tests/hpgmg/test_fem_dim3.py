@@ -1,0 +1,84 @@
+"""Property tests for the dimension-generic reference elements (3-D focus)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpgmg.fem import reference_element
+
+
+@pytest.mark.parametrize("order", [1, 2])
+@pytest.mark.parametrize("dim", [1, 2, 3])
+def test_shapes_and_quadrature(order, dim):
+    ref = reference_element(order, dim)
+    nb = (order + 1) ** dim
+    nq = (order + 1) ** dim
+    assert ref.n_basis == nb
+    assert ref.dim == dim
+    assert ref.stiffness.shape == (dim, dim, nb, nb)
+    assert ref.quad_points.shape == (nq, dim)
+    assert ref.quad_weights.sum() == pytest.approx(1.0)
+    assert ref.local_offsets.shape == (nb, dim)
+
+
+@pytest.mark.parametrize("order", [1, 2])
+@pytest.mark.parametrize("dim", [2, 3])
+def test_partition_of_unity_at_quadrature(order, dim):
+    ref = reference_element(order, dim)
+    np.testing.assert_allclose(ref.basis_at_quad.sum(axis=0), 1.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("order", [1, 2])
+@pytest.mark.parametrize("dim", [2, 3])
+def test_stiffness_annihilates_constants(order, dim):
+    ref = reference_element(order, dim)
+    ones = np.ones(ref.n_basis)
+    for a in range(dim):
+        for b in range(dim):
+            np.testing.assert_allclose(ref.stiffness[a, b] @ ones, 0.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("order", [1, 2])
+def test_3d_mass_matrix_properties(order):
+    ref = reference_element(order, 3)
+    M = ref.mass
+    assert M.sum() == pytest.approx(1.0, rel=1e-12)
+    np.testing.assert_allclose(M, M.T, atol=1e-14)
+    assert np.linalg.eigvalsh(M).min() > 0
+
+
+def test_q1_3d_laplacian_matches_textbook_diagonal():
+    """The trilinear hexahedral Laplacian has diagonal 1/3 (unit cube)."""
+    ref = reference_element(1, 3)
+    K = ref.stiffness[0, 0] + ref.stiffness[1, 1] + ref.stiffness[2, 2]
+    np.testing.assert_allclose(np.diag(K), 1.0 / 3.0, atol=1e-12)
+
+
+def test_local_offsets_ordering_is_axis_major():
+    ref = reference_element(1, 3)
+    # index = (k * 2 + j) * 2 + i: offsets enumerate x fastest.
+    expected = [
+        (0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0),
+        (0, 0, 1), (1, 0, 1), (0, 1, 1), (1, 1, 1),
+    ]
+    np.testing.assert_array_equal(ref.local_offsets, expected)
+
+
+@given(
+    order=st.sampled_from([1, 2]),
+    gx=st.floats(0.2, 5.0),
+    gy=st.floats(0.2, 5.0),
+    gz=st.floats(0.2, 5.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_3d_contracted_stiffness_psd(order, gx, gy, gz):
+    ref = reference_element(order, 3)
+    Ke = gx * ref.stiffness[0, 0] + gy * ref.stiffness[1, 1] + gz * ref.stiffness[2, 2]
+    np.testing.assert_allclose(Ke, Ke.T, atol=1e-12)
+    assert np.linalg.eigvalsh(Ke).min() > -1e-11
+
+
+def test_invalid_dim():
+    with pytest.raises(ValueError):
+        reference_element(1, 0)

@@ -1,0 +1,100 @@
+"""Tests for Galerkin (RAP) coarse operators."""
+
+import numpy as np
+import pytest
+
+from repro.hpgmg.galerkin import (
+    GalerkinMultigridSolver,
+    galerkin_coarse,
+    prolongation_matrix,
+)
+from repro.hpgmg.grid import Mesh, coarsen
+from repro.hpgmg.manufactured import discretization_error, source_term
+from repro.hpgmg.operators import assemble, load_vector, make_problem
+from repro.hpgmg.transfer import (
+    embed_interior,
+    extract_interior,
+    prolong_bilinear,
+)
+
+
+def test_prolongation_matrix_matches_stencil_transfer():
+    """The sparse P equals the array-based bilinear prolongation."""
+    fine = Mesh(ne=8, order=1)
+    coarse = coarsen(fine)
+    P = prolongation_matrix(fine, coarse)
+    rng = np.random.default_rng(0)
+    uc = rng.standard_normal(coarse.n_interior)
+    via_matrix = P @ uc
+    via_stencil = extract_interior(
+        prolong_bilinear(embed_interior(uc, coarse.nodes_per_side))
+    )
+    np.testing.assert_allclose(via_matrix, via_stencil, atol=1e-14)
+
+
+def test_prolongation_matrix_shape_validation():
+    with pytest.raises(ValueError, match="2:1"):
+        prolongation_matrix(Mesh(ne=8), Mesh(ne=2))
+
+
+def test_galerkin_equals_rediscretization_for_nested_q1():
+    """Classical identity: nested Q1 spaces + constant coefficient =>
+    P^T A_h P is exactly the rediscretized coarse stiffness."""
+    problem = make_problem("poisson1")
+    fine_op = assemble(problem, problem.mesh(16))
+    rap = galerkin_coarse(fine_op)
+    redisc = assemble(problem, problem.mesh(8))
+    diff = (rap.A - redisc.A).toarray()
+    assert np.abs(diff).max() < 1e-12
+
+
+def test_galerkin_differs_for_variable_coefficient():
+    """With a rough coefficient the two coarse models genuinely differ."""
+    problem = make_problem("poisson2")
+    fine_op = assemble(problem, problem.mesh(8))
+    rap = galerkin_coarse(fine_op)
+    redisc = assemble(problem, problem.mesh(4))
+    diff = np.abs((rap.A - redisc.A).toarray()).max()
+    assert diff > 1e-3
+
+
+def test_galerkin_coarse_spd():
+    for name in ("poisson1", "poisson2", "poisson2affine"):
+        problem = make_problem(name)
+        fine_op = assemble(problem, problem.mesh(8))
+        rap = galerkin_coarse(fine_op)
+        A = rap.A.toarray()
+        np.testing.assert_allclose(A, A.T, atol=1e-12)
+        assert np.linalg.eigvalsh(A).min() > 0
+
+
+@pytest.mark.parametrize("name", ["poisson1", "poisson2", "poisson2affine"])
+def test_galerkin_solver_converges(name):
+    problem = make_problem(name)
+    solver = GalerkinMultigridSolver(problem, 16, rng=0)
+    f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+    result = solver.solve(f, rtol=1e-9)
+    assert result.converged
+    assert result.cycles <= 15
+    err = discretization_error(problem, result.u, solver.levels[0].mesh)
+    assert err < 0.02
+
+
+def test_galerkin_hierarchy_structure():
+    solver = GalerkinMultigridSolver(make_problem("poisson2"), 16, rng=0)
+    assert [op.mesh.ne for op in solver.levels] == [16, 8, 4, 2]
+
+
+def test_galerkin_no_worse_than_rediscretized():
+    """On the variable-coefficient flavour, RAP needs <= as many cycles."""
+    from repro.hpgmg.multigrid import MultigridSolver
+
+    problem = make_problem("poisson2")
+    f = None
+    cycles = {}
+    for cls, key in ((MultigridSolver, "redisc"), (GalerkinMultigridSolver, "rap")):
+        solver = cls(problem, 16, rng=0)
+        if f is None:
+            f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+        cycles[key] = solver.solve(f, rtol=1e-9).cycles
+    assert cycles["rap"] <= cycles["redisc"] + 1

@@ -1,0 +1,108 @@
+"""Tests for structured meshes and hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.hpgmg.grid import Mesh, coarsen, hierarchy_sizes
+
+
+def test_lattice_counts():
+    m = Mesh(ne=4, order=1)
+    assert m.nodes_per_side == 5
+    assert m.n_nodes == 25
+    assert m.n_interior == 9
+    q2 = Mesh(ne=4, order=2)
+    assert q2.nodes_per_side == 9
+    assert q2.n_interior == 49
+
+
+def test_h_and_jacobian():
+    m = Mesh(ne=8, order=1, shear=0.5)
+    assert m.h == pytest.approx(0.125)
+    J = m.jacobian
+    np.testing.assert_allclose(J, np.array([[1.0, 0.5], [0.0, 1.0]]) * 0.125)
+    assert np.linalg.det(J) == pytest.approx(0.125**2)
+
+
+def test_physical_coords_sheared():
+    m = Mesh(ne=2, order=1, shear=1.0)
+    X, Y = m.physical_node_coords()
+    Xr, Yr = m.reference_node_coords()
+    np.testing.assert_allclose(X, Xr + Yr)
+    np.testing.assert_allclose(Y, Yr)
+
+
+def test_interior_mask_and_ids():
+    m = Mesh(ne=2, order=1)  # 3x3 lattice, single interior node (1,1) -> id 4
+    ids = m.interior_ids()
+    np.testing.assert_array_equal(ids, [4])
+    assert m.interior_mask().sum() == 1
+
+
+def test_node_index_y_major():
+    m = Mesh(ne=2, order=1)
+    assert m.node_index(0, 0) == 0
+    assert m.node_index(2, 0) == 2
+    assert m.node_index(0, 1) == 3
+    assert m.node_index(2, 2) == 8
+
+
+@pytest.mark.parametrize("order", [1, 2])
+def test_element_node_ids_cover_lattice(order):
+    m = Mesh(ne=4, order=order)
+    conn = m.element_node_ids()
+    assert conn.shape == (16, (order + 1) ** 2)
+    assert set(conn.ravel().tolist()) == set(range(m.n_nodes))
+
+
+def test_element_node_ids_local_ordering():
+    m = Mesh(ne=2, order=1)  # 3x3 lattice
+    conn = m.element_node_ids()
+    # Element 0 covers nodes (0,0),(1,0),(0,1),(1,1) -> ids 0,1,3,4.
+    np.testing.assert_array_equal(conn[0], [0, 1, 3, 4])
+    # Element (1,1) (flattened index 3) covers ids 4,5,7,8.
+    np.testing.assert_array_equal(conn[3], [4, 5, 7, 8])
+
+
+def test_element_centers():
+    m = Mesh(ne=2, order=1)
+    cx, cy = m.element_centers()
+    np.testing.assert_allclose(sorted(set(cx)), [0.25, 0.75])
+    assert cx.shape == (4,)
+
+
+def test_coarsen():
+    m = Mesh(ne=8, order=2, shear=0.3)
+    c = coarsen(m)
+    assert c.ne == 4
+    assert c.order == 2
+    assert c.shear == 0.3
+    with pytest.raises(ValueError):
+        coarsen(Mesh(ne=3))
+    with pytest.raises(ValueError):
+        coarsen(Mesh(ne=1))
+
+
+def test_hierarchy_sizes():
+    assert hierarchy_sizes(16, ne_coarsest=2) == [16, 8, 4, 2]
+    assert hierarchy_sizes(2, ne_coarsest=2) == [2]
+    assert hierarchy_sizes(12, ne_coarsest=3) == [12, 6, 3]
+    with pytest.raises(ValueError):
+        hierarchy_sizes(12, ne_coarsest=5)
+    with pytest.raises(ValueError):
+        hierarchy_sizes(1, ne_coarsest=2)
+    with pytest.raises(ValueError):
+        hierarchy_sizes(8, ne_coarsest=0)
+
+
+def test_mesh_validation():
+    with pytest.raises(ValueError):
+        Mesh(ne=0)
+    with pytest.raises(ValueError):
+        Mesh(ne=2, order=0)
+
+
+def test_cache_does_not_affect_equality():
+    a, b = Mesh(ne=4), Mesh(ne=4)
+    a.interior_ids()  # populate cache on one only
+    assert a == b

@@ -1,0 +1,129 @@
+"""Tests for the V-cycle / FMG multigrid solver."""
+
+import numpy as np
+import pytest
+
+from repro.hpgmg.manufactured import (
+    discretization_error,
+    source_term,
+)
+from repro.hpgmg.multigrid import MultigridSolver
+from repro.hpgmg.operators import OPERATOR_NAMES, load_vector, make_problem
+
+
+@pytest.fixture(scope="module", params=OPERATOR_NAMES)
+def solver_and_rhs(request):
+    problem = make_problem(request.param)
+    solver = MultigridSolver(problem, 16, rng=0)
+    f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+    return problem, solver, f
+
+
+def test_hierarchy_structure(solver_and_rhs):
+    _, solver, _ = solver_and_rhs
+    assert solver.n_levels == 4  # 16 -> 8 -> 4 -> 2
+    sizes = [op.mesh.ne for op in solver.levels]
+    assert sizes == [16, 8, 4, 2]
+
+
+def test_vcycle_contracts_error(solver_and_rhs):
+    _, solver, f = solver_and_rhs
+    u = solver.vcycle(f)
+    fine = solver.levels[0]
+    r1 = np.linalg.norm(fine.residual(u, f))
+    u = solver.vcycle(f, u)
+    r2 = np.linalg.norm(fine.residual(u, f))
+    assert r2 < 0.35 * r1  # healthy multigrid contraction
+
+
+def test_solve_converges(solver_and_rhs):
+    _, solver, f = solver_and_rhs
+    result = solver.solve(f, rtol=1e-9)
+    assert result.converged
+    assert result.residual_history[-1] <= 1e-9
+    assert result.cycles <= 15
+    assert result.work_units > 0
+    assert result.seconds >= 0
+
+
+def test_fmg_reaches_discretization_accuracy(solver_and_rhs):
+    """One FMG pass should land within a small factor of h^2 accuracy."""
+    problem, solver, f = solver_and_rhs
+    u_fmg = solver.fmg(f)
+    err_fmg = discretization_error(problem, u_fmg, solver.levels[0].mesh)
+    result = solver.solve(f, rtol=1e-10)
+    err_exact = discretization_error(problem, result.u, solver.levels[0].mesh)
+    assert err_fmg <= 3.0 * err_exact
+
+
+@pytest.mark.parametrize("name", OPERATOR_NAMES)
+def test_mms_convergence_second_order(name):
+    problem = make_problem(name)
+    errs = []
+    for ne in (8, 16, 32):
+        solver = MultigridSolver(problem, ne, rng=0)
+        f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+        result = solver.solve(f, rtol=1e-9)
+        errs.append(
+            discretization_error(problem, result.u, solver.levels[0].mesh)
+        )
+    rates = [np.log2(errs[i] / errs[i + 1]) for i in range(2)]
+    assert min(rates) > 1.7
+
+
+def test_zero_rhs_returns_zero():
+    problem = make_problem("poisson1")
+    solver = MultigridSolver(problem, 8, rng=0)
+    result = solver.solve(np.zeros(solver.dofs))
+    np.testing.assert_allclose(result.u, 0.0)
+    assert result.converged
+
+
+def test_solve_rejects_bad_shape():
+    problem = make_problem("poisson1")
+    solver = MultigridSolver(problem, 8, rng=0)
+    with pytest.raises(ValueError):
+        solver.solve(np.zeros(solver.dofs + 1))
+
+
+def test_jacobi_smoother_variant_converges():
+    problem = make_problem("poisson1")
+    solver = MultigridSolver(problem, 16, smoother="jacobi", pre_smooth=3,
+                             post_smooth=3, rng=0)
+    f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+    result = solver.solve(f, rtol=1e-8, max_cycles=40)
+    assert result.converged
+
+
+def test_invalid_smoother():
+    with pytest.raises(ValueError):
+        MultigridSolver(make_problem("poisson1"), 8, smoother="sor")
+
+
+def test_no_fmg_path():
+    problem = make_problem("poisson1")
+    solver = MultigridSolver(problem, 8, rng=0)
+    f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+    result = solver.solve(f, rtol=1e-8, use_fmg=False)
+    assert result.converged
+    # Without FMG the first history entry is the unpreconditioned residual.
+    assert result.residual_history[0] == pytest.approx(1.0)
+
+
+def test_max_cycles_respected():
+    problem = make_problem("poisson2affine")
+    solver = MultigridSolver(problem, 8, rng=0)
+    f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+    result = solver.solve(f, rtol=1e-300, max_cycles=3)
+    assert not result.converged
+    assert result.cycles == 3
+
+
+def test_work_units_accumulate():
+    problem = make_problem("poisson1")
+    solver = MultigridSolver(problem, 8, rng=0)
+    f = load_vector(problem, solver.levels[0].mesh, source_term(problem))
+    r1 = solver.solve(f)
+    r2 = solver.solve(f)
+    # Per-solve accounting must not double-count earlier work.
+    assert abs(r1.work_units - r2.work_units) < 0.6 * max(r1.work_units, r2.work_units)

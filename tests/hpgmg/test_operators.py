@@ -1,0 +1,157 @@
+"""Tests for the assembled elliptic operators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hpgmg.grid import Mesh
+from repro.hpgmg.manufactured import nodal_interior_values
+from repro.hpgmg.operators import (
+    OPERATOR_NAMES,
+    assemble,
+    load_vector,
+    make_problem,
+)
+
+
+@pytest.mark.parametrize("name", OPERATOR_NAMES)
+def test_assembled_matrix_spd(name):
+    problem = make_problem(name)
+    op = assemble(problem, problem.mesh(4))
+    A = op.A.toarray()
+    np.testing.assert_allclose(A, A.T, atol=1e-12)
+    assert np.linalg.eigvalsh(A).min() > 0
+
+
+@pytest.mark.parametrize("name", OPERATOR_NAMES)
+def test_operator_shapes(name):
+    problem = make_problem(name)
+    mesh = problem.mesh(4)
+    op = assemble(problem, mesh)
+    assert op.n == mesh.n_interior
+    assert op.diag.shape == (op.n,)
+    np.testing.assert_allclose(op.diag, op.A.diagonal())
+
+
+def test_poisson1_matches_classical_fe_laplacian():
+    """Q1, kappa=1, no shear: row sums of A vanish for interior-only rows.
+
+    The FE Laplacian annihilates constants; rows whose stencil does not
+    touch the boundary must sum to zero exactly.
+    """
+    problem = make_problem("poisson1")
+    mesh = problem.mesh(8)
+    op = assemble(problem, mesh)
+    # Find interior nodes at lattice distance >= 2 from the rim.
+    n = mesh.nodes_per_side
+    ids = mesh.interior_ids()
+    deep = []
+    for local, gid in enumerate(ids):
+        iy, ix = divmod(int(gid), n)
+        if 2 <= ix <= n - 3 and 2 <= iy <= n - 3:
+            deep.append(local)
+    row_sums = np.asarray(op.A.sum(axis=1)).ravel()
+    np.testing.assert_allclose(row_sums[deep], 0.0, atol=1e-12)
+
+
+def test_poisson1_diagonal_value():
+    """Q1 Laplacian diagonal is 8/3 (h-independent in 2-D)."""
+    problem = make_problem("poisson1")
+    op = assemble(problem, problem.mesh(8))
+    np.testing.assert_allclose(op.diag, 8.0 / 3.0, atol=1e-12)
+
+
+def test_apply_and_residual_counting():
+    problem = make_problem("poisson1")
+    op = assemble(problem, problem.mesh(4))
+    u = np.ones(op.n)
+    f = np.zeros(op.n)
+    assert op.apply_count == 0
+    op.apply(u)
+    assert op.apply_count == 1
+    r = op.residual(u, f)
+    assert op.apply_count == 2
+    np.testing.assert_allclose(r, -(op.A @ u))
+
+
+def test_coarsen_rediscretizes():
+    problem = make_problem("poisson2")
+    fine = assemble(problem, problem.mesh(8))
+    coarse = fine.coarsen()
+    assert coarse.mesh.ne == 4
+    assert coarse.problem is problem
+    assert coarse.n < fine.n
+
+
+def test_mesh_order_mismatch_rejected():
+    problem = make_problem("poisson2")  # order 2
+    with pytest.raises(ValueError, match="order"):
+        assemble(problem, Mesh(ne=4, order=1))
+
+
+def test_unknown_operator():
+    with pytest.raises(ValueError, match="unknown operator"):
+        make_problem("poisson3")
+
+
+def test_negative_coefficient_rejected():
+    from repro.hpgmg.operators import Problem
+
+    bad = Problem("bad", order=1, shear=0.0, kappa=lambda x, y: x - 10.0)
+    with pytest.raises(ValueError, match="positive"):
+        assemble(bad, bad.mesh(4))
+
+
+@pytest.mark.parametrize("name", OPERATOR_NAMES)
+def test_galerkin_identity_for_linears(name):
+    """Energy inner product of the exact solution is positive and finite."""
+    problem = make_problem(name)
+    mesh = problem.mesh(8)
+    op = assemble(problem, mesh)
+    from repro.hpgmg.manufactured import exact_solution
+
+    u = nodal_interior_values(mesh, exact_solution)
+    energy = u @ op.apply(u)
+    assert np.isfinite(energy)
+    assert energy > 0
+
+
+def test_load_vector_constant_source():
+    """For f=1, the load vector sums to ~|Omega| (interior portion)."""
+    problem = make_problem("poisson1")
+    mesh = problem.mesh(16)
+    b = load_vector(problem, mesh, lambda x, y: np.ones_like(x))
+    # Total load over ALL nodes equals the domain area; the interior share
+    # approaches 1 as the boundary layer thins.
+    assert 0.8 < b.sum() < 1.0
+
+
+def test_load_vector_scales_with_jacobian():
+    """The sheared mesh has |J| = h^2 (area-preserving shear)."""
+    p_id = make_problem("poisson1")
+    b1 = load_vector(p_id, p_id.mesh(8), lambda x, y: np.ones_like(x))
+    from repro.hpgmg.operators import Problem, _kappa_constant
+
+    p_shear = Problem("s", order=1, shear=0.7, kappa=_kappa_constant)
+    b2 = load_vector(p_shear, p_shear.mesh(8), lambda x, y: np.ones_like(x))
+    np.testing.assert_allclose(b1, b2, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", OPERATOR_NAMES)
+def test_solution_solves_weak_form(name):
+    """Direct solve of A u = b converges to the manufactured solution."""
+    from repro.hpgmg.manufactured import (
+        discretization_error,
+        source_term,
+    )
+
+    problem = make_problem(name)
+    errs = []
+    for ne in (8, 16):
+        mesh = problem.mesh(ne)
+        op = assemble(problem, mesh)
+        b = load_vector(problem, mesh, source_term(problem))
+        u = sp.linalg.spsolve(op.A.tocsc(), b)
+        errs.append(discretization_error(problem, u, mesh))
+    rate = np.log2(errs[0] / errs[1])
+    assert rate > 1.6  # ~2nd order

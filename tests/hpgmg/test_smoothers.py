@@ -1,0 +1,104 @@
+"""Tests for Jacobi and Chebyshev smoothers."""
+
+import numpy as np
+import pytest
+
+from repro.hpgmg.operators import assemble, make_problem
+from repro.hpgmg.smoothers import chebyshev, damped_jacobi, estimate_lambda_max
+
+
+@pytest.fixture(scope="module")
+def op():
+    problem = make_problem("poisson1")
+    return assemble(problem, problem.mesh(16))
+
+
+def _residual_norm(op, u, f):
+    return float(np.linalg.norm(f - op.A @ u))
+
+
+def test_jacobi_reduces_residual(op):
+    rng = np.random.default_rng(0)
+    f = rng.standard_normal(op.n)
+    u0 = np.zeros(op.n)
+    r0 = _residual_norm(op, u0, f)
+    u = damped_jacobi(op, u0, f, iterations=10)
+    assert _residual_norm(op, u, f) < r0
+
+
+def test_jacobi_zero_iterations_identity(op):
+    u0 = np.ones(op.n)
+    u = damped_jacobi(op, u0, np.zeros(op.n), iterations=0)
+    np.testing.assert_allclose(u, u0)
+    with pytest.raises(ValueError):
+        damped_jacobi(op, u0, u0, iterations=-1)
+
+
+def test_jacobi_fixed_point_is_solution(op):
+    """The exact solution is a fixed point of the Jacobi iteration."""
+    rng = np.random.default_rng(1)
+    u_exact = rng.standard_normal(op.n)
+    f = op.A @ u_exact
+    u = damped_jacobi(op, u_exact.copy(), f, iterations=3)
+    np.testing.assert_allclose(u, u_exact, atol=1e-12)
+
+
+def test_lambda_max_estimate_bounds_spectrum(op):
+    lam = estimate_lambda_max(op, rng=0)
+    inv_diag = 1.0 / op.diag
+    import scipy.sparse as sp
+
+    D_inv_A = sp.diags(inv_diag) @ op.A
+    true_lam = np.max(np.abs(np.linalg.eigvals(D_inv_A.toarray())))
+    assert lam >= true_lam * 0.98  # safety factor keeps us at/above
+    assert lam <= true_lam * 1.3
+
+
+def test_chebyshev_smooths_high_frequencies(op):
+    """Chebyshev must damp a random (high-frequency-rich) error strongly."""
+    rng = np.random.default_rng(2)
+    u_exact = rng.standard_normal(op.n)
+    f = op.A @ u_exact
+    lam = estimate_lambda_max(op, rng=0)
+    u = chebyshev(op, np.zeros(op.n), f, degree=6, lambda_max=lam)
+    # The error's high-frequency content (measured via D^{-1}A e) shrinks.
+    e0 = u_exact
+    e1 = u_exact - u
+    rough = lambda e: np.linalg.norm(op.A @ e / op.diag)
+    assert rough(e1) < 0.25 * rough(e0)
+
+
+def test_chebyshev_beats_jacobi_same_work(op):
+    """Chebyshev's minimax polynomial wins on the full-spectrum error norm.
+
+    (On the *residual* norm alone, damped Jacobi with omega = 0.8 is already
+    near-optimal for this operator's lambda_max ~ 1.5, so the fair
+    comparison is the error itself at equal matvec count.)
+    """
+    rng = np.random.default_rng(3)
+    u_exact = rng.standard_normal(op.n)
+    f = op.A @ u_exact
+    lam = estimate_lambda_max(op, rng=0)
+    deg = 8
+    u_ch = chebyshev(op, np.zeros(op.n), f, degree=deg, lambda_max=lam)
+    u_ja = damped_jacobi(op, np.zeros(op.n), f, iterations=deg)
+    assert np.linalg.norm(u_exact - u_ch) < np.linalg.norm(u_exact - u_ja)
+
+
+def test_chebyshev_validation(op):
+    f = np.zeros(op.n)
+    u = np.zeros(op.n)
+    with pytest.raises(ValueError):
+        chebyshev(op, u, f, degree=0, lambda_max=2.0)
+    with pytest.raises(ValueError):
+        chebyshev(op, u, f, degree=2, lambda_max=-1.0)
+    with pytest.raises(ValueError):
+        chebyshev(op, u, f, degree=2, lambda_max=2.0, lambda_min_fraction=1.5)
+
+
+def test_smoothers_deterministic(op):
+    f = np.linspace(0, 1, op.n)
+    lam = estimate_lambda_max(op, rng=0)
+    a = chebyshev(op, np.zeros(op.n), f, degree=3, lambda_max=lam)
+    b = chebyshev(op, np.zeros(op.n), f, degree=3, lambda_max=lam)
+    np.testing.assert_array_equal(a, b)

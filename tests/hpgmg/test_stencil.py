@@ -1,0 +1,89 @@
+"""Tests for the matrix-free Q1 stencil operator."""
+
+import numpy as np
+import pytest
+
+from repro.hpgmg.operators import Problem, assemble, make_problem
+from repro.hpgmg.stencil import StencilOperator, q1_stencil, stencil_supported
+
+
+def test_supported_flavours():
+    assert stencil_supported(make_problem("poisson1"))
+    assert not stencil_supported(make_problem("poisson2"))  # Q2
+    variable_q1 = Problem(
+        "varq1", order=1, shear=0.0, kappa=lambda x, y: 1.0 + x
+    )
+    assert not stencil_supported(variable_q1)
+
+
+def test_q1_stencil_is_the_fe_laplacian():
+    """kappa=1, no shear: the classical FE 9-point stencil (1/3 scaling)."""
+    problem = make_problem("poisson1")
+    stencil = q1_stencil(problem, problem.mesh(8))
+    expected = (1.0 / 3.0) * np.array(
+        [[-1, -1, -1], [-1, 8, -1], [-1, -1, -1]]
+    )
+    np.testing.assert_allclose(stencil, expected, atol=1e-12)
+
+
+def test_unsupported_rejected():
+    problem = make_problem("poisson2")
+    with pytest.raises(ValueError, match="matrix-free"):
+        q1_stencil(problem, problem.mesh(4))
+
+
+@pytest.mark.parametrize("ne", [4, 16])
+def test_matches_assembled_operator(ne):
+    """Matrix-free apply == CSR SpMV to machine precision."""
+    problem = make_problem("poisson1")
+    mesh = problem.mesh(ne)
+    sparse_op = assemble(problem, mesh)
+    stencil_op = StencilOperator(problem=problem, mesh=mesh)
+    assert stencil_op.n == sparse_op.n
+    np.testing.assert_allclose(stencil_op.diag, sparse_op.diag, atol=1e-12)
+    rng = np.random.default_rng(0)
+    for _ in range(3):
+        u = rng.standard_normal(sparse_op.n)
+        np.testing.assert_allclose(
+            stencil_op.apply(u), sparse_op.apply(u), atol=1e-11
+        )
+
+
+def test_sheared_mesh_stencil_matches():
+    """The affine shear produces an asymmetric stencil; still exact."""
+    problem = Problem(
+        "sheared_q1", order=1, shear=0.4,
+        kappa=make_problem("poisson1").kappa,
+    )
+    mesh = problem.mesh(8)
+    sparse_op = assemble(problem, mesh)
+    stencil_op = StencilOperator(problem=problem, mesh=mesh)
+    u = np.random.default_rng(1).standard_normal(sparse_op.n)
+    np.testing.assert_allclose(stencil_op.apply(u), sparse_op.apply(u), atol=1e-11)
+
+
+def test_apply_counting_and_shape_check():
+    problem = make_problem("poisson1")
+    op = StencilOperator(problem=problem, mesh=problem.mesh(4))
+    op.apply(np.zeros(op.n))
+    r = op.residual(np.zeros(op.n), np.ones(op.n))
+    assert op.apply_count == 2
+    np.testing.assert_allclose(r, 1.0)
+    with pytest.raises(ValueError):
+        op.apply(np.zeros(op.n + 1))
+
+
+def test_works_inside_multigrid_smoothers():
+    """The stencil operator satisfies the smoother protocol."""
+    from repro.hpgmg.smoothers import chebyshev, estimate_lambda_max
+
+    problem = make_problem("poisson1")
+    mesh = problem.mesh(16)
+    op = StencilOperator(problem=problem, mesh=mesh)
+    sparse_op = assemble(problem, mesh)
+    rng = np.random.default_rng(2)
+    u_exact = rng.standard_normal(op.n)
+    f = sparse_op.apply(u_exact)
+    lam = estimate_lambda_max(op, rng=0)
+    u = chebyshev(op, np.zeros(op.n), f, degree=6, lambda_max=lam)
+    assert np.linalg.norm(u - u_exact) < np.linalg.norm(u_exact)

@@ -1,0 +1,98 @@
+"""Tests for multigrid transfer operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpgmg.transfer import (
+    embed_interior,
+    extract_interior,
+    prolong_bilinear,
+    restrict_full_weighting,
+)
+
+
+def test_embed_extract_roundtrip():
+    u = np.arange(9.0)
+    full = embed_interior(u, 5)
+    assert full.shape == (5, 5)
+    np.testing.assert_allclose(full[0], 0.0)
+    np.testing.assert_allclose(extract_interior(full), u)
+
+
+def test_embed_shape_validation():
+    with pytest.raises(ValueError):
+        embed_interior(np.zeros(8), 5)
+    with pytest.raises(ValueError):
+        extract_interior(np.zeros((3, 4)))
+
+
+def test_prolong_injects_coarse_values():
+    coarse = np.arange(9.0).reshape(3, 3)
+    fine = prolong_bilinear(coarse)
+    assert fine.shape == (5, 5)
+    np.testing.assert_allclose(fine[::2, ::2], coarse)
+
+
+def test_prolong_is_bilinear_interpolation():
+    """Prolongation of a bilinear function is exact."""
+    m = 5
+    t = np.linspace(0, 1, m)
+    Y, X = np.meshgrid(t, t, indexing="ij")
+    coarse = 2.0 + 3.0 * X + 4.0 * Y + 5.0 * X * Y
+    fine = prolong_bilinear(coarse)
+    tf = np.linspace(0, 1, 2 * (m - 1) + 1)
+    Yf, Xf = np.meshgrid(tf, tf, indexing="ij")
+    np.testing.assert_allclose(fine, 2.0 + 3.0 * Xf + 4.0 * Yf + 5.0 * Xf * Yf,
+                               atol=1e-12)
+
+
+def test_restrict_shape_and_rim():
+    fine = np.random.default_rng(0).random((9, 9))
+    coarse = restrict_full_weighting(fine)
+    assert coarse.shape == (5, 5)
+    np.testing.assert_allclose(coarse[0], 0.0)
+    np.testing.assert_allclose(coarse[:, -1], 0.0)
+
+
+def test_restrict_is_transpose_of_prolong():
+    """<P uc, vf> == <uc, R vf> on interior values (Dirichlet rims zero)."""
+    rng = np.random.default_rng(1)
+    m, n = 5, 9
+    uc = np.zeros((m, m))
+    uc[1:-1, 1:-1] = rng.standard_normal((m - 2, m - 2))
+    vf = np.zeros((n, n))
+    vf[1:-1, 1:-1] = rng.standard_normal((n - 2, n - 2))
+    lhs = np.sum(prolong_bilinear(uc) * vf)
+    rhs = np.sum(uc * restrict_full_weighting(vf))
+    assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+def test_restrict_input_validation():
+    with pytest.raises(ValueError):
+        restrict_full_weighting(np.zeros((8, 8)))  # even side
+    with pytest.raises(ValueError):
+        restrict_full_weighting(np.zeros((3, 5)))  # not square
+    with pytest.raises(ValueError):
+        prolong_bilinear(np.zeros((1, 1)))
+
+
+@given(m=st.sampled_from([3, 5, 9]))
+@settings(max_examples=10, deadline=None)
+def test_property_prolong_preserves_constants_interior(m):
+    """Prolongation of an all-ones lattice stays one away from the rim."""
+    coarse = np.ones((m, m))
+    fine = prolong_bilinear(coarse)
+    np.testing.assert_allclose(fine, 1.0)
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_restrict_bounded(seed):
+    """Transpose restriction's gain is bounded by the stencil weight sum (4)."""
+    rng = np.random.default_rng(seed)
+    fine = np.zeros((9, 9))
+    fine[1:-1, 1:-1] = rng.uniform(-1, 1, (7, 7))
+    coarse = restrict_full_weighting(fine)
+    assert np.abs(coarse).max() <= 4.0 * np.abs(fine).max() + 1e-12

@@ -1,0 +1,69 @@
+"""Tests for the analytic energy surface."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import EnergyModel, RuntimeModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+def test_energy_is_power_times_time(model):
+    t = float(model.runtime_model.runtime("poisson1", 1e8, 32, 2.4))
+    p = float(model.total_power(32, 2.4))
+    e = float(model.energy("poisson1", 1e8, 32, 2.4))
+    assert e == pytest.approx(p * t, rel=1e-12)
+
+
+def test_total_power_node_counting(model):
+    """33 ranks spill onto a second node: idle power jumps."""
+    p32 = float(model.total_power(32, 2.4))
+    p33 = float(model.total_power(33, 2.4))
+    assert p33 > p32 + model.power_model.idle_watts * 0.9
+
+
+def test_total_power_four_full_nodes(model):
+    p128 = float(model.total_power(128, 2.4))
+    p_node = model.power_model.full_node_power(model.cluster.node, 2.4)
+    assert p128 == pytest.approx(4 * p_node, rel=1e-9)
+
+
+def test_energy_frequency_tradeoff_exists(model):
+    """Lower frequency: longer runtime but lower power — energy is a
+    genuine tradeoff surface, not monotone in f (race-to-idle vs DVFS)."""
+    e_lo = float(model.energy("poisson1", 1e8, 32, 1.2))
+    e_hi = float(model.energy("poisson1", 1e8, 32, 2.4))
+    # Both regimes must be within a factor ~2 (neither trivially dominates).
+    assert 0.4 < e_lo / e_hi < 2.5
+
+
+def test_energy_broadcasts(model):
+    sizes = np.geomspace(1e6, 1e9, 5)
+    e = model.energy("poisson2", sizes, 16, 1.8)
+    assert e.shape == (5,)
+    assert np.all(np.diff(e) > 0)  # more work, more energy
+
+
+def test_capacity_validation(model):
+    with pytest.raises(ValueError):
+        model.total_power(0, 2.4)
+    with pytest.raises(ValueError):
+        model.total_power(129, 2.4)
+
+
+def test_table1_energy_range(model):
+    """Long-job campaign energies span ~5e3-1.3e5 J (Table I: 6.4e3-1.1e5)."""
+    from repro.datasets.generate import feasible_configurations
+
+    rm = RuntimeModel()
+    vals = []
+    for op, s, p, f in feasible_configurations(rm):
+        t = float(rm.runtime(op, s, p, f))
+        if t >= 50.0:
+            vals.append(float(model.energy(op, s, p, f)))
+    vals = np.asarray(vals)
+    assert 3e3 < vals.min() < 1e4
+    assert 5e4 < vals.max() < 3e5

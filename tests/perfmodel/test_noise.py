@@ -1,0 +1,74 @@
+"""Tests for the measurement-noise models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import PERFORMANCE_NOISE, POWER_NOISE, NoiseModel
+
+
+def test_zero_noise_is_identity():
+    model = NoiseModel(sigma=0.0, outlier_prob=0.0)
+    values = np.array([1.0, 5.0, 100.0])
+    out = model.apply(values, np.random.default_rng(0))
+    np.testing.assert_allclose(out, values)
+
+
+def test_noise_preserves_scale():
+    model = NoiseModel(sigma=0.05, outlier_prob=0.0)
+    rng = np.random.default_rng(1)
+    samples = model.apply(np.full(20000, 10.0), rng)
+    # Log-normal with sigma=0.05: median ~ 10, relative sd ~ 5%.
+    assert np.median(samples) == pytest.approx(10.0, rel=0.01)
+    assert np.std(np.log(samples)) == pytest.approx(0.05, rel=0.1)
+
+
+def test_outliers_are_one_sided():
+    """Slowdown events only make jobs slower, never faster."""
+    model = NoiseModel(sigma=0.0, outlier_prob=1.0, outlier_scale=0.5)
+    rng = np.random.default_rng(2)
+    samples = model.apply(np.full(1000, 10.0), rng)
+    assert np.all(samples >= 10.0)
+    assert samples.mean() > 10.0
+
+
+def test_outlier_probability_respected():
+    model = NoiseModel(sigma=0.0, outlier_prob=0.1, outlier_scale=1.0)
+    rng = np.random.default_rng(3)
+    samples = model.apply(np.full(20000, 1.0), rng)
+    frac = np.mean(samples > 1.0)
+    assert frac == pytest.approx(0.1, abs=0.02)
+
+
+def test_power_noise_louder_than_performance_noise():
+    """The paper's Fig. 1: the Power dataset is visibly noisier."""
+    assert POWER_NOISE.sigma > PERFORMANCE_NOISE.sigma
+    assert POWER_NOISE.outlier_prob >= PERFORMANCE_NOISE.outlier_prob
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NoiseModel(sigma=-0.1)
+    with pytest.raises(ValueError):
+        NoiseModel(outlier_prob=1.5)
+    with pytest.raises(ValueError):
+        NoiseModel(outlier_scale=-1.0)
+    with pytest.raises(ValueError):
+        NoiseModel().apply(np.array([-1.0]), np.random.default_rng(0))
+
+
+def test_deterministic_given_rng():
+    model = PERFORMANCE_NOISE
+    a = model.apply(np.ones(10), np.random.default_rng(5))
+    b = model.apply(np.ones(10), np.random.default_rng(5))
+    np.testing.assert_array_equal(a, b)
+
+
+@given(value=st.floats(1e-3, 1e6), sigma=st.floats(0.0, 0.5))
+@settings(max_examples=40, deadline=None)
+def test_property_noise_positive(value, sigma):
+    model = NoiseModel(sigma=sigma, outlier_prob=0.05)
+    out = model.apply(np.full(16, value), np.random.default_rng(0))
+    assert np.all(out > 0)
+    assert out.shape == (16,)

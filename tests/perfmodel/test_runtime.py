@@ -1,0 +1,122 @@
+"""Tests for the analytic HPGMG-FE runtime surface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import OPERATOR_COST, RuntimeModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RuntimeModel()
+
+
+def test_runtime_increases_with_problem_size(model):
+    sizes = np.geomspace(1e4, 1e9, 20)
+    t = model.runtime("poisson1", sizes, 32, 2.4)
+    assert np.all(np.diff(t) > 0)
+
+
+def test_runtime_decreases_with_ranks_for_large_problems(model):
+    ranks = np.array([1, 2, 4, 8, 16, 32, 64, 128])
+    t = model.runtime("poisson1", 5e8, ranks, 2.4)
+    assert np.all(np.diff(t) < 0)
+
+
+def test_runtime_decreases_with_frequency(model):
+    freqs = np.array([1.2, 1.5, 1.8, 2.1, 2.4])
+    t = model.runtime("poisson2", 1e7, 16, freqs)
+    assert np.all(np.diff(t) < 0)
+
+
+def test_operator_cost_ordering(model):
+    """Q2 > Q1, mapped Q2 costs the most (per Table I's operator factor)."""
+    t1 = model.runtime("poisson1", 1e8, 32, 2.4)
+    t2 = model.runtime("poisson2", 1e8, 32, 2.4)
+    t3 = model.runtime("poisson2affine", 1e8, 32, 2.4)
+    assert t1 < t2 < t3
+    assert OPERATOR_COST["poisson1"] < OPERATOR_COST["poisson2"]
+
+
+def test_setup_floor(model):
+    """Tiny jobs bottom out at the launch overhead (Table I's 5 ms floor)."""
+    t = float(model.runtime("poisson1", 10.0, 128, 2.4))
+    assert model.setup_seconds <= t < 3 * model.setup_seconds
+
+
+def test_table1_runtime_range(model):
+    """Calibration: feasible grid spans ~0.005-460 s as in Table I."""
+    from repro.datasets.generate import feasible_configurations
+
+    configs = feasible_configurations(model)
+    times = np.array(
+        [float(model.runtime(op, s, p, f)) for (op, s, p, f) in configs]
+    )
+    assert 0.003 < times.min() < 0.01
+    assert 300 < times.max() <= 460
+
+
+def test_effective_parallelism_smt_knee(model):
+    p_eff = model.effective_parallelism(np.array([1, 16, 24, 32]))
+    np.testing.assert_allclose(p_eff[0], 1.0)
+    np.testing.assert_allclose(p_eff[1], 16.0)
+    # Beyond 16 ranks/node, extra ranks count at smt_efficiency.
+    np.testing.assert_allclose(p_eff[2], 16.0 + 8 * model.smt_efficiency)
+    np.testing.assert_allclose(p_eff[3], 16.0 + 16 * model.smt_efficiency)
+
+
+def test_speedup_sublinear_with_knee(model):
+    s = model.speedup("poisson1", 128**3, np.array([2, 16, 32, 128]), 2.4)
+    assert np.all(s >= 1.0)
+    assert np.all(np.diff(s) > 0)
+    assert s[-1] < 128  # never superlinear
+
+
+def test_frequency_exponent_below_one(model):
+    """Memory-bound multigrid: halving f less than doubles runtime."""
+    t_lo = float(model.runtime("poisson1", 1e8, 1, 1.2))
+    t_hi = float(model.runtime("poisson1", 1e8, 1, 2.4))
+    assert t_lo / t_hi < 2.0
+    # The constant setup term perturbs the pure power law only slightly.
+    assert t_lo / t_hi == pytest.approx(2.0**model.freq_exponent, rel=1e-4)
+
+
+def test_nodes_needed(model):
+    assert model.nodes_needed(1) == 1
+    assert model.nodes_needed(32) == 1
+    assert model.nodes_needed(33) == 2
+    assert model.nodes_needed(128) == 4
+    with pytest.raises(ValueError):
+        model.nodes_needed(0)
+
+
+def test_validation(model):
+    with pytest.raises(ValueError, match="unknown operator"):
+        model.runtime("stokes", 1e6, 4, 2.4)
+    with pytest.raises(ValueError):
+        model.runtime("poisson1", -1.0, 4, 2.4)
+    with pytest.raises(ValueError):
+        model.runtime("poisson1", 1e6, 0, 2.4)
+    with pytest.raises(ValueError):
+        model.runtime("poisson1", 1e6, 4, -2.4)
+    with pytest.raises(ValueError):
+        RuntimeModel(seconds_per_dof=-1.0)
+    with pytest.raises(ValueError):
+        RuntimeModel(smt_efficiency=0.0)
+
+
+@given(
+    size=st.floats(1e3, 1e9),
+    ranks=st.integers(1, 128),
+    freq=st.floats(1.2, 2.4),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_runtime_positive_and_bounded_by_serial(size, ranks, freq):
+    model = RuntimeModel()
+    t = float(model.runtime("poisson2", size, ranks, freq))
+    t_serial = float(model.runtime("poisson2", size, 1, freq))
+    assert t > 0
+    # Parallel compute work never exceeds serial work + comm overheads.
+    assert t <= t_serial + 1.0

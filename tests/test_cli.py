@@ -1,0 +1,62 @@
+"""Smoke test for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import _EXHIBITS, main
+
+
+def test_cli_lists_all_exhibits():
+    assert _EXHIBITS == (
+        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    )
+
+
+def test_cli_rejects_unknown_exhibit():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_table1_in_process(capsys):
+    """Run the lightest exhibit through the real entry point."""
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE I" in out
+    assert "3246" in out
+    assert "regenerated in" in out
+
+
+def test_cli_all_quick_in_process(capsys):
+    """The full evaluation pass (`all --quick`) renders every exhibit.
+
+    Dataset generation and the experiment modules are process-cached, so
+    this mostly costs the two reduced AL sweeps (fig7/fig8).
+    """
+    assert main(["all", "--quick", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    for marker in (
+        "TABLE I",
+        "Fig. 1",
+        "Fig. 2",
+        "Fig. 3",
+        "Fig. 4",
+        "Fig. 5",
+        "Fig. 6",
+        "Fig. 7",
+        "Fig. 8",
+    ):
+        assert marker in out, f"missing {marker} in CLI output"
+    assert out.count("regenerated in") == 9
+
+
+def test_cli_subprocess_help():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "table1" in result.stdout

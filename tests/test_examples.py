@@ -1,0 +1,67 @@
+"""Smoke tests: the example scripts run end to end.
+
+The heavyweight study examples (``offline_al_study.py``) are exercised
+through their underlying experiment modules in
+``tests/experiments/test_figures.py``; here we execute the quick scripts
+exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "final test RMSE" in out
+    assert "AL convergence" in out
+
+
+def test_online_hpgmg_runs():
+    out = _run("online_hpgmg.py", "--budget-seconds", "3")
+    assert "real multigrid solves" in out
+    assert "predicted log10 runtime" in out
+
+
+def test_cluster_campaign_runs():
+    out = _run("cluster_campaign.py")
+    assert "campaign makespan" in out
+    assert "node utilization" in out
+
+
+def test_continuous_al_runs():
+    out = _run("continuous_al.py", "--iterations", "4")
+    assert "learned log10 runtime surface" in out
+
+
+def test_energy_modeling_runs():
+    out = _run("energy_modeling.py", timeout=420.0)
+    assert "trapezoidal energy estimate" in out
+    assert "AL would next measure" in out
+
+
+def test_performance_modeling_runs():
+    out = _run("performance_modeling.py", timeout=420.0)
+    assert "LOO-CV RMSE" in out
+    assert "active-learning suggestions" in out
+
+
+def test_parallel_campaign_runs():
+    out = _run("parallel_campaign.py")
+    assert "sim wall-clock" in out
+    assert "parallelism tradeoff" in out

@@ -1,0 +1,128 @@
+"""Tests for the high-level PerformanceModeler facade."""
+
+import numpy as np
+import pytest
+
+from repro.modeler import PerformanceModeler, Suggestion
+
+
+@pytest.fixture(scope="module")
+def fitted(performance_dataset):
+    ds = performance_dataset.subset(operator="poisson1", np_ranks=32)
+    modeler = PerformanceModeler(
+        ds, variables=("problem_size", "freq_ghz"), rng=0
+    )
+    return modeler.fit()
+
+
+def test_predict_natural_units(fitted):
+    median, sd_factor = fitted.predict_response([(1e8, 2.4), (1e8, 1.2)])
+    assert median.shape == (2,)
+    # Lower frequency -> slower.
+    assert median[1] > median[0]
+    # Plausible runtime scale for 1e8 DOF at NP=32 (see perfmodel).
+    assert 1.0 < median[0] < 100.0
+    assert np.all(sd_factor > 1.0)
+
+
+def test_predict_accepts_dicts(fitted):
+    m1, _ = fitted.predict_response([{"problem_size": 1e7, "freq_ghz": 1.8}])
+    m2, _ = fitted.predict_response([(1e7, 1.8)])
+    assert m1[0] == pytest.approx(m2[0])
+
+
+def test_predict_log10_matches_response(fitted):
+    mu, sd = fitted.predict_log10([(1e7, 1.8)])
+    median, sd_factor = fitted.predict_response([(1e7, 1.8)])
+    assert 10 ** mu[0] == pytest.approx(median[0])
+    assert 10 ** sd[0] == pytest.approx(sd_factor[0])
+
+
+def test_three_variable_model(performance_dataset):
+    ds = performance_dataset.subset(operator="poisson2")
+    modeler = PerformanceModeler(ds, rng=0).fit()
+    median, _ = modeler.predict_response([(1e8, 32, 2.4), (1e8, 128, 2.4)])
+    # More ranks -> faster for a large problem.
+    assert median[1] < median[0]
+
+
+def test_memory_usage_response(performance_dataset):
+    """The paper: 'models for ... memory usage, and many others'."""
+    ds = performance_dataset.subset(operator="poisson1", np_ranks=32)
+    modeler = PerformanceModeler(
+        ds,
+        variables=("problem_size", "freq_ghz"),
+        response="max_rss_mb_node0",
+        rng=0,
+    ).fit()
+    median, _ = modeler.predict_response([(1e8, 2.4)])
+    # 1e8 DOF x 48 B ~ 4.8 GB on one node.
+    assert 2_000 < median[0] < 12_000
+
+
+def test_energy_response(power_dataset):
+    ds = power_dataset.subset(operator="poisson2")
+    modeler = PerformanceModeler(
+        ds,
+        variables=("problem_size", "np_ranks", "freq_ghz"),
+        response="energy_joules",
+        rng=0,
+    ).fit()
+    median, _ = modeler.predict_response([(1e9, 32, 1.8)])
+    assert 1e3 < median[0] < 1e6
+
+
+def test_suggestions_diverse_and_typed(fitted):
+    suggestions = fitted.suggest_experiments(3)
+    assert len(suggestions) == 3
+    assert all(isinstance(s, Suggestion) for s in suggestions)
+    keys = {tuple(sorted(s.values)) for s in suggestions}
+    assert keys == {("freq_ghz", "problem_size")}
+    configs = {tuple(s.values.values()) for s in suggestions}
+    assert len(configs) == 3  # distinct configurations
+    for s in suggestions:
+        assert s.predictive_sd_log10 > 0
+        assert s.predicted_response > 0
+
+
+def test_suggestions_cost_efficiency(fitted):
+    vr = fitted.suggest_experiments(1, strategy="variance")[0]
+    ce = fitted.suggest_experiments(1, strategy="cost-efficiency")[0]
+    # CE must not suggest a more expensive configuration than VR.
+    assert ce.predicted_response <= vr.predicted_response * 1.001
+    with pytest.raises(ValueError):
+        fitted.suggest_experiments(1, strategy="thompson")
+    with pytest.raises(ValueError):
+        fitted.suggest_experiments(0)
+
+
+def test_uncertainty_summary(fitted):
+    summary = fitted.uncertainty_summary()
+    assert set(summary) == {"amsd", "max_sd", "min_sd", "noise_sd"}
+    assert 0 < summary["min_sd"] <= summary["amsd"] <= summary["max_sd"]
+    assert summary["noise_sd"] >= np.sqrt(1e-1) * 0.999
+
+
+def test_cross_validated_rmse(fitted):
+    rmse = fitted.cross_validated_rmse()
+    assert 0 < rmse < 0.5  # log10 space
+
+
+def test_requires_fit(performance_dataset):
+    ds = performance_dataset.subset(operator="poisson1", np_ranks=32)
+    modeler = PerformanceModeler(ds, variables=("problem_size", "freq_ghz"))
+    with pytest.raises(RuntimeError):
+        modeler.predict_response([(1e7, 1.8)])
+
+
+def test_validation(performance_dataset):
+    from repro.datasets import PerfDataset
+
+    with pytest.raises(ValueError):
+        PerformanceModeler(PerfDataset(name="empty"))
+    ds = performance_dataset.subset(operator="poisson1", np_ranks=32)
+    modeler = PerformanceModeler(ds, variables=("problem_size", "freq_ghz")).fit()
+    with pytest.raises(ValueError):
+        modeler.predict_response([(1e7,)])  # wrong arity
+    with pytest.raises(ValueError):
+        modeler.predict_response([(-5.0, 1.8)])  # log of negative size

@@ -1,0 +1,69 @@
+"""Meta-tests of the public API surface.
+
+Guards the package against the classic open-source rot: ``__all__`` names
+that don't exist, public modules without docstrings, and subpackage
+re-exports drifting from the implementation modules.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro",
+    "repro.gp",
+    "repro.al",
+    "repro.hpgmg",
+    "repro.cluster",
+    "repro.perfmodel",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} lacks __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def _iter_modules():
+    for pkg_name in SUBPACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg_name, pkg
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                full = f"{pkg_name}.{info.name}"
+                yield full, importlib.import_module(full)
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        name for name, module in _iter_modules() if not (module.__doc__ or "").strip()
+    ]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_no_duplicate_exports_across_all():
+    for name in SUBPACKAGES:
+        module = importlib.import_module(name)
+        exports = list(module.__all__)
+        assert len(exports) == len(set(exports)), f"{name} has duplicate __all__ entries"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_key_classes_importable_from_roots():
+    from repro import PerformanceModeler  # noqa: F401
+    from repro.al import ActiveLearner, OnlineCampaign  # noqa: F401
+    from repro.datasets import generate_performance_dataset  # noqa: F401
+    from repro.gp import GaussianProcessRegressor, TrendGPR  # noqa: F401
+    from repro.hpgmg import MultigridSolver3, run_benchmark  # noqa: F401

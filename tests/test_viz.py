@@ -1,0 +1,82 @@
+"""Tests for the ASCII chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import heatmap, histogram, line_chart, scatter_chart
+
+
+def test_line_chart_contains_markers_and_legend():
+    x = np.linspace(0, 10, 30)
+    out = line_chart(
+        {"alpha": (x, np.sin(x)), "beta": (x, np.cos(x))},
+        title="waves", x_label="t", y_label="amp",
+    )
+    assert "waves" in out
+    assert "a" in out and "b" in out
+    assert "[a] alpha" in out and "[b] beta" in out
+    assert "t" in out
+
+
+def test_line_chart_logy():
+    x = np.arange(1, 20, dtype=float)
+    out = line_chart({"e errors": (x, np.exp(-x))}, logy=True)
+    assert "(log10)" in out
+
+
+def test_line_chart_requires_series():
+    with pytest.raises(ValueError):
+        line_chart({})
+
+
+def test_line_chart_constant_series_no_crash():
+    x = np.arange(5, dtype=float)
+    out = line_chart({"c const": (x, np.ones(5))})
+    assert "c" in out
+
+
+def test_scatter_chart_overlay():
+    rng = np.random.default_rng(0)
+    out = scatter_chart(
+        rng.random(20), rng.random(20),
+        overlay={"x extras": (np.array([0.5]), np.array([0.5]))},
+    )
+    assert "o" in out and "x" in out
+
+
+def test_heatmap_marks_maximum():
+    Z = np.zeros((5, 7))
+    Z[2, 3] = 5.0
+    out = heatmap(Z, title="peak")
+    assert "peak" in out
+    lines = [l for l in out.splitlines() if l.startswith("  ")]
+    assert "X" in lines[2]
+    assert "X = maximum" in out
+
+
+def test_heatmap_without_max_marker():
+    out = heatmap(np.arange(6.0).reshape(2, 3), mark_max=False)
+    assert "X = maximum" not in out
+
+
+def test_heatmap_validation():
+    with pytest.raises(ValueError):
+        heatmap(np.zeros(5))
+    with pytest.raises(ValueError):
+        heatmap(np.full((2, 2), np.nan))
+
+
+def test_heatmap_constant_array():
+    out = heatmap(np.full((3, 3), 2.5))
+    assert "range: [2.5, 2.5]" in out
+
+
+def test_histogram_counts():
+    out = histogram(np.concatenate([np.zeros(30), np.ones(10)]), bins=2)
+    assert "30" in out and "10" in out
+    assert "#" in out
+
+
+def test_histogram_title():
+    out = histogram(np.arange(10.0), bins=5, title="dist")
+    assert out.splitlines()[0] == "dist"
