@@ -119,6 +119,14 @@ class OnlineCampaign:
         Hardware description; defaults to the Wisconsin testbed.
     strategy:
         Per-pick selection strategy used inside the batch construction.
+    fast_refits:
+        Keep the round model alive and fold each measured batch into its
+        posterior with rank-1 Cholesky updates, running the full
+        hyperparameter search only every ``refit_every`` rounds (and for
+        the final returned model).  The kriging-believer batch construction
+        always uses the fast believer chain.
+    refit_every:
+        Rounds between full hyperparameter refits when ``fast_refits``.
     """
 
     def __init__(
@@ -130,13 +138,19 @@ class OnlineCampaign:
         strategy: Strategy | None = None,
         model_factory: Callable[[], GaussianProcessRegressor] | None = None,
         rng=None,
+        fast_refits: bool = False,
+        refit_every: int = 1,
     ):
+        if refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
         self.config = config
         self.executor = executor
         self.cluster = cluster or wisconsin_cluster()
         self.strategy = strategy or VarianceReduction()
         self.model_factory = model_factory or default_model_factory(1e-2)
         self.rng = np.random.default_rng(rng)
+        self.fast_refits = bool(fast_refits)
+        self.refit_every = int(refit_every)
 
     def _submit(self, rows: np.ndarray) -> tuple[np.ndarray, float, float]:
         """Run one batch through the scheduler; returns (log10 runtimes,
@@ -181,9 +195,23 @@ class OnlineCampaign:
         total_core_seconds += core_s
 
         model = self.model_factory()
-        for _ in range(self.config.n_rounds):
-            model = self.model_factory()
-            model.fit(np.vstack(measured_X), np.asarray(measured_y))
+        for round_index in range(self.config.n_rounds):
+            if (
+                self.fast_refits
+                and model.fitted
+                and round_index % self.refit_every != 0
+            ):
+                # Fold rows measured since the last fit into the posterior
+                # (rank-1 updates), hyperparameters held fixed this round.
+                n_fitted = model.X_train_.shape[0]
+                if n_fitted < len(measured_X):
+                    model.update(
+                        np.vstack(measured_X[n_fitted:]),
+                        np.asarray(measured_y[n_fitted:]),
+                    )
+            else:
+                model = self.model_factory()
+                model.fit(np.vstack(measured_X), np.asarray(measured_y))
             pool = CandidatePool(
                 cand_X, np.zeros(len(cand_X)), np.zeros(len(cand_X))
             )

@@ -111,7 +111,25 @@ class ActiveLearner:
     noise_floor_schedule:
         Optional ``iteration -> noise variance floor`` callable implementing
         the paper's proposed dynamic limit (e.g. ``1/sqrt(N)``); overrides
-        the factory's static bounds each iteration.
+        the factory's static bounds each refit iteration.
+    fast_refits:
+        Keep the fitted model alive across iterations and fold newly
+        queried points into its posterior with O(n^2) rank-1 Cholesky
+        updates (:meth:`repro.gp.GaussianProcessRegressor.update`) on
+        iterations where no hyperparameter refit is scheduled.  With the
+        default ``refit_every=1`` every iteration still performs the full
+        multi-restart hyperparameter search, so results are identical to
+        the paper-faithful slow path; raise ``refit_every`` to amortize it.
+    refit_every:
+        Run the expensive multi-restart hyperparameter optimization every
+        ``k`` iterations (iterations 0, k, 2k, ...); in between, the
+        hyperparameters are held fixed and the posterior is extended
+        incrementally.  Only meaningful with ``fast_refits=True``.
+    warm_start:
+        Start each scheduled hyperparameter refit from the previous
+        optimum instead of the factory template (the random restarts still
+        sample the full bounds box).  Only meaningful with
+        ``fast_refits=True``.
     """
 
     def __init__(
@@ -124,6 +142,9 @@ class ActiveLearner:
         *,
         model_factory: Callable[[], GaussianProcessRegressor] | None = None,
         noise_floor_schedule: Callable[[int], float] | None = None,
+        fast_refits: bool = False,
+        refit_every: int = 1,
+        warm_start: bool = False,
     ):
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
@@ -134,9 +155,14 @@ class ActiveLearner:
             raise ValueError(
                 f"partition covers {partition.n_total} records, dataset has {X.shape[0]}"
             )
+        if refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
         self.strategy = strategy
         self.model_factory = model_factory or default_model_factory()
         self.noise_floor_schedule = noise_floor_schedule
+        self.fast_refits = bool(fast_refits)
+        self.refit_every = int(refit_every)
+        self.warm_start = bool(warm_start)
 
         self._X_train = X[partition.initial].copy()
         self._y_train = y[partition.initial].copy()
@@ -163,7 +189,23 @@ class ActiveLearner:
         return self._cumulative_cost
 
     def _fit_model(self, iteration: int) -> GaussianProcessRegressor:
-        model = self.model_factory()
+        if (
+            self.fast_refits
+            and self.model is not None
+            and self.model.fitted
+            and iteration % self.refit_every != 0
+        ):
+            # Off-schedule iteration: extend the posterior with the rows
+            # queried since the last (re)fit, hyperparameters held fixed.
+            n_fitted = self.model.X_train_.shape[0]
+            if n_fitted < self.n_train:
+                self.model.update(
+                    self._X_train[n_fitted:], self._y_train[n_fitted:]
+                )
+            return self.model
+
+        warm = self.fast_refits and self.warm_start and self.model is not None
+        model = self.model if warm else self.model_factory()
         if self.noise_floor_schedule is not None:
             floor = float(self.noise_floor_schedule(iteration))
             if floor <= 0:
@@ -172,7 +214,7 @@ class ActiveLearner:
             high = bounds[1] if not isinstance(bounds, str) else 1e3
             model.noise_variance_bounds = (floor, max(high, floor * 10))
             model.noise_variance = max(model.noise_variance, floor)
-        model.fit(self._X_train, self._y_train)
+        model.fit(self._X_train, self._y_train, warm_start=warm)
         return model
 
     # -------------------------------------------------------------------- loop
@@ -193,8 +235,14 @@ class ActiveLearner:
         metrics = evaluate_model(model, self._X_active_full, self._X_test, self._y_test)
 
         idx = self.strategy.select(model, self.pool)
-        x_sel = self.pool.X[idx]
-        _, sd_sel = model.predict(x_sel[np.newaxis, :], return_std=True)
+        # Strategies that score with pool SDs expose the SD at the chosen
+        # record; only strategies that don't (random, EMCM) cost an extra
+        # single-point prediction here.
+        sd_sel = self.strategy.last_selected_sd
+        if sd_sel is None:
+            x_sel = self.pool.X[idx]
+            _, sd_arr = model.predict(x_sel[np.newaxis, :], return_std=True)
+            sd_sel = float(sd_arr[0])
         x, y_meas, cost = self.pool.consume(idx)
         self._X_train = np.vstack([self._X_train, x])
         self._y_train = np.append(self._y_train, y_meas)
@@ -206,7 +254,7 @@ class ActiveLearner:
             selected_pool_index=idx,
             x_selected=x.copy(),
             y_selected=y_meas,
-            sd_at_selected=float(sd_sel[0]),
+            sd_at_selected=float(sd_sel),
             cost=cost,
             cumulative_cost=self._cumulative_cost,
             rmse=metrics["rmse"],

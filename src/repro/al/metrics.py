@@ -13,6 +13,12 @@ The paper tracks three quantities per AL iteration:
 We additionally provide NLPD (negative log predictive density), the
 standard proper scoring rule for probabilistic regression — useful in the
 extended benches even though the paper does not plot it.
+
+Each metric has exactly one definition: the ``_*_from`` helpers operate on
+prediction arrays, the public functions predict and delegate, and
+:func:`evaluate_model` reuses the same helpers on a single prediction pass
+per set.  (Historically ``evaluate_model`` re-implemented the formulas
+inline and the two copies had already drifted to different SD floors.)
 """
 
 from __future__ import annotations
@@ -25,34 +31,50 @@ from ..gp.gpr import GaussianProcessRegressor
 
 __all__ = ["rmse", "amsd", "gmsd", "nlpd", "evaluate_model"]
 
+#: Single SD floor shared by every metric that divides by or logs the SD.
+_SD_FLOOR = 1e-12
+
+
+def _rmse_from(mu: np.ndarray, y: np.ndarray) -> float:
+    return float(np.sqrt(np.mean((mu - y) ** 2)))
+
+
+def _amsd_from(sd: np.ndarray) -> float:
+    return float(np.mean(sd))
+
+
+def _gmsd_from(sd: np.ndarray) -> float:
+    return float(np.exp(np.mean(np.log(np.maximum(sd, _SD_FLOOR)))))
+
+
+def _nlpd_from(mu: np.ndarray, sd: np.ndarray, y: np.ndarray) -> float:
+    sd = np.maximum(sd, _SD_FLOOR)
+    return float(
+        np.mean(0.5 * math.log(2 * math.pi) + np.log(sd) + 0.5 * ((y - mu) / sd) ** 2)
+    )
+
 
 def rmse(model: GaussianProcessRegressor, X_test: np.ndarray, y_test: np.ndarray) -> float:
     """Test-set root mean squared error of the predictive mean (Eq. 2)."""
-    pred = model.predict(X_test)
-    return float(np.sqrt(np.mean((pred - np.asarray(y_test, dtype=float)) ** 2)))
+    return _rmse_from(model.predict(X_test), np.asarray(y_test, dtype=float))
 
 
 def amsd(model: GaussianProcessRegressor, X_active: np.ndarray) -> float:
     """Arithmetic mean of predictive SD over the Active set."""
     _, sd = model.predict(X_active, return_std=True)
-    return float(np.mean(sd))
+    return _amsd_from(sd)
 
 
 def gmsd(model: GaussianProcessRegressor, X_active: np.ndarray) -> float:
     """Geometric mean of predictive SD over the Active set."""
     _, sd = model.predict(X_active, return_std=True)
-    sd = np.maximum(sd, 1e-300)
-    return float(np.exp(np.mean(np.log(sd))))
+    return _gmsd_from(sd)
 
 
 def nlpd(model: GaussianProcessRegressor, X_test: np.ndarray, y_test: np.ndarray) -> float:
     """Mean negative log predictive density on the test set."""
     mu, sd = model.predict(X_test, return_std=True)
-    sd = np.maximum(sd, 1e-12)
-    y = np.asarray(y_test, dtype=float)
-    return float(
-        np.mean(0.5 * math.log(2 * math.pi) + np.log(sd) + 0.5 * ((y - mu) / sd) ** 2)
-    )
+    return _nlpd_from(mu, sd, np.asarray(y_test, dtype=float))
 
 
 def evaluate_model(
@@ -65,16 +87,9 @@ def evaluate_model(
     mu_t, sd_t = model.predict(X_test, return_std=True)
     _, sd_a = model.predict(X_active, return_std=True)
     y = np.asarray(y_test, dtype=float)
-    sd_t_safe = np.maximum(sd_t, 1e-12)
     return {
-        "rmse": float(np.sqrt(np.mean((mu_t - y) ** 2))),
-        "amsd": float(np.mean(sd_a)),
-        "gmsd": float(np.exp(np.mean(np.log(np.maximum(sd_a, 1e-300))))),
-        "nlpd": float(
-            np.mean(
-                0.5 * math.log(2 * math.pi)
-                + np.log(sd_t_safe)
-                + 0.5 * ((y - mu_t) / sd_t_safe) ** 2
-            )
-        ),
+        "rmse": _rmse_from(mu_t, y),
+        "amsd": _amsd_from(sd_a),
+        "gmsd": _gmsd_from(sd_a),
+        "nlpd": _nlpd_from(mu_t, sd_t, y),
     }

@@ -11,6 +11,7 @@ The paper uses 10 partitions in Fig. 7 and 50 in Fig. 8.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -38,11 +39,27 @@ class BatchResult:
     def series_matrix(self, attribute: str) -> np.ndarray:
         """Stack one metric across traces, shape ``(n_partitions, n_iters)``.
 
-        Traces are truncated to the shortest common length.
+        Traces are truncated to the shortest common length; uneven traces
+        (e.g. a partition whose pool ran out early) emit a
+        :class:`RuntimeWarning` naming how many recorded iterations the
+        truncation drops, since silently mixing lengths corrupts Fig. 7/8
+        style aggregates.
         """
         if not self.traces:
             raise ValueError("batch holds no traces")
-        n = min(len(t) for t in self.traces)
+        lengths = [len(t) for t in self.traces]
+        n = min(lengths)
+        if max(lengths) != n:
+            dropped = sum(length - n for length in lengths)
+            uneven = sum(1 for length in lengths if length > n)
+            warnings.warn(
+                f"series_matrix({attribute!r}): traces have uneven lengths "
+                f"({n}..{max(lengths)}); truncating to {n} iterations drops "
+                f"{dropped} recorded iteration(s) from {uneven} of "
+                f"{len(lengths)} trace(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return np.vstack([t.series(attribute)[:n] for t in self.traces])
 
     def mean_series(self, attribute: str) -> np.ndarray:
@@ -68,6 +85,9 @@ def run_batch(
     model_factory: Callable | None = None,
     noise_floor_schedule: Callable[[int], float] | None = None,
     n_workers: int = 1,
+    fast_refits: bool = False,
+    refit_every: int = 1,
+    warm_start: bool = False,
 ) -> BatchResult:
     """Run one strategy over ``n_partitions`` random partitions.
 
@@ -81,6 +101,14 @@ def run_batch(
     fully independent and each learner's RNG is self-seeded, so the result
     is identical to the serial run regardless of scheduling; the speedup
     comes from LAPACK releasing the GIL during the Cholesky-heavy fits.
+
+    ``fast_refits``, ``refit_every`` and ``warm_start`` are forwarded to
+    each :class:`~repro.al.learner.ActiveLearner`: with ``fast_refits=True``
+    posteriors are extended by rank-1 Cholesky updates between scheduled
+    hyperparameter refits (every ``refit_every`` iterations), which is the
+    hot-loop optimization ``benchmarks/bench_incremental_gpr.py`` measures.
+    At the default ``refit_every=1`` the trace is identical to the
+    paper-faithful slow path.
     """
     X = np.asarray(X, dtype=float)
     if n_workers < 1:
@@ -103,6 +131,9 @@ def run_batch(
             strategy,
             model_factory=model_factory,
             noise_floor_schedule=noise_floor_schedule,
+            fast_refits=fast_refits,
+            refit_every=refit_every,
+            warm_start=warm_start,
         )
         return strategy.name, learner.run(n_iterations)
 

@@ -45,10 +45,24 @@ __all__ = [
 
 
 class Strategy:
-    """Base class: scores available pool records; highest score is selected."""
+    """Base class: scores available pool records; highest score is selected.
+
+    Exact score ties are broken *randomly* via a strategy-owned RNG (seeded
+    from the strategy's ``seed`` field when it has one).  ``np.argmax``
+    would deterministically favour low pool indices — on the seed iteration
+    of an AL run the prior is constant, *every* score ties, and every run's
+    first query would be record 0, i.e. dataset order would silently leak
+    into the design.
+
+    After :meth:`select`, :attr:`last_selected_sd` holds the predictive SD
+    at the chosen record when the strategy already computed pool SDs for its
+    scores (``None`` otherwise), so callers need not re-predict it.
+    """
 
     #: human-readable name used in experiment outputs
     name: str = "strategy"
+    #: predictive SD at the last selected record, when scores() computed it
+    last_selected_sd: float | None = None
 
     def scores(
         self, model: GaussianProcessRegressor, pool: CandidatePool
@@ -56,12 +70,18 @@ class Strategy:
         """Score each *available* pool record (shape ``(n_available,)``)."""
         raise NotImplementedError
 
+    def _tie_rng(self) -> np.random.Generator:
+        if getattr(self, "_tie_rng_", None) is None:
+            self._tie_rng_ = np.random.default_rng(getattr(self, "seed", 0))
+        return self._tie_rng_
+
     def select(
         self, model: GaussianProcessRegressor, pool: CandidatePool
     ) -> int:
         """Pool-local index of the chosen record."""
         if pool.exhausted:
             raise ValueError("candidate pool is exhausted")
+        self._last_sd: np.ndarray | None = None
         scores = np.asarray(self.scores(model, pool), dtype=float)
         avail = pool.available_indices()
         if scores.shape != (avail.size,):
@@ -69,18 +89,29 @@ class Strategy:
                 f"scores shape {scores.shape} does not match "
                 f"{avail.size} available records"
             )
-        return int(avail[int(np.argmax(scores))])
+        ties = np.flatnonzero(scores == np.max(scores))
+        if ties.size > 1:
+            pos = int(self._tie_rng().choice(ties))
+        elif ties.size == 1:
+            pos = int(ties[0])
+        else:  # all-NaN scores: keep argmax's legacy behaviour
+            pos = int(np.argmax(scores))
+        sd = self._last_sd
+        self.last_selected_sd = float(sd[pos]) if sd is not None else None
+        return int(avail[pos])
 
 
 @dataclass
 class VarianceReduction(Strategy):
     """Pure uncertainty sampling: ``argmax sigma_f(x)`` over the pool."""
 
+    seed: int = 0
     name: str = "variance-reduction"
 
     def scores(self, model, pool):
         """Predictive SD at every available record."""
         _, sd = model.predict(pool.available_X(), return_std=True)
+        self._last_sd = sd
         return sd
 
 
@@ -96,11 +127,13 @@ class CostEfficiency(Strategy):
     """
 
     cost_weight: float = 1.0
+    seed: int = 0
     name: str = "cost-efficiency"
 
     def scores(self, model, pool):
         """Eq. 14 score ``sigma - cost_weight * mu`` per available record."""
         mu, sd = model.predict(pool.available_X(), return_std=True)
+        self._last_sd = sd
         return sd - self.cost_weight * mu
 
 
@@ -128,6 +161,7 @@ class CostModelEfficiency(Strategy):
 
     cost_model: GaussianProcessRegressor | None = None
     cost_weight: float = 1.0
+    seed: int = 0
     name: str = "cost-model-efficiency"
 
     def scores(self, model, pool):
@@ -137,6 +171,7 @@ class CostModelEfficiency(Strategy):
         X = pool.available_X()
         _, sd = model.predict(X, return_std=True)
         mu_cost = self.cost_model.predict(X)
+        self._last_sd = sd
         return sd - self.cost_weight * mu_cost
 
 
@@ -165,25 +200,38 @@ class EMCM(Strategy):
     paper, with the gradient factor dropped as appropriate for nonlinear
     models).  Replicas reuse the primary model's hyperparameters — the
     Monte-Carlo variance estimate is the point, not model selection.
+
+    With ``fast=True`` (default) the bootstrap ensemble persists between
+    calls and is maintained *online* (Oza & Russell 2001): each training row
+    the primary model gained since the last call enters each member's
+    resample ``Poisson(1)`` times via an O(n^2) rank-1 posterior update,
+    instead of refitting every member's O(n^3) Cholesky from scratch.  The
+    ensemble is rebuilt cold whenever the primary model's hyperparameters
+    change (a hyperparameter refit) or its training set shrank.  With
+    ``fast=False`` every call draws a fresh bootstrap, matching the
+    historical behaviour exactly.
     """
 
     n_members: int = 4
     seed: int = 0
+    fast: bool = True
     name: str = "emcm"
 
     def __post_init__(self):
         self._rng = np.random.default_rng(self.seed)
+        self._members: list[GaussianProcessRegressor] | None = None
+        self._seen_n = 0
+        self._member_theta: tuple | None = None
 
-    def scores(self, model, pool):
-        """Mean |f(x) - f_k(x)| over the bootstrap ensemble."""
-        if not model.fitted:
-            raise ValueError("EMCM requires a fitted primary model")
+    @staticmethod
+    def _theta_key(model: GaussianProcessRegressor) -> tuple:
+        return (tuple(model.kernel_.theta.tolist()), float(model.noise_variance_))
+
+    def _build_members(self, model: GaussianProcessRegressor) -> None:
         X_train = model.X_train_
         y_train = model.y_train_
-        X_cand = pool.available_X()
-        f_main = model.predict(X_cand)
         n = X_train.shape[0]
-        disagreement = np.zeros(X_cand.shape[0])
+        members = []
         for _ in range(self.n_members):
             idx = self._rng.integers(0, n, size=n)
             member = GaussianProcessRegressor(
@@ -194,6 +242,58 @@ class EMCM(Strategy):
                 rng=self._rng,
             )
             member.fit(X_train[idx], y_train[idx])
+            members.append(member)
+        self._members = members
+        self._seen_n = n
+        self._member_theta = self._theta_key(model)
+
+    def _advance_members(self, model: GaussianProcessRegressor) -> None:
+        """Fold rows the primary model gained since the last call into the
+        persistent ensemble (online bootstrap, rank-1 updates)."""
+        X_new = model.X_train_[self._seen_n :]
+        y_new = model.y_train_[self._seen_n :]
+        assert self._members is not None
+        for x_row, y_val in zip(X_new, y_new):
+            for member in self._members:
+                for _ in range(int(self._rng.poisson(1.0))):
+                    member.update(x_row[np.newaxis, :], y_val)
+        self._seen_n = model.X_train_.shape[0]
+
+    def scores(self, model, pool):
+        """Mean |f(x) - f_k(x)| over the bootstrap ensemble."""
+        if not model.fitted:
+            raise ValueError("EMCM requires a fitted primary model")
+        X_cand = pool.available_X()
+        f_main = model.predict(X_cand)
+        if not self.fast:
+            X_train = model.X_train_
+            y_train = model.y_train_
+            n = X_train.shape[0]
+            disagreement = np.zeros(X_cand.shape[0])
+            for _ in range(self.n_members):
+                idx = self._rng.integers(0, n, size=n)
+                member = GaussianProcessRegressor(
+                    kernel=model.kernel_,
+                    noise_variance=model.noise_variance_,
+                    noise_variance_bounds="fixed",
+                    optimizer=None,
+                    rng=self._rng,
+                )
+                member.fit(X_train[idx], y_train[idx])
+                disagreement += np.abs(f_main - member.predict(X_cand))
+            return disagreement / self.n_members
+
+        n = model.X_train_.shape[0]
+        if (
+            self._members is None
+            or self._member_theta != self._theta_key(model)
+            or n < self._seen_n
+        ):
+            self._build_members(model)
+        elif n > self._seen_n:
+            self._advance_members(model)
+        disagreement = np.zeros(X_cand.shape[0])
+        for member in self._members:
             disagreement += np.abs(f_main - member.predict(X_cand))
         return disagreement / self.n_members
 
@@ -203,6 +303,8 @@ def select_batch(
     pool: CandidatePool,
     strategy: Strategy,
     batch_size: int,
+    *,
+    fast: bool = True,
 ) -> list[int]:
     """Greedy batch selection with variance re-estimation.
 
@@ -211,6 +313,11 @@ def select_batch(
     (the "kriging believer" trick), so the shrunken variance steers later
     picks away from the first pick's neighbourhood.  This implements the
     parallel-experiment extension the paper sketches in Section VI.
+
+    With ``fast=True`` (default) the believer chain extends one cloned
+    posterior via rank-1 Cholesky updates — O(n^2) per pick instead of a
+    fresh O(n^3) fit — which is exact up to numerical jitter.
+    ``fast=False`` keeps the historical refit-per-pick path for comparison.
 
     The passed ``model`` is not modified; the pool *is* consumed.
     """
@@ -221,6 +328,15 @@ def select_batch(
             f"batch of {batch_size} exceeds {pool.n_available} available records"
         )
     picks: list[int] = []
+    if fast:
+        believer = model.clone_fitted()
+        for _ in range(batch_size):
+            idx = strategy.select(believer, pool)
+            picks.append(idx)
+            x, _, _ = pool.consume(idx)
+            y_hat = float(believer.predict(x[np.newaxis, :])[0])
+            believer.update(x[np.newaxis, :], y_hat)
+        return picks
     X_train = model.X_train_
     y_train = model.y_train_
     believer = model

@@ -7,6 +7,7 @@ Public API::
 """
 
 from .gpr import GaussianProcessRegressor, default_kernel
+from .incremental import NotPositiveDefiniteError, cholesky_append
 from .kernels import (
     RBF,
     ConstantKernel,
@@ -25,6 +26,8 @@ from .trend import TrendGPR, polynomial_basis
 __all__ = [
     "GaussianProcessRegressor",
     "default_kernel",
+    "NotPositiveDefiniteError",
+    "cholesky_append",
     "Kernel",
     "Hyperparameter",
     "ConstantKernel",

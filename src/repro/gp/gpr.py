@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.linalg import cho_solve, cholesky, solve_triangular
 
+from .incremental import NotPositiveDefiniteError, cholesky_append
 from .kernels import RBF, ConstantKernel, Kernel
 from .optimize import OptimizeOutcome, minimize_with_restarts
 from .validate import as_1d_array, as_2d_array, check_consistent_rows
@@ -178,25 +179,35 @@ class GaussianProcessRegressor:
             bounds = np.vstack([bounds, nb[np.newaxis, :]]) if bounds.size else nb[np.newaxis, :]
         return bounds
 
-    def fit(self, X, y) -> "GaussianProcessRegressor":
+    def fit(self, X, y, *, warm_start: bool = False) -> "GaussianProcessRegressor":
         """Fit the GP: optimize hyperparameters by LML ascent, cache posterior.
 
         Repeated x-rows (the paper's repeated measurements of a noisy
         function) are supported directly: the noise term makes ``K_y``
         nonsingular even with duplicate inputs.
+
+        With ``warm_start=True`` the deterministic start of the
+        hyperparameter search is the *previous* fit's optimum instead of the
+        constructor template — across consecutive AL iterations the optimum
+        barely moves, so L-BFGS converges in a handful of evaluations.  The
+        random restarts still sample the full bounds box.
         """
         X = as_2d_array(X)
         y = as_1d_array(y)
         check_consistent_rows(X, y)
 
-        # Each fit restarts from the template state (like scikit-learn's
-        # kernel cloning): repeated fits must not warm-start from the
-        # previous fit's optimum.
-        if self.kernel is None:
+        if warm_start and self.kernel_ is not None:
+            # Keep the current kernel_/noise_variance_ as the search start.
+            pass
+        elif self.kernel is None:
+            # Each cold fit restarts from the template state (like
+            # scikit-learn's kernel cloning): repeated fits must not
+            # warm-start from the previous fit's optimum unless asked to.
             self.kernel_ = default_kernel(X.shape[1])
+            self.noise_variance_ = self.noise_variance
         else:
             self.kernel_ = self.kernel.clone_with_theta(self.kernel.theta)
-        self.noise_variance_ = self.noise_variance
+            self.noise_variance_ = self.noise_variance
 
         if self.normalize_y:
             y_mean = float(np.mean(y))
@@ -244,6 +255,112 @@ class GaussianProcessRegressor:
             theta_history=theta_history,
         )
         return self
+
+    def update(self, x, y) -> "GaussianProcessRegressor":
+        """Fold new observations into the posterior at *fixed* hyperparameters.
+
+        Extends the cached Cholesky factor by one bordered row per new point
+        (O(n^2) each, see :mod:`repro.gp.incremental`) instead of
+        refactorizing ``K_y`` in O(n^3), and recomputes ``alpha`` and the LML
+        from the extended factor.  The result is exact: it matches a fresh
+        :meth:`fit` on the concatenated data with ``optimizer=None`` and the
+        same hyperparameters up to numerical jitter.  Duplicate x-rows are
+        fine — the noise term keeps the bordered pivot positive.
+
+        Hyperparameters are *not* re-optimized, and with ``normalize_y`` the
+        target normalization constants stay frozen at their last-fit values;
+        schedule a periodic full :meth:`fit` (e.g. ``refit_every`` in
+        :class:`repro.al.learner.ActiveLearner`) to refresh both.
+
+        If accumulated round-off would make the bordered factor lose
+        positive-definiteness, the factor is rebuilt from scratch at the
+        current hyperparameters (a silent O(n^3) fallback, still exact).
+
+        Parameters
+        ----------
+        x:
+            New input row(s): ``(d,)`` for a single point or ``(m, d)``.
+        y:
+            Corresponding target(s), scalar or ``(m,)``.
+        """
+        if self._fit is None:
+            raise RuntimeError("update() requires a fitted model; call fit() first")
+        fit = self._fit
+        kernel = self.kernel_
+        assert kernel is not None
+        d = fit.X.shape[1]
+        X_new = np.asarray(x, dtype=float)
+        if X_new.ndim == 1:
+            # (d,) is one point when the model is multivariate; (m,) is m
+            # points for the 1-D studies.
+            X_new = X_new[np.newaxis, :] if d > 1 else X_new[:, np.newaxis]
+        X_new = as_2d_array(X_new)
+        y_new = as_1d_array(np.atleast_1d(np.asarray(y, dtype=float)))
+        check_consistent_rows(X_new, y_new)
+        if X_new.shape[1] != d:
+            raise ValueError(
+                f"x has {X_new.shape[1]} features, model was fit with {d}"
+            )
+        y_norm_new = (y_new - fit.y_mean) / fit.y_std
+
+        X_all = fit.X
+        L = fit.L
+        diag_shift = self.noise_variance_ + self.jitter
+        for i in range(X_new.shape[0]):
+            xq = X_new[i : i + 1]
+            k = kernel(xq, X_all)[0]
+            k_self = float(kernel.diag(xq)[0]) + diag_shift
+            X_all = np.vstack([X_all, xq])
+            try:
+                L = cholesky_append(L, k, k_self)
+            except NotPositiveDefiniteError:
+                K = kernel(X_all)
+                K[np.diag_indices_from(K)] += diag_shift
+                L = cholesky(K, lower=True, check_finite=False)
+
+        y_all = np.append(fit.y, y_norm_new)
+        alpha = cho_solve((L, True), y_all, check_finite=False)
+        fit.X = X_all
+        fit.y = y_all
+        fit.L = L
+        fit.alpha = alpha
+        fit.lml = self._lml_from_cholesky(L, alpha, y_all)
+        return self
+
+    def clone_fitted(self) -> "GaussianProcessRegressor":
+        """Independent copy of a fitted model with hyperparameters frozen.
+
+        The clone shares no state with the original: its posterior can be
+        extended via :meth:`update` (kriging-believer conditioning, bootstrap
+        members) without a single O(n^3) refit and without touching the
+        source model.  Its optimizer is disabled and its noise is fixed, so
+        a subsequent :meth:`fit` would also keep the current hyperparameters.
+        """
+        if self._fit is None:
+            raise RuntimeError("clone_fitted() requires a fitted model")
+        assert self.kernel_ is not None
+        clone = GaussianProcessRegressor(
+            kernel=self.kernel_.clone_with_theta(self.kernel_.theta),
+            noise_variance=self.noise_variance_,
+            noise_variance_bounds="fixed",
+            normalize_y=self.normalize_y,
+            optimizer=None,
+            rng=0,
+            jitter=self.jitter,
+        )
+        clone.kernel_ = self.kernel_.clone_with_theta(self.kernel_.theta)
+        clone.noise_variance_ = self.noise_variance_
+        fit = self._fit
+        clone._fit = _FitState(
+            X=fit.X.copy(),
+            y=fit.y.copy(),
+            y_mean=fit.y_mean,
+            y_std=fit.y_std,
+            L=fit.L.copy(),
+            alpha=fit.alpha.copy(),
+            lml=fit.lml,
+        )
+        return clone
 
     @staticmethod
     def _lml_from_cholesky(L: np.ndarray, alpha: np.ndarray, y: np.ndarray) -> float:

@@ -1,0 +1,93 @@
+"""Incremental Cholesky updates for rank-1 GP posterior refits.
+
+Appending one training point to a fitted GP changes ``K_y`` by one bordered
+row/column:
+
+    K_y'  =  [ K_y   k  ]        L'  =  [ L        0   ]
+             [ k^T   k* ]               [ l12^T   l22  ]
+
+with ``l12 = L^{-1} k`` (one triangular solve, O(n^2)) and
+``l22 = sqrt(k* - l12^T l12)``.  The bordered factor is *exact* — it is the
+same matrix Cholesky would produce from scratch — so an AL iteration that
+holds the hyperparameters fixed can extend the posterior in O(n^2) instead
+of refactorizing in O(n^3).
+
+``l22`` exists only while ``K_y'`` stays positive definite; with the noise
+term on the diagonal the pivot is bounded below by ``sigma_n^2`` in exact
+arithmetic, but accumulated floating-point error can still push it to zero
+(e.g. after thousands of updates at tiny noise).  :func:`cholesky_append`
+raises :class:`NotPositiveDefiniteError` in that case so callers can fall
+back to a full refactorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+__all__ = ["NotPositiveDefiniteError", "cholesky_append"]
+
+
+class NotPositiveDefiniteError(np.linalg.LinAlgError):
+    """The bordered matrix is not numerically positive definite.
+
+    Raised by :func:`cholesky_append` when the new diagonal pivot is not
+    safely positive; the caller should rebuild the factor from scratch.
+    """
+
+
+def cholesky_append(
+    L: np.ndarray,
+    k: np.ndarray,
+    k_self: float,
+    *,
+    rel_pivot: float = 1e-12,
+) -> np.ndarray:
+    """Extend a lower Cholesky factor by one bordered row/column in O(n^2).
+
+    Parameters
+    ----------
+    L:
+        Lower-triangular factor of the current ``(n, n)`` matrix.
+    k:
+        Cross-covariance column between the new point and the ``n`` existing
+        points, shape ``(n,)``.
+    k_self:
+        Self-covariance of the new point (kernel diagonal plus noise and
+        jitter) — the new diagonal entry.
+    rel_pivot:
+        The update is rejected when the squared pivot falls below
+        ``rel_pivot * k_self``, i.e. when the Schur complement has lost
+        essentially all of its ``k_self`` significance to cancellation.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(n + 1, n + 1)`` lower factor of the bordered matrix.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If the bordered matrix is not numerically positive definite.
+    """
+    L = np.asarray(L, dtype=float)
+    k = np.asarray(k, dtype=float).ravel()
+    n = L.shape[0]
+    if L.shape != (n, n):
+        raise ValueError(f"L must be square, got shape {L.shape}")
+    if k.shape != (n,):
+        raise ValueError(f"k has shape {k.shape}, expected ({n},)")
+    k_self = float(k_self)
+
+    l12 = solve_triangular(L, k, lower=True, check_finite=False)
+    pivot_sq = k_self - float(l12 @ l12)
+    if not np.isfinite(pivot_sq) or pivot_sq <= rel_pivot * abs(k_self):
+        raise NotPositiveDefiniteError(
+            f"bordered pivot^2 = {pivot_sq:.3e} (diagonal {k_self:.3e}); "
+            "matrix is no longer numerically positive definite"
+        )
+    out = np.zeros((n + 1, n + 1))
+    out[:n, :n] = L
+    out[n, :n] = l12
+    out[n, n] = np.sqrt(pivot_sq)
+    return out

@@ -72,7 +72,12 @@ def test_property_al_loop_invariants(n, seed, strategy_kind):
 @given(seed=st.integers(0, 30))
 @settings(max_examples=10, deadline=None)
 def test_property_vr_picks_pool_argmax(seed):
-    """Every VR selection is the SD-argmax among then-available records."""
+    """Every VR selection attains the maximal SD among available records.
+
+    Exact SD ties (e.g. the near-constant prior of the seed iteration) are
+    broken randomly, so the assertion is membership in the tied-max set,
+    not equality with ``np.argmax``.
+    """
     X, y, costs = _problem(40, seed)
     part = random_partition(40, rng=seed)
     learner = ActiveLearner(
@@ -85,4 +90,5 @@ def test_property_vr_picks_pool_argmax(seed):
         record = learner.step()
         model = learner.model
         _, sd = model.predict(X_avail, return_std=True)
-        assert record.selected_pool_index == avail_before[int(np.argmax(sd))]
+        tied_max = avail_before[np.flatnonzero(sd == sd.max())]
+        assert record.selected_pool_index in tied_max

@@ -52,11 +52,17 @@ def test_campaign_learns_the_surface():
 
 
 def test_batching_reduces_simulated_wall_clock():
-    """Same experiment count: batched rounds finish sooner on 4 nodes."""
-    sequential = _campaign(batch_size=1, n_rounds=8, rng=1).run()
+    """Batched rounds finish sooner than running the same jobs one by one.
+
+    Strategies break exact score ties randomly, so two separate campaigns
+    need not select the same configurations; the robust comparison is the
+    batched makespan against the serial execution of the *identical* job
+    set (the sum of its measured runtimes).
+    """
     batched = _campaign(batch_size=4, n_rounds=2, rng=1).run()
-    assert batched.X.shape[0] == sequential.X.shape[0] == 9
-    assert batched.simulated_seconds < sequential.simulated_seconds
+    assert batched.X.shape[0] == 9
+    serial_seconds = float(np.sum(10.0 ** batched.y))  # y is log10 runtime
+    assert batched.simulated_seconds < serial_seconds
 
 
 def test_round_sd_decreases():

@@ -76,3 +76,32 @@ def test_evaluate_model_consistency(model):
     assert out["amsd"] == pytest.approx(amsd(model, X_active))
     assert out["gmsd"] == pytest.approx(gmsd(model, X_active))
     assert out["nlpd"] == pytest.approx(nlpd(model, X_test, y_test))
+
+
+def test_evaluate_model_is_exactly_the_public_functions(model):
+    """Regression for the inline-formula drift: evaluate_model must agree
+    with the module's public metric functions *bitwise*, including any SD
+    flooring, so the definitions cannot diverge again."""
+    X_active = np.linspace(0, 8, 9)[:, np.newaxis]
+    X_test = np.linspace(0.5, 7.5, 8)[:, np.newaxis]
+    y_test = np.linspace(0.5, 7.5, 8)
+    out = evaluate_model(model, X_active, X_test, y_test)
+    assert out["rmse"] == rmse(model, X_test, y_test)
+    assert out["amsd"] == amsd(model, X_active)
+    assert out["gmsd"] == gmsd(model, X_active)
+    assert out["nlpd"] == nlpd(model, X_test, y_test)
+
+
+def test_single_sd_floor_shared_by_gmsd_and_nlpd():
+    """gmsd and nlpd historically used different SD floors (1e-300 vs
+    1e-12); there is exactly one floor now."""
+    from repro.al import metrics as metrics_mod
+
+    floor = metrics_mod._SD_FLOOR
+    sd = np.array([0.0, floor / 10])
+    # Both helpers must clamp with the same constant.
+    assert metrics_mod._gmsd_from(sd) == pytest.approx(floor)
+    expected_nlpd = 0.5 * math.log(2 * math.pi) + math.log(floor)
+    assert metrics_mod._nlpd_from(
+        np.zeros(2), sd, np.zeros(2)
+    ) == pytest.approx(expected_nlpd)

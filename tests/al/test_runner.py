@@ -73,22 +73,44 @@ def test_batch_name_from_strategy():
     assert _run(lambda i: CostEfficiency()).strategy == "cost-efficiency"
 
 
+def _record(i):
+    from repro.al.learner import IterationRecord
+
+    return IterationRecord(
+        iteration=i, n_train=1, selected_pool_index=0,
+        x_selected=np.zeros(1), y_selected=0.0, sd_at_selected=1.0,
+        cost=1.0, cumulative_cost=float(i + 1), rmse=1.0, amsd=1.0,
+        gmsd=1.0, nlpd=1.0, noise_variance=0.1, lml=0.0,
+    )
+
+
 def test_series_matrix_truncates_to_common_length():
+    from repro.al.learner import ALTrace
     from repro.al.runner import BatchResult
-    from repro.al.learner import ALTrace, IterationRecord
 
-    def rec(i):
-        return IterationRecord(
-            iteration=i, n_train=1, selected_pool_index=0,
-            x_selected=np.zeros(1), y_selected=0.0, sd_at_selected=1.0,
-            cost=1.0, cumulative_cost=float(i + 1), rmse=1.0, amsd=1.0,
-            gmsd=1.0, nlpd=1.0, noise_variance=0.1, lml=0.0,
-        )
-
-    t1 = ALTrace(strategy="s", records=[rec(0), rec(1), rec(2)])
-    t2 = ALTrace(strategy="s", records=[rec(0), rec(1)])
+    t1 = ALTrace(strategy="s", records=[_record(0), _record(1), _record(2)])
+    t2 = ALTrace(strategy="s", records=[_record(0), _record(1)])
     result = BatchResult(strategy="s", traces=[t1, t2])
-    assert result.series_matrix("rmse").shape == (2, 2)
+    # Uneven traces must warn, naming the dropped iteration count.
+    with pytest.warns(RuntimeWarning, match=r"drops 1 recorded iteration"):
+        mat = result.series_matrix("rmse")
+    assert mat.shape == (2, 2)
+
+
+def test_series_matrix_even_traces_do_not_warn():
+    import warnings
+
+    from repro.al.learner import ALTrace
+    from repro.al.runner import BatchResult
+
+    traces = [
+        ALTrace(strategy="s", records=[_record(0), _record(1)]),
+        ALTrace(strategy="s", records=[_record(0), _record(1)]),
+    ]
+    result = BatchResult(strategy="s", traces=traces)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert result.series_matrix("rmse").shape == (2, 2)
 
 
 def test_empty_batch_rejected():

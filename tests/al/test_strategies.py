@@ -180,6 +180,60 @@ def test_cost_model_efficiency_requires_fitted_cost_model(fitted_model, pool):
         )
 
 
+def test_tied_scores_break_randomly_not_by_pool_order():
+    """With a constant prior every score ties; selection must not
+    deterministically favour record 0 (dataset order)."""
+    X = np.linspace(0, 10, 15)[:, np.newaxis]
+    prior = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(1.0, "fixed"),
+        noise_variance=0.01,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+    )  # unfitted: constant prior SD at every candidate
+    picks = {
+        VarianceReduction(seed=s).select(
+            prior, CandidatePool(X, np.zeros(15), np.ones(15))
+        )
+        for s in range(12)
+    }
+    assert len(picks) > 1  # different seeds explore different tied records
+    assert picks != {0}
+
+
+def test_tied_scores_reproducible_per_seed():
+    X = np.linspace(0, 10, 15)[:, np.newaxis]
+    prior = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(1.0, "fixed"),
+        noise_variance=0.01,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+    )
+    a = VarianceReduction(seed=7).select(
+        prior, CandidatePool(X, np.zeros(15), np.ones(15))
+    )
+    b = VarianceReduction(seed=7).select(
+        prior, CandidatePool(X, np.zeros(15), np.ones(15))
+    )
+    assert a == b
+
+
+def test_untied_scores_still_pick_the_argmax(fitted_model, pool):
+    """Tie-breaking must not disturb selections with a unique maximum."""
+    _, sd = fitted_model.predict(pool.X, return_std=True)
+    assert VarianceReduction().select(fitted_model, pool) == int(np.argmax(sd))
+
+
+def test_select_exposes_sd_at_selected(fitted_model, pool):
+    strat = VarianceReduction()
+    idx = strat.select(fitted_model, pool)
+    _, sd = fitted_model.predict(pool.X[idx][np.newaxis, :], return_std=True)
+    assert strat.last_selected_sd == pytest.approx(float(sd[0]))
+    # Strategies that never compute SDs expose None.
+    rnd = RandomSampling(seed=0)
+    rnd.select(fitted_model, pool)
+    assert rnd.last_selected_sd is None
+
+
 def test_strategy_names():
     from repro.al import CostModelEfficiency
 
