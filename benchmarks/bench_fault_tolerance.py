@@ -1,0 +1,126 @@
+"""Robustness: online campaign cost/error under injected faults (ISSUE 2).
+
+Sweeps the injected fault rate (crashes, hangs past the SLURM time limit,
+corrupted measurements) over online campaigns run two ways:
+
+* **resilient** — the default :class:`~repro.al.resilience.RetryPolicy`
+  (3 attempts, exponential backoff) plus the default
+  :class:`~repro.al.resilience.QuarantinePolicy` (FAILED/TIMEOUT states and
+  verification failures never reach the GP);
+* **naive** — ``RetryPolicy.none()`` + ``QuarantinePolicy.permissive()``,
+  i.e. the pre-fault-tolerance behaviour of blindly ingesting every record,
+  including timeout-truncated and corrupted runtimes.
+
+Reported per (rate, mode): usable observations, simulated wall-clock
+(including retry backoff), total and wasted core-seconds, retries, and the
+final model's RMSE on a held-out probe grid — the cost/error tradeoff of
+paying for retries versus training on garbage.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.al.campaign import CampaignConfig, OnlineCampaign
+from repro.al.resilience import QuarantinePolicy, RetryPolicy
+from repro.cluster.faults import FaultConfig, FaultyExecutor
+from repro.datasets.generate import ModelExecutor
+from repro.perfmodel import RuntimeModel
+
+RATES = (0.0, 0.1, 0.2, 0.4)
+
+
+def _candidates():
+    sizes = [32**3, 64**3, 96**3, 128**3, 192**3, 256**3]
+    nps = [1, 4, 16, 32, 64, 128]
+    freqs = [1.2, 1.8, 2.4]
+    return np.array(
+        [(s, p, f) for s in sizes for p in nps for f in freqs], dtype=float
+    )
+
+
+def _fault_config(rate: float) -> FaultConfig:
+    # Half crashes, a quarter hangs, a quarter corrupted measurements.
+    return FaultConfig(
+        crash_rate=0.50 * rate,
+        hang_rate=0.25 * rate,
+        corrupt_rate=0.25 * rate,
+    )
+
+
+def _probe_rmse(model) -> float:
+    rm = RuntimeModel()
+    rng = np.random.default_rng(99)
+    rows = _candidates()[rng.choice(len(_candidates()), 40, replace=False)]
+    X = np.column_stack(
+        [np.log10(rows[:, 0]), np.log2(rows[:, 1]), rows[:, 2]]
+    )
+    truth = np.log10(
+        [float(rm.runtime("poisson1", s, int(p), f)) for s, p, f in rows]
+    )
+    pred = model.predict(X)
+    return float(np.sqrt(np.mean((pred - truth) ** 2)))
+
+
+def _run_campaign(rate: float, resilient: bool):
+    config = CampaignConfig(
+        operator="poisson1",
+        candidates=_candidates(),
+        batch_size=2,
+        n_rounds=8,
+    )
+    campaign = OnlineCampaign(
+        config,
+        FaultyExecutor(ModelExecutor(), _fault_config(rate)),
+        rng=5,
+        retry_policy=RetryPolicy() if resilient else RetryPolicy.none(),
+        quarantine_policy=(
+            QuarantinePolicy() if resilient else QuarantinePolicy.permissive()
+        ),
+    )
+    result = campaign.run()
+    return (
+        rate,
+        "resilient" if resilient else "naive",
+        result.y.shape[0],
+        result.simulated_seconds,
+        result.cpu_core_seconds,
+        result.wasted_core_seconds,
+        result.n_retries,
+        _probe_rmse(result.model),
+    )
+
+
+def _sweep():
+    return [
+        _run_campaign(rate, resilient)
+        for rate in RATES
+        for resilient in (True, False)
+    ]
+
+
+def test_fault_tolerance_tradeoff(once):
+    rows = once(_sweep)
+    banner("ROBUSTNESS — campaign cost/error vs injected fault rate")
+    print(f"{'rate':>5} {'mode':>10} {'obs':>4} {'sim wall s':>11} "
+          f"{'core-s':>9} {'wasted':>8} {'retries':>8} {'probe RMSE':>11}")
+    for rate, mode, obs, wall, core_s, wasted, retries, rmse in rows:
+        print(f"{rate:>5.2f} {mode:>10} {obs:>4} {wall:>11,.0f} "
+              f"{core_s:>9,.0f} {wasted:>8,.0f} {retries:>8} {rmse:>11.4f}")
+
+    by = {(rate, mode): row for row in rows for rate, mode in [row[:2]]}
+
+    def rmse_of(rate, mode):
+        return by[(rate, mode)][7]
+
+    # Fault-free: the two modes are identical campaigns.
+    assert rmse_of(0.0, "resilient") == rmse_of(0.0, "naive")
+    # Under heavy faults, gating garbage out of the GP beats ingesting it,
+    # even though the resilient campaign pays for retries.
+    assert rmse_of(0.4, "resilient") < rmse_of(0.4, "naive")
+    # The resilient model stays in the useful regime at every rate...
+    for rate in RATES:
+        assert rmse_of(rate, "resilient") < 3 * rmse_of(0.0, "resilient") + 0.3
+    # ...and its retries actually happened and were charged for.
+    heavy = by[(0.4, "resilient")]
+    assert heavy[6] > 0  # retries
+    assert heavy[5] > 0  # wasted core-seconds

@@ -7,7 +7,14 @@ Public API::
 """
 
 from .calibration import CoverageReport, coverage_curve, interval_coverage
-from .campaign import CampaignConfig, CampaignResult, OnlineCampaign
+from .campaign import (
+    CampaignCheckpoint,
+    CampaignConfig,
+    CampaignResult,
+    OnlineCampaign,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .continuous import (
     AcquisitionResult,
     ContinuousActiveLearner,
@@ -20,6 +27,12 @@ from .metrics import amsd, evaluate_model, gmsd, nlpd, rmse
 from .oracle import HPGMGExecutor, Observation, OfflineOracle, OnlineHPGMGOracle
 from .partition import Partition, random_partition, random_partitions
 from .pool import CandidatePool
+from .resilience import (
+    FailureAccounting,
+    QuarantineDecision,
+    QuarantinePolicy,
+    RetryPolicy,
+)
 from .runner import BatchResult, aggregate_series, run_batch
 from .session import (
     ALSessionState,
@@ -49,9 +62,16 @@ from .tradeoff import (
 
 __all__ = [
     "CoverageReport",
+    "CampaignCheckpoint",
     "CampaignConfig",
     "CampaignResult",
     "OnlineCampaign",
+    "save_checkpoint",
+    "load_checkpoint",
+    "RetryPolicy",
+    "QuarantinePolicy",
+    "QuarantineDecision",
+    "FailureAccounting",
     "interval_coverage",
     "coverage_curve",
     "AcquisitionResult",

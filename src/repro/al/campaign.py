@@ -17,11 +17,28 @@ The campaign tracks *simulated wall-clock* (scheduler makespan), so the
 batch-size tradeoff the paper anticipates — larger batches finish sooner
 but select less adaptively — becomes measurable
 (``benchmarks/bench_ablation_campaign.py``).
+
+Campaigns are **fault tolerant**.  Real clusters crash jobs, hang them past
+the time limit, and occasionally hand back corrupted measurements (inject
+them with :class:`repro.cluster.faults.FaultyExecutor`); an online campaign
+must neither die nor train its GP on garbage.  Every submitted batch is
+inspected record by record: failed/timed-out/unverified outcomes are
+retried under a :class:`~repro.al.resilience.RetryPolicy` (with exponential
+backoff charged to the simulated makespan) and gated out of the training
+set by a :class:`~repro.al.resilience.QuarantinePolicy`; a whole-batch
+failure leaves the model untouched and the campaign reselects next round.
+Each round atomically checkpoints the full campaign state (JSON, same
+machinery as :mod:`repro.al.session`), and :meth:`OnlineCampaign.resume`
+continues a killed campaign bit-identically at the same seed.  A Cholesky
+failure while refitting mid-campaign escalates the jitter and, as a last
+resort, keeps the previous round's model alive.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -32,9 +49,20 @@ from ..cluster.scheduler import Executor, SlurmSimulator
 from ..gp.gpr import GaussianProcessRegressor
 from .learner import default_model_factory
 from .pool import CandidatePool
+from .resilience import FailureAccounting, QuarantinePolicy, RetryPolicy
+from .session import read_json_checked, write_json_atomic
 from .strategies import Strategy, VarianceReduction, select_batch
 
-__all__ = ["CampaignConfig", "CampaignResult", "OnlineCampaign"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignCheckpoint",
+    "OnlineCampaign",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+_CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -52,12 +80,16 @@ class CampaignConfig:
         Experiments submitted per AL round (1 = the paper's greedy loop).
     n_rounds:
         AL rounds to run.
+    time_limit_seconds:
+        SLURM time limit enforced on every job; hung jobs are killed (and
+        recorded as ``TIMEOUT``) at this point.
     """
 
     operator: str
     candidates: np.ndarray
     batch_size: int = 1
     n_rounds: int = 10
+    time_limit_seconds: float = 3600.0
 
     def __post_init__(self):
         cand = np.asarray(self.candidates, dtype=float)
@@ -65,6 +97,8 @@ class CampaignConfig:
             raise ValueError("candidates must have shape (n, 3)")
         if self.batch_size < 1 or self.n_rounds < 1:
             raise ValueError("batch_size and n_rounds must be >= 1")
+        if self.time_limit_seconds <= 0:
+            raise ValueError("time_limit_seconds must be positive")
         object.__setattr__(self, "candidates", cand)
 
 
@@ -76,16 +110,24 @@ class CampaignResult:
     ----------
     X / y:
         Measured configurations (log-transformed features) and log10
-        runtimes, in measurement order.
+        runtimes, in measurement order.  Only observations that passed the
+        quarantine gate are included.
     simulated_seconds:
-        Total scheduler makespan across all rounds (the wall-clock a real
-        campaign would have spent).
+        Total scheduler makespan across all rounds, including retry waves
+        and their backoff delays (the wall-clock a real campaign would
+        have spent).
     cpu_core_seconds:
-        Total compute spent (runtime x ranks summed over jobs).
+        Total compute spent (runtime x ranks summed over jobs, including
+        failed attempts).
     model:
         Final fitted regressor.
     rounds:
-        Per-round dicts with ``n_jobs``, ``makespan`` and ``max_sd``.
+        Per-round dicts with ``n_jobs``, ``n_ok``, ``makespan`` and
+        ``max_sd``.
+    n_failed / n_retries / n_quarantined / wasted_core_seconds:
+        Failure accounting: executions that ended FAILED/TIMEOUT,
+        re-submissions performed, completed-but-gated observations, and
+        the core-seconds that produced no usable observation.
     """
 
     X: np.ndarray
@@ -94,6 +136,59 @@ class CampaignResult:
     cpu_core_seconds: float
     model: GaussianProcessRegressor
     rounds: list = field(default_factory=list)
+    n_failed: int = 0
+    n_retries: int = 0
+    n_quarantined: int = 0
+    wasted_core_seconds: float = 0.0
+
+
+@dataclass
+class CampaignCheckpoint:
+    """Serializable snapshot of an in-progress online campaign.
+
+    Stored as a single JSON document via the same atomic-write machinery
+    as :mod:`repro.al.session`; everything needed to continue the campaign
+    bit-identically is captured, including the campaign RNG state (and the
+    executor's and strategy's tie-break RNG states when they have one).
+    """
+
+    version: int
+    operator: str
+    batch_size: int
+    n_rounds: int
+    time_limit_seconds: float
+    seed_index: int
+    candidates: list
+    next_round: int
+    measured_X: list
+    measured_y: list
+    fit_counts: list  # measured-point count at each completed round's fit (0 = no fit)
+    rounds: list
+    simulated_seconds: float
+    cpu_core_seconds: float
+    n_failed: int
+    n_retries: int
+    n_quarantined: int
+    wasted_core_seconds: float
+    rng_state: dict
+    executor_rng_state: dict | None = None
+    strategy_rng_state: dict | None = None
+
+
+def save_checkpoint(checkpoint: CampaignCheckpoint, path) -> Path:
+    """Atomically write a campaign checkpoint to a JSON file."""
+    return write_json_atomic(asdict(checkpoint), path)
+
+
+def load_checkpoint(path) -> CampaignCheckpoint:
+    """Read a checkpoint previously written by :func:`save_checkpoint`."""
+    payload = read_json_checked(path, kind="campaign checkpoint")
+    if payload.get("version") != _CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported campaign checkpoint version {payload.get('version')} "
+            f"(expected {_CHECKPOINT_VERSION})"
+        )
+    return CampaignCheckpoint(**payload)
 
 
 def _features(rows: np.ndarray) -> np.ndarray:
@@ -105,6 +200,39 @@ def _features(rows: np.ndarray) -> np.ndarray:
     return out
 
 
+@dataclass
+class _BatchOutcome:
+    """What one (possibly retried) batch submission produced."""
+
+    accepted: dict[int, float]  # slot -> log10 runtime
+    makespan: float
+    core_seconds: float
+    accounting: FailureAccounting
+
+
+@dataclass
+class _CampaignState:
+    """Mutable in-memory campaign state (mirrors the checkpoint)."""
+
+    seed_index: int
+    next_round: int = 0
+    measured_X: list = field(default_factory=list)
+    measured_y: list = field(default_factory=list)
+    fit_counts: list = field(default_factory=list)
+    rounds: list = field(default_factory=list)
+    total_makespan: float = 0.0
+    total_core_seconds: float = 0.0
+    accounting: FailureAccounting = field(default_factory=FailureAccounting)
+
+
+def _generator_state(obj) -> dict | None:
+    """Bit-generator state of ``obj.rng`` / ``obj`` when it is a Generator."""
+    gen = getattr(obj, "rng", obj)
+    if isinstance(gen, np.random.Generator):
+        return gen.bit_generator.state
+    return None
+
+
 class OnlineCampaign:
     """Drives AL rounds through the cluster simulator.
 
@@ -113,12 +241,22 @@ class OnlineCampaign:
     config:
         Candidate space and batching parameters.
     executor:
-        Scheduler executor supplying job behaviour (analytic model or real
-        solves).
+        Scheduler executor supplying job behaviour (analytic model, real
+        solves, or either wrapped in a
+        :class:`~repro.cluster.faults.FaultyExecutor`).
     cluster:
         Hardware description; defaults to the Wisconsin testbed.
     strategy:
         Per-pick selection strategy used inside the batch construction.
+    retry_policy:
+        Re-submission schedule for failed/rejected experiments; defaults
+        to 3 attempts with exponential backoff.  ``RetryPolicy.none()``
+        disables retries.
+    quarantine_policy:
+        Gate deciding which observations may enter the training set;
+        defaults to rejecting FAILED/TIMEOUT states and verification
+        failures.  ``QuarantinePolicy.permissive()`` restores blind
+        ingestion.
     fast_refits:
         Keep the round model alive and fold each measured batch into its
         posterior with rank-1 Cholesky updates, running the full
@@ -138,6 +276,8 @@ class OnlineCampaign:
         strategy: Strategy | None = None,
         model_factory: Callable[[], GaussianProcessRegressor] | None = None,
         rng=None,
+        retry_policy: RetryPolicy | None = None,
+        quarantine_policy: QuarantinePolicy | None = None,
         fast_refits: bool = False,
         refit_every: int = 1,
     ):
@@ -149,92 +289,390 @@ class OnlineCampaign:
         self.strategy = strategy or VarianceReduction()
         self.model_factory = model_factory or default_model_factory(1e-2)
         self.rng = np.random.default_rng(rng)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.quarantine_policy = quarantine_policy or QuarantinePolicy()
         self.fast_refits = bool(fast_refits)
         self.refit_every = int(refit_every)
 
-    def _submit(self, rows: np.ndarray) -> tuple[np.ndarray, float, float]:
-        """Run one batch through the scheduler; returns (log10 runtimes,
-        makespan, core-seconds) aligned with ``rows``."""
-        specs = [
-            JobSpec(
-                operator=self.config.operator,
-                problem_size=float(size),
-                np_ranks=int(ranks),
-                freq_ghz=float(freq),
-                repeat_index=i,
+    # --------------------------------------------------------------- submission
+
+    def _submit(
+        self,
+        rows: np.ndarray,
+        *,
+        model: GaussianProcessRegressor | None = None,
+    ) -> _BatchOutcome:
+        """Run one batch through the scheduler, retrying rejected jobs.
+
+        Every record is inspected by the quarantine policy before its
+        runtime may become an observation; rejected jobs are re-submitted
+        (in waves, with backoff charged to the makespan) while the retry
+        policy allows.  ``model`` enables the z-score outlier gate.
+        """
+        rows = np.asarray(rows, dtype=float)
+        feats = _features(rows)
+        acct = FailureAccounting()
+        accepted: dict[int, float] = {}
+        attempts = [0] * len(rows)
+        pending = list(range(len(rows)))
+        makespan = 0.0
+        core_seconds = 0.0
+        wave = 1
+        while pending:
+            specs = [
+                JobSpec(
+                    operator=self.config.operator,
+                    problem_size=float(rows[slot, 0]),
+                    np_ranks=int(rows[slot, 1]),
+                    freq_ghz=float(rows[slot, 2]),
+                    repeat_index=slot,
+                )
+                for slot in pending
+            ]
+            sim = SlurmSimulator(
+                self.cluster,
+                self.executor,
+                rng=self.rng.integers(2**31),
+                time_limit_seconds=self.config.time_limit_seconds,
             )
-            for i, (size, ranks, freq) in enumerate(rows)
-        ]
-        sim = SlurmSimulator(
-            self.cluster, self.executor, rng=self.rng.integers(2**31)
+            records = sim.run_batch(specs)
+            by_repeat = {r.repeat_index: r for r in records}
+            missing = [slot for slot in pending if slot not in by_repeat]
+            if missing:
+                raise RuntimeError(
+                    f"scheduler returned {len(records)} records for "
+                    f"{len(specs)} submitted specs; no record for "
+                    f"repeat_index values {missing}"
+                )
+            makespan += max(r.end_time for r in records)
+            core_seconds += sum(r.cost_core_seconds for r in records)
+            next_pending = []
+            for slot in pending:
+                record = by_repeat[slot]
+                attempts[slot] += 1
+                decision = self.quarantine_policy.inspect(
+                    record, model=model, x=feats[slot]
+                )
+                if decision.ok:
+                    accepted[slot] = float(np.log10(record.runtime_seconds))
+                    continue
+                if decision.reason == "state":
+                    acct.n_failed += 1
+                else:
+                    acct.n_quarantined += 1
+                acct.wasted_core_seconds += record.cost_core_seconds
+                if self.retry_policy.should_retry(decision.reason, attempts[slot]):
+                    next_pending.append(slot)
+                    acct.n_retries += 1
+            pending = next_pending
+            if pending:
+                makespan += self.retry_policy.backoff(wave)
+            wave += 1
+        return _BatchOutcome(
+            accepted=accepted,
+            makespan=float(makespan),
+            core_seconds=float(core_seconds),
+            accounting=acct,
         )
-        records = sim.run_batch(specs)
-        by_repeat = {r.repeat_index: r for r in records}
-        runtimes = np.array(
-            [by_repeat[i].runtime_seconds for i in range(len(rows))]
-        )
-        makespan = max(r.end_time for r in records)
-        core_seconds = sum(r.cost_core_seconds for r in records)
-        return np.log10(runtimes), float(makespan), float(core_seconds)
 
-    def run(self, *, seed_index: int = 0) -> CampaignResult:
-        """Execute the campaign: seed job, then ``n_rounds`` AL batches."""
-        cand_rows = self.config.candidates
-        cand_X = _features(cand_rows)
-        measured_X: list[np.ndarray] = []
-        measured_y: list[float] = []
-        total_makespan = 0.0
-        total_core_seconds = 0.0
-        rounds = []
+    # ------------------------------------------------------------ model path
 
-        # Seed experiment.
-        y_seed, makespan, core_s = self._submit(cand_rows[[seed_index]])
-        measured_X.append(cand_X[seed_index])
-        measured_y.append(float(y_seed[0]))
-        total_makespan += makespan
-        total_core_seconds += core_s
+    def _fit_model(
+        self, measured_X, measured_y, *, fallback: GaussianProcessRegressor | None = None
+    ) -> GaussianProcessRegressor:
+        """Fit a fresh model, escalating jitter on Cholesky failure.
 
-        model = self.model_factory()
-        for round_index in range(self.config.n_rounds):
+        If every escalation fails and a previous round's fitted model is
+        available, keep it (a stale posterior beats a dead campaign).
+        """
+        X = np.vstack(measured_X)
+        y = np.asarray(measured_y, dtype=float)
+        last_exc: Exception | None = None
+        for jitter_scale in (1.0, 1e3, 1e6):
+            model = self.model_factory()
+            model.jitter *= jitter_scale
+            try:
+                return model.fit(X, y)
+            except np.linalg.LinAlgError as exc:
+                last_exc = exc
+        if fallback is not None and fallback.fitted:
+            warnings.warn(
+                "GP refit failed (Cholesky) even with escalated jitter; "
+                "keeping the previous round's model",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return fallback
+        assert last_exc is not None
+        raise last_exc
+
+    def _advance_model(
+        self,
+        model: GaussianProcessRegressor | None,
+        state: _CampaignState,
+        round_index: int,
+    ) -> GaussianProcessRegressor:
+        """Refit (or rank-1-update, with ``fast_refits``) the round model."""
+        if (
+            self.fast_refits
+            and model is not None
+            and model.fitted
+            and round_index % self.refit_every != 0
+        ):
+            # Fold rows measured since the last fit into the posterior
+            # (rank-1 updates), hyperparameters held fixed this round.
+            n_fitted = model.X_train_.shape[0]
+            if n_fitted < len(state.measured_y):
+                X = np.vstack(state.measured_X)
+                y = np.asarray(state.measured_y, dtype=float)
+                try:
+                    model.update(X[n_fitted:], y[n_fitted:])
+                except np.linalg.LinAlgError:
+                    return self._fit_model(
+                        state.measured_X, state.measured_y, fallback=model
+                    )
+            return model
+        return self._fit_model(state.measured_X, state.measured_y, fallback=model)
+
+    def _replay_model(self, state: _CampaignState) -> GaussianProcessRegressor | None:
+        """Rebuild the in-round model of a resumed ``fast_refits`` campaign.
+
+        Replays the exact fit/update sequence the original process
+        performed (recorded in ``fit_counts``), so the resumed posterior is
+        bit-identical.  Without ``fast_refits`` every round refits from
+        scratch, so there is nothing to replay.
+        """
+        if not self.fast_refits or not state.measured_y:
+            return None
+        X = np.vstack(state.measured_X)
+        y = np.asarray(state.measured_y, dtype=float)
+        model: GaussianProcessRegressor | None = None
+        for round_index, n_now in enumerate(state.fit_counts):
+            if n_now == 0:
+                continue
             if (
-                self.fast_refits
+                model is not None
                 and model.fitted
                 and round_index % self.refit_every != 0
             ):
-                # Fold rows measured since the last fit into the posterior
-                # (rank-1 updates), hyperparameters held fixed this round.
                 n_fitted = model.X_train_.shape[0]
-                if n_fitted < len(measured_X):
-                    model.update(
-                        np.vstack(measured_X[n_fitted:]),
-                        np.asarray(measured_y[n_fitted:]),
-                    )
+                if n_fitted < n_now:
+                    try:
+                        model.update(X[n_fitted:n_now], y[n_fitted:n_now])
+                    except np.linalg.LinAlgError:
+                        model = self._fit_model(
+                            X[:n_now], y[:n_now], fallback=model
+                        )
             else:
-                model = self.model_factory()
-                model.fit(np.vstack(measured_X), np.asarray(measured_y))
-            pool = CandidatePool(
-                cand_X, np.zeros(len(cand_X)), np.zeros(len(cand_X))
+                model = self._fit_model(X[:n_now], y[:n_now], fallback=model)
+        return model
+
+    # ------------------------------------------------------------ checkpointing
+
+    def _checkpoint(self, state: _CampaignState, path) -> None:
+        if path is None:
+            return
+        tie_rng = getattr(self.strategy, "_tie_rng", None)
+        checkpoint = CampaignCheckpoint(
+            version=_CHECKPOINT_VERSION,
+            operator=self.config.operator,
+            batch_size=self.config.batch_size,
+            n_rounds=self.config.n_rounds,
+            time_limit_seconds=self.config.time_limit_seconds,
+            seed_index=state.seed_index,
+            candidates=self.config.candidates.tolist(),
+            next_round=state.next_round,
+            measured_X=[np.asarray(x).tolist() for x in state.measured_X],
+            measured_y=[float(v) for v in state.measured_y],
+            fit_counts=list(state.fit_counts),
+            rounds=list(state.rounds),
+            simulated_seconds=state.total_makespan,
+            cpu_core_seconds=state.total_core_seconds,
+            n_failed=state.accounting.n_failed,
+            n_retries=state.accounting.n_retries,
+            n_quarantined=state.accounting.n_quarantined,
+            wasted_core_seconds=state.accounting.wasted_core_seconds,
+            rng_state=self.rng.bit_generator.state,
+            executor_rng_state=_generator_state(self.executor),
+            strategy_rng_state=(
+                tie_rng().bit_generator.state if callable(tie_rng) else None
+            ),
+        )
+        save_checkpoint(checkpoint, path)
+
+    # ----------------------------------------------------------------- running
+
+    def run(
+        self, *, seed_index: int = 0, checkpoint_path=None
+    ) -> CampaignResult:
+        """Execute the campaign: seed job, then ``n_rounds`` AL batches.
+
+        With ``checkpoint_path`` the full campaign state is atomically
+        re-written after the seed and after every round; a killed process
+        can continue bit-identically via :meth:`resume`.
+        """
+        state = _CampaignState(seed_index=int(seed_index))
+        cand_rows = self.config.candidates
+        cand_X = _features(cand_rows)
+
+        # Seed experiment (a total seed failure degrades gracefully: the
+        # round loop re-submits the seed until an observation lands).
+        outcome = self._submit(cand_rows[[state.seed_index]])
+        if 0 in outcome.accepted:
+            state.measured_X.append(cand_X[state.seed_index])
+            state.measured_y.append(outcome.accepted[0])
+        state.total_makespan += outcome.makespan
+        state.total_core_seconds += outcome.core_seconds
+        state.accounting.add(outcome.accounting)
+        self._checkpoint(state, checkpoint_path)
+
+        return self._continue(state, None, checkpoint_path)
+
+    def resume(self, path, *, checkpoint_path="same") -> CampaignResult:
+        """Continue a killed campaign from its checkpoint file.
+
+        The campaign object must be constructed with the same
+        configuration, executor, strategy and seed as the original; the
+        checkpoint restores the measured data, accounting and RNG states,
+        so the continuation is bit-identical to the uninterrupted run.
+        ``checkpoint_path`` defaults to continuing to checkpoint into the
+        same file; pass ``None`` to disable further checkpointing.
+        """
+        checkpoint = load_checkpoint(path)
+        cfg = self.config
+        mismatches = [
+            name
+            for name, have, want in (
+                ("operator", cfg.operator, checkpoint.operator),
+                ("batch_size", cfg.batch_size, checkpoint.batch_size),
+                ("n_rounds", cfg.n_rounds, checkpoint.n_rounds),
+                (
+                    "time_limit_seconds",
+                    cfg.time_limit_seconds,
+                    checkpoint.time_limit_seconds,
+                ),
             )
-            k = min(self.config.batch_size, pool.n_available)
-            picks = select_batch(model, pool, self.strategy, k)
-            _, sd = model.predict(cand_X[picks], return_std=True)
-            y_new, makespan, core_s = self._submit(cand_rows[picks])
-            for idx, y_val in zip(picks, y_new):
-                measured_X.append(cand_X[idx])
-                measured_y.append(float(y_val))
-            total_makespan += makespan
-            total_core_seconds += core_s
-            rounds.append(
-                {"n_jobs": k, "makespan": makespan, "max_sd": float(sd.max())}
+            if have != want
+        ]
+        cand = np.asarray(checkpoint.candidates, dtype=float)
+        if cand.shape != cfg.candidates.shape or not np.allclose(
+            cand, cfg.candidates
+        ):
+            mismatches.append("candidates")
+        if mismatches:
+            raise ValueError(
+                f"checkpoint {path} does not match this campaign's config "
+                f"(mismatched: {', '.join(mismatches)})"
             )
 
-        model = self.model_factory()
-        model.fit(np.vstack(measured_X), np.asarray(measured_y))
+        self.rng.bit_generator.state = checkpoint.rng_state
+        if checkpoint.executor_rng_state is not None:
+            gen = getattr(self.executor, "rng", None)
+            if isinstance(gen, np.random.Generator):
+                gen.bit_generator.state = checkpoint.executor_rng_state
+        if checkpoint.strategy_rng_state is not None and hasattr(
+            self.strategy, "_tie_rng"
+        ):
+            tie = self.strategy._tie_rng()
+            tie.bit_generator.state = checkpoint.strategy_rng_state
+
+        state = _CampaignState(
+            seed_index=checkpoint.seed_index,
+            next_round=checkpoint.next_round,
+            measured_X=[np.asarray(x, dtype=float) for x in checkpoint.measured_X],
+            measured_y=[float(v) for v in checkpoint.measured_y],
+            fit_counts=list(checkpoint.fit_counts),
+            rounds=[dict(r) for r in checkpoint.rounds],
+            total_makespan=float(checkpoint.simulated_seconds),
+            total_core_seconds=float(checkpoint.cpu_core_seconds),
+            accounting=FailureAccounting(
+                n_failed=checkpoint.n_failed,
+                n_retries=checkpoint.n_retries,
+                n_quarantined=checkpoint.n_quarantined,
+                wasted_core_seconds=checkpoint.wasted_core_seconds,
+            ),
+        )
+        model = self._replay_model(state)
+        if checkpoint_path == "same":
+            checkpoint_path = path
+        return self._continue(state, model, checkpoint_path)
+
+    def _continue(
+        self,
+        state: _CampaignState,
+        model: GaussianProcessRegressor | None,
+        checkpoint_path,
+    ) -> CampaignResult:
+        """Run AL rounds from ``state.next_round`` to the end."""
+        cand_rows = self.config.candidates
+        cand_X = _features(cand_rows)
+
+        for round_index in range(state.next_round, self.config.n_rounds):
+            if not state.measured_y:
+                # No usable observation yet (the seed experiment keeps
+                # failing): spend this round re-measuring the seed instead
+                # of selecting on an unfittable model.
+                outcome = self._submit(cand_rows[[state.seed_index]])
+                if 0 in outcome.accepted:
+                    state.measured_X.append(cand_X[state.seed_index])
+                    state.measured_y.append(outcome.accepted[0])
+                state.fit_counts.append(0)
+                n_ok = len(outcome.accepted)
+                max_sd = float("nan")
+                k = 1
+            else:
+                model = self._advance_model(model, state, round_index)
+                state.fit_counts.append(len(state.measured_y))
+                pool = CandidatePool(
+                    cand_X, np.zeros(len(cand_X)), np.zeros(len(cand_X))
+                )
+                k = min(self.config.batch_size, pool.n_available)
+                picks = select_batch(model, pool, self.strategy, k)
+                _, sd = model.predict(cand_X[picks], return_std=True)
+                outcome = self._submit(cand_rows[picks], model=model)
+                for slot in sorted(outcome.accepted):
+                    state.measured_X.append(cand_X[picks[slot]])
+                    state.measured_y.append(outcome.accepted[slot])
+                n_ok = len(outcome.accepted)
+                max_sd = float(sd.max())
+            state.total_makespan += outcome.makespan
+            state.total_core_seconds += outcome.core_seconds
+            state.accounting.add(outcome.accounting)
+            state.rounds.append(
+                {
+                    "n_jobs": k,
+                    "n_ok": n_ok,
+                    "makespan": outcome.makespan,
+                    "max_sd": max_sd,
+                }
+            )
+            state.next_round = round_index + 1
+            self._checkpoint(state, checkpoint_path)
+
+        if state.measured_y:
+            final_model = self._fit_model(
+                state.measured_X, state.measured_y, fallback=model
+            )
+            X = np.vstack(state.measured_X)
+        else:
+            warnings.warn(
+                "campaign produced no usable observations; returning an "
+                "unfitted model",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            final_model = self.model_factory()
+            X = np.empty((0, cand_rows.shape[1]))
+        acct = state.accounting
         return CampaignResult(
-            X=np.vstack(measured_X),
-            y=np.asarray(measured_y),
-            simulated_seconds=total_makespan,
-            cpu_core_seconds=total_core_seconds,
-            model=model,
-            rounds=rounds,
+            X=X,
+            y=np.asarray(state.measured_y, dtype=float),
+            simulated_seconds=state.total_makespan,
+            cpu_core_seconds=state.total_core_seconds,
+            model=final_model,
+            rounds=state.rounds,
+            n_failed=acct.n_failed,
+            n_retries=acct.n_retries,
+            n_quarantined=acct.n_quarantined,
+            wasted_core_seconds=acct.wasted_core_seconds,
         )

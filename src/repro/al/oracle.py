@@ -19,7 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cluster.jobs import JobSpec
+from ..cluster.scheduler import ExecutionOutcome
 from ..hpgmg.benchmark import run_benchmark
+from ..hpgmg.operators import make_problem
 from ..perfmodel.noise import PERFORMANCE_NOISE, NoiseModel
 
 __all__ = ["OfflineOracle", "OnlineHPGMGOracle", "HPGMGExecutor", "Observation"]
@@ -105,11 +107,9 @@ class HPGMGExecutor:
         doublings = np.log2(max(np_ranks, 1))
         return float((2.0 * self.parallel_efficiency) ** doublings)
 
-    def _simulated_runtime(self, spec: JobSpec, rng=None) -> tuple[float, "object"]:
-        from ..hpgmg.benchmark import run_benchmark
-
+    def _simulated_runtime(self, spec: JobSpec, rng=0) -> tuple[float, "object"]:
         ne = self._nearest_ne(spec.problem_size)
-        result = run_benchmark(spec.operator, ne, rng=0)
+        result = run_benchmark(spec.operator, ne, rng=rng)
         t = result.solve_seconds
         t *= (self.max_freq_ghz / spec.freq_ghz) ** self.freq_exponent
         t /= self._speedup(spec.np_ranks)
@@ -129,9 +129,7 @@ class HPGMGExecutor:
 
     def execute(self, spec: JobSpec, rng: np.random.Generator):
         """Run the actual multigrid solve and report the measured outcome."""
-        from ..cluster.scheduler import ExecutionOutcome
-
-        t, result = self._simulated_runtime(spec)
+        t, result = self._simulated_runtime(spec, rng=rng)
         measured = float(self.noise.apply(t, rng))
         return ExecutionOutcome(
             runtime_seconds=measured,
@@ -193,8 +191,6 @@ class OnlineHPGMGOracle:
 
     def _dofs(self, ne: int) -> int:
         if ne not in self._dof_cache:
-            from ..hpgmg.operators import make_problem
-
             mesh = make_problem(self.operator).mesh(ne)
             self._dof_cache[ne] = mesh.n_interior
         return self._dof_cache[ne]

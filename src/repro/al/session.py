@@ -21,6 +21,8 @@ Example
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable
@@ -32,7 +34,15 @@ from .partition import Partition
 from .pool import CandidatePool
 from .strategies import Strategy
 
-__all__ = ["ALSessionState", "snapshot", "restore", "save_session", "load_session"]
+__all__ = [
+    "ALSessionState",
+    "snapshot",
+    "restore",
+    "save_session",
+    "load_session",
+    "write_json_atomic",
+    "read_json_checked",
+]
 
 _FORMAT_VERSION = 1
 
@@ -105,29 +115,38 @@ def restore(
         )
     X_train = np.asarray(state.X_train, dtype=float)
     pool_X = np.asarray(state.pool_X, dtype=float)
+    X_test = np.asarray(state.X_test, dtype=float).reshape(-1, X_train.shape[1])
+    y_test = np.asarray(state.y_test, dtype=float)
     # Build via a synthetic partition over the *concatenated* arrays so the
     # constructor's validation applies, then overwrite the internals with
-    # the snapshot's exact state.
-    X_all = np.vstack([X_train[:1], pool_X, np.asarray(state.X_test, dtype=float)])
+    # the snapshot's exact state.  Partition forbids an empty test set, so
+    # when the snapshot has none (online campaigns measure everything) the
+    # training row stands in and the true empty arrays are installed below.
+    if X_test.shape[0]:
+        test_X_rows, test_y_rows = X_test, y_test
+    else:
+        test_X_rows = X_train[:1]
+        test_y_rows = np.asarray(state.y_train[:1], dtype=float)
+    X_all = np.vstack([X_train[:1], pool_X, test_X_rows])
     y_all = np.concatenate(
         [
             np.asarray(state.y_train[:1], dtype=float),
             np.asarray(state.pool_y, dtype=float),
-            np.asarray(state.y_test, dtype=float),
+            test_y_rows,
         ]
     )
     costs_all = np.concatenate(
         [
             np.zeros(1),
             np.asarray(state.pool_costs, dtype=float),
-            np.zeros(len(state.y_test)),
+            np.zeros(len(test_y_rows)),
         ]
     )
     n_pool = pool_X.shape[0]
     part = Partition(
         initial=np.array([0]),
         active=np.arange(1, 1 + n_pool),
-        test=np.arange(1 + n_pool, 1 + n_pool + len(state.X_test)),
+        test=np.arange(1 + n_pool, 1 + n_pool + len(test_y_rows)),
     )
     learner = ActiveLearner(
         X_all,
@@ -148,8 +167,8 @@ def restore(
     )
     learner.pool._available = np.asarray(state.pool_available, dtype=bool)
     learner._X_active_full = np.asarray(state.X_active_full, dtype=float)
-    learner._X_test = np.asarray(state.X_test, dtype=float)
-    learner._y_test = np.asarray(state.y_test, dtype=float)
+    learner._X_test = X_test
+    learner._y_test = y_test
     learner._cumulative_cost = float(state.cumulative_cost)
     records = []
     for d in state.records:
@@ -160,17 +179,53 @@ def restore(
     return learner
 
 
-def save_session(state: ALSessionState, path) -> Path:
-    """Write a snapshot to a JSON file; returns the path."""
+def write_json_atomic(payload: dict, path) -> Path:
+    """Atomically write ``payload`` as JSON to ``path``.
+
+    The document lands in a temporary file in the target directory and is
+    moved into place with :func:`os.replace` (atomic within one
+    filesystem), so a crash mid-write can never leave a truncated file
+    behind — at worst the previous complete version survives.  Shared by
+    session snapshots and campaign checkpoints.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(asdict(state)))
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(payload))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
+
+
+def read_json_checked(path, *, kind: str = "session") -> dict:
+    """Read a JSON document, raising a descriptive error on corruption."""
+    text = Path(path).read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is not a valid {kind} file: truncated or corrupt JSON "
+            f"({exc.msg} at line {exc.lineno} column {exc.colno})"
+        ) from exc
+    if not isinstance(payload, dict) or "version" not in payload:
+        raise ValueError(f"{path} is not an AL {kind} file")
+    return payload
+
+
+def save_session(state: ALSessionState, path) -> Path:
+    """Atomically write a snapshot to a JSON file; returns the path."""
+    return write_json_atomic(asdict(state), path)
 
 
 def load_session(path) -> ALSessionState:
     """Read a snapshot previously written by :func:`save_session`."""
-    payload = json.loads(Path(path).read_text())
-    if not isinstance(payload, dict) or "version" not in payload:
-        raise ValueError(f"{path} is not an AL session file")
-    return ALSessionState(**payload)
+    return ALSessionState(**read_json_checked(path, kind="session"))

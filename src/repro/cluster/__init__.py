@@ -12,6 +12,7 @@ from .energy import (
     records_per_minute,
     trace_is_usable,
 )
+from .faults import FaultConfig, FaultStats, FaultyExecutor
 from .jobs import JOB_RECORD_FIELDS, JobRecord, JobSpec
 from .machine import DVFS_LEVELS_GHZ, ClusterSpec, CPUSpec, NodeSpec, wisconsin_cluster
 from .power import IPMISampler, PowerModel, PowerTrace
@@ -36,4 +37,7 @@ __all__ = [
     "ExecutionOutcome",
     "Executor",
     "SlurmSimulator",
+    "FaultConfig",
+    "FaultStats",
+    "FaultyExecutor",
 ]

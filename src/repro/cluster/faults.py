@@ -1,0 +1,195 @@
+"""Fault injection for the simulated testbed.
+
+Real HPC campaigns run for hours across node crashes, scheduler timeouts
+and flaky measurements; the paper's online AL loop ("every iteration of AL
+includes selecting an experiment, running it, and using the experiment
+outcome to update the underlying GPR model") has to survive all of them.
+:class:`FaultyExecutor` wraps any :class:`~repro.cluster.scheduler.Executor`
+and injects seeded, configurable faults so that the fault-tolerance
+machinery in :mod:`repro.al.resilience` can be exercised deterministically:
+
+* **crash** — the job dies partway through (``failed=True``, truncated
+  runtime, no verification);
+* **hang** — the job stops making progress and runs until the scheduler's
+  time limit kills it (``runtime_seconds`` inflated past the limit, so the
+  :class:`~repro.cluster.scheduler.SlurmSimulator` records ``TIMEOUT``);
+* **straggler** — the job completes but runs a configurable factor slower
+  (a noisy-node slowdown; the measurement is real, just expensive);
+* **corrupt** — the job completes in biased time with
+  ``verification_passed=False`` (a bad measurement that must not reach the
+  GP training set).
+
+Fault draws come either from a dedicated generator (``rng=...`` at
+construction) or, with ``rng=None``, from the scheduler's own seeded stream
+— the mode used by :class:`~repro.al.campaign.OnlineCampaign`, where it
+makes an entire faulty campaign (and its checkpoint/resume) a pure function
+of the campaign seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .jobs import JobSpec
+from .scheduler import ExecutionOutcome, Executor
+
+__all__ = ["FaultConfig", "FaultStats", "FaultyExecutor"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-job fault probabilities and severity parameters.
+
+    Rates are independent probabilities of one fault class per execution;
+    at most one fault is injected per job (the classes partition a single
+    uniform draw), so their sum must not exceed 1.
+
+    Attributes
+    ----------
+    crash_rate / hang_rate / straggler_rate / corrupt_rate:
+        Probability of each fault class per job execution.
+    crash_runtime_fraction:
+        Fraction of the true runtime elapsed before a crash (the partial
+        run is still charged to the campaign).
+    hang_runtime_seconds:
+        Runtime reported by a hung job; set it above the scheduler's
+        ``time_limit_seconds`` so the job is recorded as ``TIMEOUT``.
+    straggler_factor:
+        Runtime multiplier of a straggling (but correct) job.
+    corrupt_runtime_factor:
+        Multiplicative bias of a corrupted measurement (``0.5`` halves the
+        reported runtime — a systematically wrong value, flagged by
+        ``verification_passed=False``).
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    straggler_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    crash_runtime_fraction: float = 0.25
+    hang_runtime_seconds: float = 7200.0
+    straggler_factor: float = 3.0
+    corrupt_runtime_factor: float = 0.5
+
+    def __post_init__(self):
+        rates = (
+            self.crash_rate,
+            self.hang_rate,
+            self.straggler_rate,
+            self.corrupt_rate,
+        )
+        for r in rates:
+            if not 0.0 <= r <= 1.0:
+                raise ValueError(f"fault rates must be in [0, 1], got {r}")
+        if sum(rates) > 1.0 + 1e-12:
+            raise ValueError(f"fault rates sum to {sum(rates)} > 1")
+        if not 0.0 < self.crash_runtime_fraction <= 1.0:
+            raise ValueError("crash_runtime_fraction must be in (0, 1]")
+        if self.hang_runtime_seconds <= 0:
+            raise ValueError("hang_runtime_seconds must be positive")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.corrupt_runtime_factor <= 0:
+            raise ValueError("corrupt_runtime_factor must be positive")
+
+    @property
+    def total_rate(self) -> float:
+        """Probability that any fault is injected on one execution."""
+        return (
+            self.crash_rate
+            + self.hang_rate
+            + self.straggler_rate
+            + self.corrupt_rate
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected faults (ground truth for accounting tests)."""
+
+    n_jobs: int = 0
+    n_crashes: int = 0
+    n_hangs: int = 0
+    n_stragglers: int = 0
+    n_corrupted: int = 0
+
+    @property
+    def n_faults(self) -> int:
+        """Total injected faults of any class."""
+        return self.n_crashes + self.n_hangs + self.n_stragglers + self.n_corrupted
+
+
+class FaultyExecutor:
+    """Executor wrapper that injects seeded faults into job outcomes.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped executor supplying true job behaviour.
+    config:
+        Fault probabilities and severities; defaults to no faults.
+    rng:
+        ``None`` (default) draws fault decisions from the scheduler's own
+        per-execution generator, so behaviour is fully determined by the
+        scheduler seed; a seed or :class:`numpy.random.Generator` gives the
+        injector its own stream (independent of the workload's noise).
+    """
+
+    def __init__(
+        self,
+        inner: Executor,
+        config: FaultConfig | None = None,
+        *,
+        rng=None,
+    ):
+        self.inner = inner
+        self.config = config or FaultConfig()
+        self.rng = None if rng is None else np.random.default_rng(rng)
+        self.stats = FaultStats()
+
+    def estimate(self, spec: JobSpec) -> float:
+        """The scheduler's runtime estimate is the fault-free one."""
+        return self.inner.estimate(spec)
+
+    def execute(self, spec: JobSpec, rng: np.random.Generator) -> ExecutionOutcome:
+        """Run the wrapped executor, then possibly inject one fault."""
+        gen = self.rng if self.rng is not None else rng
+        u = float(gen.uniform())
+        outcome = self.inner.execute(spec, rng)
+        self.stats.n_jobs += 1
+        c = self.config
+        edge = c.crash_rate
+        if u < edge:
+            self.stats.n_crashes += 1
+            return replace(
+                outcome,
+                runtime_seconds=outcome.runtime_seconds * c.crash_runtime_fraction,
+                failed=True,
+                verification_passed=False,
+            )
+        edge += c.hang_rate
+        if u < edge:
+            self.stats.n_hangs += 1
+            return replace(
+                outcome,
+                runtime_seconds=max(c.hang_runtime_seconds, outcome.runtime_seconds),
+                verification_passed=False,
+            )
+        edge += c.straggler_rate
+        if u < edge:
+            self.stats.n_stragglers += 1
+            return replace(
+                outcome,
+                runtime_seconds=outcome.runtime_seconds * c.straggler_factor,
+            )
+        edge += c.corrupt_rate
+        if u < edge:
+            self.stats.n_corrupted += 1
+            return replace(
+                outcome,
+                runtime_seconds=outcome.runtime_seconds * c.corrupt_runtime_factor,
+                verification_passed=False,
+            )
+        return outcome

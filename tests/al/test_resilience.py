@@ -1,0 +1,147 @@
+"""Tests for retry/quarantine policies and failure accounting."""
+
+import numpy as np
+import pytest
+
+from repro.al.resilience import (
+    FailureAccounting,
+    QuarantinePolicy,
+    RetryPolicy,
+)
+from repro.cluster import JobSpec, SlurmSimulator, wisconsin_cluster
+from repro.cluster.faults import FaultConfig, FaultyExecutor
+from repro.datasets.generate import ModelExecutor
+from repro.gp.gpr import GaussianProcessRegressor
+
+
+def _record(**faults):
+    """Produce one real JobRecord through the simulator, optionally faulty."""
+    executor = ModelExecutor()
+    if faults:
+        executor = FaultyExecutor(executor, FaultConfig(**faults), rng=0)
+    sim = SlurmSimulator(
+        wisconsin_cluster(), executor, rng=0, time_limit_seconds=3600.0
+    )
+    return sim.run_batch([JobSpec("poisson1", float(96**3), 32, 2.4)])[0]
+
+
+# --------------------------------------------------------------- RetryPolicy
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_seconds=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff(0)
+
+
+def test_exponential_backoff():
+    policy = RetryPolicy(backoff_seconds=30.0, backoff_factor=2.0)
+    assert policy.backoff(1) == pytest.approx(30.0)
+    assert policy.backoff(2) == pytest.approx(60.0)
+    assert policy.backoff(3) == pytest.approx(120.0)
+
+
+def test_should_retry_respects_attempts_and_reasons():
+    policy = RetryPolicy(max_attempts=3, retry_on=("state",))
+    assert policy.should_retry("state", 1)
+    assert policy.should_retry("state", 2)
+    assert not policy.should_retry("state", 3)
+    assert not policy.should_retry("verification", 1)
+    assert not policy.should_retry("outlier", 1)
+
+
+def test_none_policy_never_retries():
+    policy = RetryPolicy.none()
+    assert policy.max_attempts == 1
+    assert not policy.should_retry("state", 1)
+
+
+# ---------------------------------------------------------- QuarantinePolicy
+
+
+def test_clean_record_accepted():
+    decision = QuarantinePolicy().inspect(_record())
+    assert decision.ok
+    assert decision.reason is None
+
+
+def test_failed_state_rejected():
+    record = _record(crash_rate=1.0)
+    assert record.state == "FAILED"
+    decision = QuarantinePolicy().inspect(record)
+    assert not decision.ok
+    assert decision.reason == "state"
+    assert "FAILED" in decision.detail
+
+
+def test_timeout_state_rejected():
+    record = _record(hang_rate=1.0)
+    assert record.state == "TIMEOUT"
+    decision = QuarantinePolicy().inspect(record)
+    assert not decision.ok
+    assert decision.reason == "state"
+
+
+def test_verification_failure_rejected():
+    record = _record(corrupt_rate=1.0)
+    assert record.state == "COMPLETED"
+    decision = QuarantinePolicy().inspect(record)
+    assert not decision.ok
+    assert decision.reason == "verification"
+    relaxed = QuarantinePolicy(require_verification=False).inspect(record)
+    assert relaxed.ok
+
+
+def test_z_score_outlier_rejected():
+    record = _record(corrupt_rate=1.0, corrupt_runtime_factor=0.01)
+    x = np.array([np.log10(record.problem_size), np.log2(record.np_ranks),
+                  record.freq_ghz])
+    # A confident model centred on the *clean* runtime.
+    clean = _record()
+    model = GaussianProcessRegressor(
+        noise_variance=1e-4, noise_variance_bounds="fixed", optimizer=None
+    )
+    model.fit(np.vstack([x, x + 0.5]),
+              np.array([np.log10(clean.runtime_seconds)] * 2))
+    policy = QuarantinePolicy(require_verification=False, z_threshold=3.0)
+    decision = policy.inspect(record, model=model, x=x)
+    assert not decision.ok
+    assert decision.reason == "outlier"
+    # The clean measurement passes the same gate.
+    assert policy.inspect(clean, model=model, x=x).ok
+
+
+def test_z_test_skipped_without_model():
+    record = _record(corrupt_rate=1.0, corrupt_runtime_factor=0.01)
+    policy = QuarantinePolicy(require_verification=False, z_threshold=3.0)
+    assert policy.inspect(record).ok
+    assert policy.inspect(record, model=GaussianProcessRegressor()).ok
+
+
+def test_permissive_policy_accepts_everything():
+    policy = QuarantinePolicy.permissive()
+    for record in (_record(crash_rate=1.0), _record(hang_rate=1.0),
+                   _record(corrupt_rate=1.0)):
+        assert policy.inspect(record).ok
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        QuarantinePolicy(z_threshold=0.0)
+
+
+# --------------------------------------------------------- FailureAccounting
+
+
+def test_accounting_add():
+    total = FailureAccounting()
+    total.add(FailureAccounting(n_failed=2, n_retries=1, wasted_core_seconds=5.0))
+    total.add(FailureAccounting(n_quarantined=3, wasted_core_seconds=2.5))
+    assert total == FailureAccounting(
+        n_failed=2, n_retries=1, n_quarantined=3, wasted_core_seconds=7.5
+    )

@@ -109,3 +109,55 @@ def test_snapshot_before_any_step():
     assert len(restored.trace) == 0
     restored.step()
     assert len(restored.trace) == 1
+
+
+def test_roundtrip_with_empty_trace_and_empty_test_set(tmp_path):
+    """Online campaigns measure everything and hold nothing out; a snapshot
+    with no iterations yet and an empty test set must round-trip."""
+    learner = _learner()
+    state = snapshot(learner)
+    state.records = []
+    state.X_test = []
+    state.y_test = []
+    path = save_session(state, tmp_path / "empty.json")
+    restored = restore(
+        load_session(path), VarianceReduction(),
+        model_factory=default_model_factory(1e-2),
+    )
+    assert len(restored.trace) == 0
+    assert restored._X_test.shape == (0, 1)
+    assert restored._y_test.shape == (0,)
+    assert restored.n_train == learner.n_train
+    assert restored.pool.n_available == learner.pool.n_available
+
+
+def test_save_session_is_atomic(tmp_path, monkeypatch):
+    """A crash mid-write must leave the previous complete file intact and
+    no temporary droppings behind."""
+    import json as json_module
+
+    learner = _learner()
+    learner.run(2)
+    path = tmp_path / "campaign.json"
+    save_session(snapshot(learner), path)
+    good = path.read_text()
+
+    def exploding_dumps(payload):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(json_module, "dumps", exploding_dumps)
+    with pytest.raises(OSError):
+        save_session(snapshot(learner), path)
+    assert path.read_text() == good  # previous version survives
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "campaign.json"]
+    assert leftovers == []
+
+
+def test_truncated_file_reports_corruption(tmp_path):
+    learner = _learner()
+    learner.run(2)
+    path = save_session(snapshot(learner), tmp_path / "campaign.json")
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])
+    with pytest.raises(ValueError, match="truncated or corrupt"):
+        load_session(path)

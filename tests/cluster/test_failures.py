@@ -114,3 +114,34 @@ def test_timeout_pathology_contained():
     # (same node pool would allow concurrency here — both fit, so equal
     # start times are fine; the key property is completion).
     assert len(records) == 2
+
+
+def test_failed_record_carries_exit_code_and_truncated_runtime():
+    """A crash is visible in the accounting record itself: exit_code 1 and
+    the runtime truncated at the crash point, not the full would-be run."""
+    sim = SlurmSimulator(wisconsin_cluster(), FlakyExecutor(), rng=0)
+    records = sim.run_batch([_spec(5.0, 32, i) for i in range(3)])
+    by_state = {r.state: r for r in records}
+    ok, failed = by_state["COMPLETED"], by_state["FAILED"]
+    assert failed.exit_code == 1
+    assert not failed.verification_passed
+    assert failed.runtime_seconds == pytest.approx(0.2 * 5.0)
+    assert ok.exit_code == 0
+    assert ok.runtime_seconds == pytest.approx(5.0)
+
+
+def test_timeout_record_carries_exit_code_and_truncated_runtime():
+    class SlowExecutor:
+        def estimate(self, spec):
+            return spec.problem_size
+
+        def execute(self, spec, rng):
+            return ExecutionOutcome(runtime_seconds=spec.problem_size * 100)
+
+    sim = SlurmSimulator(
+        wisconsin_cluster(), SlowExecutor(), rng=0, time_limit_seconds=10.0
+    )
+    (record,) = sim.run_batch([_spec(5.0, 32, 0)])
+    assert record.state == "TIMEOUT"
+    assert record.exit_code == 1
+    assert record.runtime_seconds == pytest.approx(10.0)  # killed at the limit

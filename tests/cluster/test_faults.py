@@ -1,0 +1,144 @@
+"""Tests for the seeded fault-injection executor wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    FaultConfig,
+    FaultyExecutor,
+    JobSpec,
+    SlurmSimulator,
+    wisconsin_cluster,
+)
+from repro.datasets.generate import ModelExecutor
+
+
+def _spec(i=0, size=96**3):
+    return JobSpec("poisson1", float(size), 32, 2.4, repeat_index=i)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FaultConfig(crash_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultConfig(crash_rate=0.6, hang_rate=0.6)
+    with pytest.raises(ValueError):
+        FaultConfig(crash_runtime_fraction=0.0)
+    with pytest.raises(ValueError):
+        FaultConfig(straggler_factor=0.5)
+    with pytest.raises(ValueError):
+        FaultConfig(corrupt_runtime_factor=0.0)
+    assert FaultConfig(crash_rate=0.1, corrupt_rate=0.1).total_rate == pytest.approx(0.2)
+
+
+def test_no_faults_is_transparent():
+    """With zero rates the wrapper reproduces the inner executor exactly."""
+    plain = ModelExecutor()
+    wrapped = FaultyExecutor(ModelExecutor(), FaultConfig(), rng=0)
+    spec = _spec()
+    assert wrapped.estimate(spec) == plain.estimate(spec)
+    out_plain = plain.execute(spec, np.random.default_rng(5))
+    out_wrapped = wrapped.execute(spec, np.random.default_rng(5))
+    assert out_wrapped == out_plain
+    assert wrapped.stats.n_jobs == 1
+    assert wrapped.stats.n_faults == 0
+
+
+def test_crash_truncates_and_fails():
+    ex = FaultyExecutor(
+        ModelExecutor(), FaultConfig(crash_rate=1.0, crash_runtime_fraction=0.25),
+        rng=0,
+    )
+    clean = ModelExecutor().execute(_spec(), np.random.default_rng(3))
+    out = ex.execute(_spec(), np.random.default_rng(3))
+    assert out.failed
+    assert not out.verification_passed
+    assert out.runtime_seconds == pytest.approx(0.25 * clean.runtime_seconds)
+    assert ex.stats.n_crashes == 1
+
+
+def test_hang_inflates_past_time_limit():
+    ex = FaultyExecutor(
+        ModelExecutor(), FaultConfig(hang_rate=1.0, hang_runtime_seconds=7200.0),
+        rng=0,
+    )
+    out = ex.execute(_spec(), np.random.default_rng(3))
+    assert out.runtime_seconds >= 7200.0
+    assert not out.failed  # the scheduler's time limit turns it into TIMEOUT
+    sim = SlurmSimulator(
+        wisconsin_cluster(), ex, rng=0, time_limit_seconds=3600.0
+    )
+    records = sim.run_batch([_spec()])
+    assert records[0].state == "TIMEOUT"
+    assert records[0].exit_code == 1
+    assert records[0].runtime_seconds == pytest.approx(3600.0)
+
+
+def test_straggler_slows_but_completes():
+    ex = FaultyExecutor(
+        ModelExecutor(), FaultConfig(straggler_rate=1.0, straggler_factor=3.0),
+        rng=0,
+    )
+    clean = ModelExecutor().execute(_spec(), np.random.default_rng(3))
+    out = ex.execute(_spec(), np.random.default_rng(3))
+    assert out.runtime_seconds == pytest.approx(3.0 * clean.runtime_seconds)
+    assert not out.failed
+    assert out.verification_passed
+
+
+def test_corrupt_biases_and_flags():
+    ex = FaultyExecutor(
+        ModelExecutor(),
+        FaultConfig(corrupt_rate=1.0, corrupt_runtime_factor=0.5),
+        rng=0,
+    )
+    clean = ModelExecutor().execute(_spec(), np.random.default_rng(3))
+    out = ex.execute(_spec(), np.random.default_rng(3))
+    assert out.runtime_seconds == pytest.approx(0.5 * clean.runtime_seconds)
+    assert not out.failed
+    assert not out.verification_passed
+
+
+def test_dedicated_rng_is_reproducible():
+    def run(seed):
+        ex = FaultyExecutor(
+            ModelExecutor(), FaultConfig(crash_rate=0.3), rng=seed
+        )
+        kinds = []
+        for i in range(40):
+            out = ex.execute(_spec(i), np.random.default_rng(i))
+            kinds.append(out.failed)
+        return kinds, ex.stats
+
+    kinds_a, stats_a = run(42)
+    kinds_b, stats_b = run(42)
+    assert kinds_a == kinds_b
+    assert stats_a == stats_b
+    assert 0 < stats_a.n_crashes < 40  # the rate actually bites
+
+
+def test_injection_rate_roughly_matches_config():
+    ex = FaultyExecutor(
+        ModelExecutor(),
+        FaultConfig(crash_rate=0.1, hang_rate=0.1, corrupt_rate=0.1),
+        rng=7,
+    )
+    rng = np.random.default_rng(0)
+    for i in range(300):
+        ex.execute(_spec(i), rng)
+    assert ex.stats.n_jobs == 300
+    # 30% expected; a loose band avoids flakiness while catching off-by-10x.
+    assert 50 <= ex.stats.n_faults <= 140
+
+
+def test_scheduler_stream_mode_follows_scheduler_seed():
+    """With rng=None the fault pattern is a function of the scheduler seed."""
+
+    def states(seed):
+        ex = FaultyExecutor(ModelExecutor(), FaultConfig(crash_rate=0.4))
+        sim = SlurmSimulator(wisconsin_cluster(), ex, rng=seed)
+        records = sim.run_batch([_spec(i) for i in range(12)])
+        return sorted((r.repeat_index, r.state) for r in records)
+
+    assert states(3) == states(3)
+    assert states(3) != states(4)
