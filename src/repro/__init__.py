@@ -24,6 +24,9 @@ Subpackages
     One module per paper table/figure, returning the plotted series.
 ``repro.viz``
     ASCII chart rendering for terminals without matplotlib.
+``repro.telemetry``
+    Zero-cost-when-disabled instrumentation: metric registry, JSONL trace
+    spans, and the ``python -m repro telemetry`` report CLI.
 
 Quickstart
 ----------
@@ -47,10 +50,21 @@ __all__ = [
     "datasets",
     "experiments",
     "viz",
+    "telemetry",
 ]
 
 _SUBPACKAGES = frozenset(
-    {"gp", "al", "hpgmg", "cluster", "perfmodel", "datasets", "experiments", "viz"}
+    {
+        "gp",
+        "al",
+        "hpgmg",
+        "cluster",
+        "perfmodel",
+        "datasets",
+        "experiments",
+        "viz",
+        "telemetry",
+    }
 )
 
 

@@ -6,10 +6,14 @@ Usage::
     python -m repro fig4
     python -m repro fig8 --partitions 10 --iterations 60
     python -m repro all --quick
+    python -m repro fig7 --quick --trace fig7.jsonl
+    python -m repro telemetry summarize fig7.jsonl
 
 ``--quick`` shrinks the sweep sizes of the AL experiments (fig7/fig8) so
 the whole evaluation runs in a few minutes; without it they use the bench
-defaults.
+defaults.  ``--trace`` records a telemetry JSONL trace of the run (fit
+timings, restart spreads, update-vs-refit counts); the ``telemetry``
+subcommand renders or validates such traces.
 """
 
 from __future__ import annotations
@@ -48,9 +52,16 @@ def _run_one(name: str, args) -> str:
 
 def main(argv=None) -> int:
     """Parse arguments, regenerate the requested exhibit(s), return 0."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["telemetry"]:
+        from .telemetry.cli import main as telemetry_main
+
+        return telemetry_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures "
+        "(see also: python -m repro telemetry --help).",
     )
     parser.add_argument(
         "exhibit",
@@ -66,12 +77,25 @@ def main(argv=None) -> int:
                         help="reduced sweeps for a fast full pass")
     parser.add_argument("--workers", type=int, default=1,
                         help="thread workers for the AL sweeps (fig7/fig8)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a telemetry JSONL trace of the run")
     args = parser.parse_args(argv)
 
     names = _EXHIBITS if args.exhibit == "all" else (args.exhibit,)
-    for name in names:
-        print(_run_one(name, args))
-        print()
+
+    def run_all() -> None:
+        for name in names:
+            print(_run_one(name, args))
+            print()
+
+    if args.trace:
+        from . import telemetry
+
+        with telemetry.session(args.trace):
+            run_all()
+        print(f"[telemetry trace written to {args.trace}]")
+    else:
+        run_all()
     return 0
 
 

@@ -43,6 +43,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..cluster.jobs import JobSpec
 from ..cluster.machine import ClusterSpec, wisconsin_cluster
 from ..cluster.scheduler import Executor, SlurmSimulator
@@ -310,6 +311,21 @@ class OnlineCampaign:
         policy allows.  ``model`` enables the z-score outlier gate.
         """
         rows = np.asarray(rows, dtype=float)
+        with tm.span("submit", n_jobs=len(rows)) as sp:
+            outcome = self._submit_impl(rows, model=model)
+            sp.set(
+                n_ok=len(outcome.accepted),
+                makespan=outcome.makespan,
+                core_seconds=outcome.core_seconds,
+            )
+        return outcome
+
+    def _submit_impl(
+        self,
+        rows: np.ndarray,
+        *,
+        model: GaussianProcessRegressor | None,
+    ) -> _BatchOutcome:
         feats = _features(rows)
         acct = FailureAccounting()
         accepted: dict[int, float] = {}
@@ -329,10 +345,18 @@ class OnlineCampaign:
                 )
                 for slot in pending
             ]
+            scheduler_seed = int(self.rng.integers(2**31))
+            tm.event(
+                "submit.wave",
+                wave=wave,
+                n_pending=len(pending),
+                scheduler_seed=scheduler_seed,
+            )
+            tm.count("campaign.jobs.submitted", len(pending))
             sim = SlurmSimulator(
                 self.cluster,
                 self.executor,
-                rng=self.rng.integers(2**31),
+                rng=scheduler_seed,
                 time_limit_seconds=self.config.time_limit_seconds,
             )
             records = sim.run_batch(specs)
@@ -366,6 +390,7 @@ class OnlineCampaign:
                     acct.n_retries += 1
             pending = next_pending
             if pending:
+                tm.count("campaign.retry_waves")
                 makespan += self.retry_policy.backoff(wave)
             wave += 1
         return _BatchOutcome(
@@ -391,11 +416,15 @@ class OnlineCampaign:
         for jitter_scale in (1.0, 1e3, 1e6):
             model = self.model_factory()
             model.jitter *= jitter_scale
+            if jitter_scale > 1.0:
+                tm.count("campaign.fit.jitter_escalation")
             try:
                 return model.fit(X, y)
             except np.linalg.LinAlgError as exc:
+                tm.count("campaign.fit.cholesky_failure")
                 last_exc = exc
         if fallback is not None and fallback.fitted:
+            tm.count("campaign.fit.fallback_model")
             warnings.warn(
                 "GP refit failed (Cholesky) even with escalated jitter; "
                 "keeping the previous round's model",
@@ -421,6 +450,7 @@ class OnlineCampaign:
         ):
             # Fold rows measured since the last fit into the posterior
             # (rank-1 updates), hyperparameters held fixed this round.
+            tm.count("campaign.fit.incremental")
             n_fitted = model.X_train_.shape[0]
             if n_fitted < len(state.measured_y):
                 X = np.vstack(state.measured_X)
@@ -432,6 +462,7 @@ class OnlineCampaign:
                         state.measured_X, state.measured_y, fallback=model
                     )
             return model
+        tm.count("campaign.fit.full")
         return self._fit_model(state.measured_X, state.measured_y, fallback=model)
 
     def _replay_model(self, state: _CampaignState) -> GaussianProcessRegressor | None:
@@ -515,18 +546,26 @@ class OnlineCampaign:
         cand_rows = self.config.candidates
         cand_X = _features(cand_rows)
 
-        # Seed experiment (a total seed failure degrades gracefully: the
-        # round loop re-submits the seed until an observation lands).
-        outcome = self._submit(cand_rows[[state.seed_index]])
-        if 0 in outcome.accepted:
-            state.measured_X.append(cand_X[state.seed_index])
-            state.measured_y.append(outcome.accepted[0])
-        state.total_makespan += outcome.makespan
-        state.total_core_seconds += outcome.core_seconds
-        state.accounting.add(outcome.accounting)
-        self._checkpoint(state, checkpoint_path)
+        with tm.span(
+            "campaign",
+            mode="run",
+            n_rounds=self.config.n_rounds,
+            batch_size=self.config.batch_size,
+            n_candidates=len(cand_rows),
+            seed_index=state.seed_index,
+        ):
+            # Seed experiment (a total seed failure degrades gracefully: the
+            # round loop re-submits the seed until an observation lands).
+            outcome = self._submit(cand_rows[[state.seed_index]])
+            if 0 in outcome.accepted:
+                state.measured_X.append(cand_X[state.seed_index])
+                state.measured_y.append(outcome.accepted[0])
+            state.total_makespan += outcome.makespan
+            state.total_core_seconds += outcome.core_seconds
+            state.accounting.add(outcome.accounting)
+            self._checkpoint(state, checkpoint_path)
 
-        return self._continue(state, None, checkpoint_path)
+            return self._continue(state, None, checkpoint_path)
 
     def resume(self, path, *, checkpoint_path="same") -> CampaignResult:
         """Continue a killed campaign from its checkpoint file.
@@ -592,10 +631,18 @@ class OnlineCampaign:
                 wasted_core_seconds=checkpoint.wasted_core_seconds,
             ),
         )
-        model = self._replay_model(state)
-        if checkpoint_path == "same":
-            checkpoint_path = path
-        return self._continue(state, model, checkpoint_path)
+        with tm.span(
+            "campaign",
+            mode="resume",
+            n_rounds=self.config.n_rounds,
+            batch_size=self.config.batch_size,
+            next_round=state.next_round,
+            seed_index=state.seed_index,
+        ):
+            model = self._replay_model(state)
+            if checkpoint_path == "same":
+                checkpoint_path = path
+            return self._continue(state, model, checkpoint_path)
 
     def _continue(
         self,
@@ -608,46 +655,56 @@ class OnlineCampaign:
         cand_X = _features(cand_rows)
 
         for round_index in range(state.next_round, self.config.n_rounds):
-            if not state.measured_y:
-                # No usable observation yet (the seed experiment keeps
-                # failing): spend this round re-measuring the seed instead
-                # of selecting on an unfittable model.
-                outcome = self._submit(cand_rows[[state.seed_index]])
-                if 0 in outcome.accepted:
-                    state.measured_X.append(cand_X[state.seed_index])
-                    state.measured_y.append(outcome.accepted[0])
-                state.fit_counts.append(0)
-                n_ok = len(outcome.accepted)
-                max_sd = float("nan")
-                k = 1
-            else:
-                model = self._advance_model(model, state, round_index)
-                state.fit_counts.append(len(state.measured_y))
-                pool = CandidatePool(
-                    cand_X, np.zeros(len(cand_X)), np.zeros(len(cand_X))
+            with tm.span("round", round=round_index) as round_sp:
+                if not state.measured_y:
+                    # No usable observation yet (the seed experiment keeps
+                    # failing): spend this round re-measuring the seed instead
+                    # of selecting on an unfittable model.
+                    outcome = self._submit(cand_rows[[state.seed_index]])
+                    if 0 in outcome.accepted:
+                        state.measured_X.append(cand_X[state.seed_index])
+                        state.measured_y.append(outcome.accepted[0])
+                    state.fit_counts.append(0)
+                    n_ok = len(outcome.accepted)
+                    max_sd = float("nan")
+                    k = 1
+                else:
+                    model = self._advance_model(model, state, round_index)
+                    state.fit_counts.append(len(state.measured_y))
+                    pool = CandidatePool(
+                        cand_X, np.zeros(len(cand_X)), np.zeros(len(cand_X))
+                    )
+                    k = min(self.config.batch_size, pool.n_available)
+                    picks = select_batch(model, pool, self.strategy, k)
+                    _, sd = model.predict(cand_X[picks], return_std=True)
+                    outcome = self._submit(cand_rows[picks], model=model)
+                    for slot in sorted(outcome.accepted):
+                        state.measured_X.append(cand_X[picks[slot]])
+                        state.measured_y.append(outcome.accepted[slot])
+                    n_ok = len(outcome.accepted)
+                    max_sd = float(sd.max())
+                state.total_makespan += outcome.makespan
+                state.total_core_seconds += outcome.core_seconds
+                state.accounting.add(outcome.accounting)
+                state.rounds.append(
+                    {
+                        "n_jobs": k,
+                        "n_ok": n_ok,
+                        "makespan": outcome.makespan,
+                        "max_sd": max_sd,
+                    }
                 )
-                k = min(self.config.batch_size, pool.n_available)
-                picks = select_batch(model, pool, self.strategy, k)
-                _, sd = model.predict(cand_X[picks], return_std=True)
-                outcome = self._submit(cand_rows[picks], model=model)
-                for slot in sorted(outcome.accepted):
-                    state.measured_X.append(cand_X[picks[slot]])
-                    state.measured_y.append(outcome.accepted[slot])
-                n_ok = len(outcome.accepted)
-                max_sd = float(sd.max())
-            state.total_makespan += outcome.makespan
-            state.total_core_seconds += outcome.core_seconds
-            state.accounting.add(outcome.accounting)
-            state.rounds.append(
-                {
-                    "n_jobs": k,
-                    "n_ok": n_ok,
-                    "makespan": outcome.makespan,
-                    "max_sd": max_sd,
-                }
-            )
-            state.next_round = round_index + 1
-            self._checkpoint(state, checkpoint_path)
+                state.next_round = round_index + 1
+                self._checkpoint(state, checkpoint_path)
+                if tm.enabled():
+                    tm.count("campaign.rounds")
+                    tm.gauge_set("campaign.n_measured", len(state.measured_y))
+                    round_sp.set(
+                        n_jobs=k,
+                        n_ok=n_ok,
+                        makespan=outcome.makespan,
+                        max_sd=max_sd,
+                    )
 
         if state.measured_y:
             final_model = self._fit_model(

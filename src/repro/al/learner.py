@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..gp.gpr import GaussianProcessRegressor
 from .metrics import evaluate_model
 from .partition import Partition
@@ -28,12 +29,19 @@ def default_model_factory(noise_floor: float = 1e-1) -> Callable[[], GaussianPro
 
     ``noise_floor`` is the lower bound on the GPR noise variance — the
     paper's fix for early-iteration overfitting (Fig. 7b uses ``1e-1``).
+    The upper bound widens with the floor (``max(1e3, 10 * noise_floor)``)
+    so a large floor can never produce an inverted bounds interval.
     """
+    if not np.isfinite(noise_floor) or noise_floor <= 0:
+        raise ValueError(
+            f"noise_floor must be positive and finite, got {noise_floor}"
+        )
+    upper = max(1e3, 10.0 * noise_floor)
 
     def factory() -> GaussianProcessRegressor:
         return GaussianProcessRegressor(
             noise_variance=max(1e-2, noise_floor),
-            noise_variance_bounds=(noise_floor, 1e3),
+            noise_variance_bounds=(noise_floor, upper),
             n_restarts=2,
             rng=0,
         )
@@ -197,6 +205,7 @@ class ActiveLearner:
         ):
             # Off-schedule iteration: extend the posterior with the rows
             # queried since the last (re)fit, hyperparameters held fixed.
+            tm.count("al.fit.incremental")
             n_fitted = self.model.X_train_.shape[0]
             if n_fitted < self.n_train:
                 self.model.update(
@@ -204,6 +213,7 @@ class ActiveLearner:
                 )
             return self.model
 
+        tm.count("al.fit.full")
         warm = self.fast_refits and self.warm_start and self.model is not None
         model = self.model if warm else self.model_factory()
         if self.noise_floor_schedule is not None:
@@ -211,8 +221,16 @@ class ActiveLearner:
             if floor <= 0:
                 raise ValueError("noise floor schedule must return positive values")
             bounds = model.noise_variance_bounds
-            high = bounds[1] if not isinstance(bounds, str) else 1e3
-            model.noise_variance_bounds = (floor, max(high, floor * 10))
+            if isinstance(bounds, str):
+                # bounds == "fixed": silently replacing it with (floor, high)
+                # would un-fix the noise variance behind the caller's back.
+                raise ValueError(
+                    "noise_floor_schedule cannot be combined with "
+                    "noise_variance_bounds='fixed': the schedule would "
+                    "replace the fixed bound and re-enable noise "
+                    "optimization; use numeric bounds or drop the schedule"
+                )
+            model.noise_variance_bounds = (floor, max(bounds[1], floor * 10))
             model.noise_variance = max(model.noise_variance, floor)
         model.fit(self._X_train, self._y_train, warm_start=warm)
         return model
@@ -230,41 +248,60 @@ class ActiveLearner:
         if self.pool.exhausted:
             raise ValueError("candidate pool is exhausted")
         iteration = len(self.trace.records)
-        model = self._fit_model(iteration)
-        self.model = model
-        metrics = evaluate_model(model, self._X_active_full, self._X_test, self._y_test)
+        with tm.span("iteration", index=iteration, n_train=self.n_train) as sp:
+            model = self._fit_model(iteration)
+            self.model = model
+            metrics = evaluate_model(
+                model, self._X_active_full, self._X_test, self._y_test
+            )
 
-        idx = self.strategy.select(model, self.pool)
-        # Strategies that score with pool SDs expose the SD at the chosen
-        # record; only strategies that don't (random, EMCM) cost an extra
-        # single-point prediction here.
-        sd_sel = self.strategy.last_selected_sd
-        if sd_sel is None:
-            x_sel = self.pool.X[idx]
-            _, sd_arr = model.predict(x_sel[np.newaxis, :], return_std=True)
-            sd_sel = float(sd_arr[0])
-        x, y_meas, cost = self.pool.consume(idx)
-        self._X_train = np.vstack([self._X_train, x])
-        self._y_train = np.append(self._y_train, y_meas)
-        self._cumulative_cost += cost
+            idx = self.strategy.select(model, self.pool)
+            # Strategies that score with pool SDs expose the SD at the chosen
+            # record; only strategies that don't (random, EMCM) cost an extra
+            # single-point prediction here.
+            sd_sel = self.strategy.last_selected_sd
+            if sd_sel is None:
+                x_sel = self.pool.X[idx]
+                _, sd_arr = model.predict(x_sel[np.newaxis, :], return_std=True)
+                sd_sel = float(sd_arr[0])
+            x, y_meas, cost = self.pool.consume(idx)
+            self._X_train = np.vstack([self._X_train, x])
+            self._y_train = np.append(self._y_train, y_meas)
+            self._cumulative_cost += cost
 
-        record = IterationRecord(
-            iteration=iteration,
-            n_train=self.n_train - 1,  # size used for this fit
-            selected_pool_index=idx,
-            x_selected=x.copy(),
-            y_selected=y_meas,
-            sd_at_selected=float(sd_sel),
-            cost=cost,
-            cumulative_cost=self._cumulative_cost,
-            rmse=metrics["rmse"],
-            amsd=metrics["amsd"],
-            gmsd=metrics["gmsd"],
-            nlpd=metrics["nlpd"],
-            noise_variance=model.noise_variance_,
-            lml=model.lml_,
-        )
-        self.trace.records.append(record)
+            record = IterationRecord(
+                iteration=iteration,
+                n_train=self.n_train - 1,  # size used for this fit
+                selected_pool_index=idx,
+                x_selected=x.copy(),
+                y_selected=y_meas,
+                sd_at_selected=float(sd_sel),
+                cost=cost,
+                cumulative_cost=self._cumulative_cost,
+                rmse=metrics["rmse"],
+                amsd=metrics["amsd"],
+                gmsd=metrics["gmsd"],
+                nlpd=metrics["nlpd"],
+                noise_variance=model.noise_variance_,
+                lml=model.lml_,
+            )
+            self.trace.records.append(record)
+            if tm.enabled():
+                tm.gauge_set("al.pool_size", self.pool.n_available)
+                tm.event(
+                    "al.iteration",
+                    iteration=iteration,
+                    n_train=record.n_train,
+                    rmse=record.rmse,
+                    amsd=record.amsd,
+                    gmsd=record.gmsd,
+                    nlpd=record.nlpd,
+                    sd_at_selected=record.sd_at_selected,
+                    noise_variance=record.noise_variance,
+                    lml=record.lml,
+                    cumulative_cost=record.cumulative_cost,
+                )
+                sp.set(rmse=record.rmse, amsd=record.amsd)
         return record
 
     def run(self, n_iterations: int | None = None) -> ALTrace:

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..cluster.jobs import JobRecord
 from ..gp.gpr import GaussianProcessRegressor
 
@@ -87,7 +88,10 @@ class RetryPolicy:
     def should_retry(self, reason: str, attempts_done: int) -> bool:
         """Whether an experiment rejected for ``reason`` after
         ``attempts_done`` executions deserves another attempt."""
-        return reason in self.retry_on and attempts_done < self.max_attempts
+        granted = reason in self.retry_on and attempts_done < self.max_attempts
+        if granted:
+            tm.count("retry.granted")
+        return granted
 
 
 @dataclass(frozen=True)
@@ -148,6 +152,22 @@ class QuarantinePolicy:
         test; without them — or with an unfitted model — only the state and
         verification checks run.
         """
+        decision = self._inspect(record, model=model, x=x)
+        if tm.enabled():
+            tm.count("quarantine.inspected")
+            if decision.ok:
+                tm.count("quarantine.accepted")
+            else:
+                tm.count(f"quarantine.rejected.{decision.reason}")
+        return decision
+
+    def _inspect(
+        self,
+        record: JobRecord,
+        *,
+        model: GaussianProcessRegressor | None,
+        x: np.ndarray | None,
+    ) -> QuarantineDecision:
         if record.state in self.reject_states:
             return QuarantineDecision(
                 ok=False,

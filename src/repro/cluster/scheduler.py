@@ -25,6 +25,7 @@ from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
+from .. import telemetry as tm
 from .energy import integrate_energy, records_per_minute, trace_is_usable
 from .jobs import JobRecord, JobSpec
 from .machine import ClusterSpec
@@ -233,7 +234,27 @@ class SlurmSimulator:
                 free_nodes.add(node)
             records.append(self._make_record(rjob))
             schedule(now)
+        if tm.enabled():
+            self._record_batch_telemetry(records)
         return records
+
+    def _record_batch_telemetry(self, records: list[JobRecord]) -> None:
+        for record in records:
+            tm.count(f"scheduler.jobs.{record.state.lower()}")
+        makespan = max((r.end_time for r in records), default=0.0)
+        tm.observe("scheduler.makespan_seconds", makespan)
+        utilization = 0.0
+        if makespan > 0:
+            busy = sum(r.runtime_seconds * r.n_nodes for r in records)
+            utilization = busy / (self.cluster.n_nodes * makespan)
+            tm.observe("scheduler.node_utilization", utilization)
+        tm.event(
+            "scheduler.batch",
+            n_jobs=len(records),
+            makespan=makespan,
+            node_utilization=utilization,
+            policy=self.policy,
+        )
 
     # --------------------------------------------------------------- accounting
 

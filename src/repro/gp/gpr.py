@@ -28,12 +28,14 @@ All hyperparameters are optimized in log space.
 from __future__ import annotations
 
 import math
+import time
 import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.linalg import cho_solve, cholesky, solve_triangular
 
+from .. import telemetry as tm
 from .incremental import NotPositiveDefiniteError, cholesky_append
 from .kernels import RBF, ConstantKernel, Kernel
 from .optimize import OptimizeOutcome, minimize_with_restarts
@@ -196,6 +198,13 @@ class GaussianProcessRegressor:
         y = as_1d_array(y)
         check_consistent_rows(X, y)
 
+        with tm.span("fit", n=X.shape[0], warm_start=bool(warm_start)) as sp:
+            self._fit_impl(X, y, warm_start=warm_start, sp=sp)
+        return self
+
+    def _fit_impl(self, X, y, *, warm_start: bool, sp) -> None:
+        tel = tm.enabled()
+        t0 = time.perf_counter() if tel else 0.0
         if warm_start and self.kernel_ is not None:
             # Keep the current kernel_/noise_variance_ as the search start.
             pass
@@ -254,7 +263,15 @@ class GaussianProcessRegressor:
             optimize_outcome=outcome,
             theta_history=theta_history,
         )
-        return self
+        if tel:
+            tm.count("gp.fit.total")
+            tm.observe("gp.fit.seconds", time.perf_counter() - t0)
+            sp.set(lml=lml, noise_variance=self.noise_variance_)
+            if outcome is not None:
+                n_bad = sum(1 for s in outcome.statuses if s != "ok")
+                sp.set(n_starts=len(outcome.statuses), n_bad_starts=n_bad)
+                if outcome.fallback:
+                    tm.count("gp.fit.optimizer_fallback")
 
     def update(self, x, y) -> "GaussianProcessRegressor":
         """Fold new observations into the posterior at *fixed* hyperparameters.
@@ -306,17 +323,26 @@ class GaussianProcessRegressor:
         X_all = fit.X
         L = fit.L
         diag_shift = self.noise_variance_ + self.jitter
-        for i in range(X_new.shape[0]):
-            xq = X_new[i : i + 1]
-            k = kernel(xq, X_all)[0]
-            k_self = float(kernel.diag(xq)[0]) + diag_shift
-            X_all = np.vstack([X_all, xq])
-            try:
-                L = cholesky_append(L, k, k_self)
-            except NotPositiveDefiniteError:
-                K = kernel(X_all)
-                K[np.diag_indices_from(K)] += diag_shift
-                L = cholesky(K, lower=True, check_finite=False)
+        with tm.span(
+            "update", n=fit.X.shape[0], n_new=X_new.shape[0]
+        ) as sp:
+            n_rebuilds = 0
+            for i in range(X_new.shape[0]):
+                xq = X_new[i : i + 1]
+                k = kernel(xq, X_all)[0]
+                k_self = float(kernel.diag(xq)[0]) + diag_shift
+                X_all = np.vstack([X_all, xq])
+                try:
+                    L = cholesky_append(L, k, k_self)
+                except NotPositiveDefiniteError:
+                    n_rebuilds += 1
+                    tm.count("gp.update.cholesky_rebuild")
+                    K = kernel(X_all)
+                    K[np.diag_indices_from(K)] += diag_shift
+                    L = cholesky(K, lower=True, check_finite=False)
+            sp.set(n_rebuilds=n_rebuilds)
+            tm.count("gp.update.total")
+            tm.count("gp.update.points", X_new.shape[0])
 
         y_all = np.append(fit.y, y_norm_new)
         alpha = cho_solve((L, True), y_all, check_finite=False)
@@ -428,6 +454,7 @@ class GaussianProcessRegressor:
             try:
                 L = cholesky(K, lower=True, check_finite=False)
             except np.linalg.LinAlgError:
+                tm.count("gp.lml.cholesky_failure")
                 if eval_gradient:
                     return -np.inf, np.zeros_like(saved_theta)
                 return -np.inf

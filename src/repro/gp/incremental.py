@@ -25,6 +25,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import solve_triangular
 
+from .. import telemetry as tm
+
 __all__ = ["NotPositiveDefiniteError", "cholesky_append"]
 
 
@@ -81,7 +83,9 @@ def cholesky_append(
 
     l12 = solve_triangular(L, k, lower=True, check_finite=False)
     pivot_sq = k_self - float(l12 @ l12)
+    tm.count("gp.cholesky_append.total")
     if not np.isfinite(pivot_sq) or pivot_sq <= rel_pivot * abs(k_self):
+        tm.count("gp.cholesky_append.not_pd")
         raise NotPositiveDefiniteError(
             f"bordered pivot^2 = {pivot_sq:.3e} (diagonal {k_self:.3e}); "
             "matrix is no longer numerically positive definite"

@@ -13,11 +13,14 @@ Fig. 5's small-data landscape is shallow and benefits from restarts.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 from scipy.optimize import minimize
+
+from .. import telemetry as tm
 
 __all__ = ["OptimizeOutcome", "minimize_with_restarts"]
 
@@ -36,11 +39,21 @@ class OptimizeOutcome:
         Best parameter vector found (log space).
     value:
         Objective value at ``theta`` (the *negative* LML for GPR fits).
+        ``inf`` when every start failed (see ``fallback``).
     n_restarts:
         Number of random restarts performed (excludes the initial start).
     all_thetas / all_values:
         Per-start optimized parameters and values, in run order; useful for
         diagnosing multimodal LML landscapes (Fig. 5b).
+    statuses:
+        Per-start verdict, in run order: ``"ok"`` (converged on a finite
+        value), ``"failed"`` (L-BFGS-B reported failure, e.g. abnormal
+        line-search termination), or ``"nonfinite"`` (the start never saw a
+        finite objective value — its reported optimum is the
+        ``_BAD_VALUE`` sentinel, not a real point).
+    fallback:
+        True when *every* start was ``"nonfinite"`` and ``theta`` is the
+        clipped initial point rather than an optimized one.
     """
 
     theta: np.ndarray
@@ -48,6 +61,8 @@ class OptimizeOutcome:
     n_restarts: int
     all_thetas: list = field(default_factory=list)
     all_values: list = field(default_factory=list)
+    statuses: list = field(default_factory=list)
+    fallback: bool = False
 
 
 def _wrap(objective: Callable) -> Callable:
@@ -111,16 +126,60 @@ def minimize_with_restarts(
 
     all_thetas: list[np.ndarray] = []
     all_values: list[float] = []
-    for start in starts:
-        result = minimize(
-            wrapped,
-            start,
-            jac=True,
-            method="L-BFGS-B",
-            bounds=bounds,
-        )
+    statuses: list[str] = []
+    for i, start in enumerate(starts):
+        with tm.span("restart", index=i) as sp:
+            result = minimize(
+                wrapped,
+                start,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+            )
+            value = float(result.fun)
+            if value >= _BAD_VALUE:
+                # Every evaluation this start saw was non-finite; its
+                # "optimum" is the substituted sentinel, not a real point.
+                status = "nonfinite"
+            elif result.success:
+                status = "ok"
+            else:
+                status = "failed"
+            sp.set(value=value, status=status)
         all_thetas.append(np.asarray(result.x))
-        all_values.append(float(result.fun))
+        all_values.append(value)
+        statuses.append(status)
+        if status != "ok":
+            tm.count("gp.optimize.bad_starts")
+    tm.count("gp.optimize.starts", len(starts))
+
+    if all(s == "nonfinite" for s in statuses):
+        # No start ever produced a finite objective value: argmin over the
+        # sentinel values would return a garbage theta as "best".  Keep the
+        # caller's (clipped) initial point and say so.
+        warnings.warn(
+            f"all {len(starts)} optimizer starts evaluated to non-finite "
+            "objective values; falling back to the (clipped) initial "
+            "parameters",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        tm.count("gp.optimize.all_failed")
+        return OptimizeOutcome(
+            theta=starts[0].copy(),
+            value=float("inf"),
+            n_restarts=n_restarts,
+            all_thetas=all_thetas,
+            all_values=all_values,
+            statuses=statuses,
+            fallback=True,
+        )
+
+    finite = [v for v in all_values if v < _BAD_VALUE]
+    if len(finite) > 1:
+        # Spread of the per-start optima: the multi-modality diagnostic of
+        # Fig. 5b (the objective is -LML, so this equals the LML spread).
+        tm.observe("gp.optimize.lml_spread", max(finite) - min(finite))
 
     best = int(np.argmin(all_values))
     return OptimizeOutcome(
@@ -129,4 +188,5 @@ def minimize_with_restarts(
         n_restarts=n_restarts,
         all_thetas=all_thetas,
         all_values=all_values,
+        statuses=statuses,
     )

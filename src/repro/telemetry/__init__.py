@@ -1,0 +1,210 @@
+"""Dependency-free instrumentation for the GP/AL/scheduler stack.
+
+The paper's argument rests on per-iteration diagnostics — sigma_f at the
+selected candidate, AMSD, RMSE, LML trajectories (Figs. 5-8) — and the
+production campaigns built on top of it need to know *why* a fit was slow,
+a restart failed, or a round stalled.  This package supplies:
+
+* a process-wide :class:`Registry` of counters, gauges and histograms
+  (:mod:`repro.telemetry.registry`);
+* a structured JSONL event log with nested spans —
+  ``campaign > round > fit > restart`` — carrying monotonic timestamps and
+  seeds (:mod:`repro.telemetry.trace`);
+* zero-cost-when-disabled hook helpers used throughout ``repro.gp``,
+  ``repro.al`` and ``repro.cluster``;
+* a summarizer/validator and the ``python -m repro telemetry`` CLI
+  (:mod:`repro.telemetry.summarize`).
+
+Telemetry is **off by default**.  Hook sites call the module-level helpers
+below, which reduce to a single attribute test and return when nothing is
+enabled; instrumented hot loops therefore run at full speed.  Enable it
+around a region of interest::
+
+    from repro import telemetry
+
+    with telemetry.session("run.jsonl"):
+        campaign.run()
+
+    # later:  python -m repro telemetry summarize run.jsonl
+
+or imperatively with :func:`enable` / :func:`disable`.  Only one session
+can be active per process (the registry is process-wide by design).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .registry import Counter, Gauge, Histogram, Registry
+from .summarize import read_trace, render_summary, summarize_trace, validate_trace
+from .trace import Span, TraceWriter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Span",
+    "TraceWriter",
+    "read_trace",
+    "summarize_trace",
+    "render_summary",
+    "validate_trace",
+    "enable",
+    "disable",
+    "enabled",
+    "session",
+    "get_registry",
+    "get_writer",
+    "count",
+    "gauge_set",
+    "observe",
+    "event",
+    "span",
+]
+
+#: (registry, writer-or-None) when enabled; None when disabled.  A single
+#: tuple keeps the disabled-path check to one global load per hook call.
+_STATE: tuple[Registry, TraceWriter | None] | None = None
+
+
+class _NullSpan:
+    """Reusable no-op stand-in for :class:`Span` when telemetry is off."""
+
+    __slots__ = ()
+
+    def set(self, **fields) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# ------------------------------------------------------------------ lifecycle
+
+
+def enable(trace_path=None, *, registry: Registry | None = None,
+           flush_every: int = 64) -> Registry:
+    """Turn telemetry on for the whole process.
+
+    Parameters
+    ----------
+    trace_path:
+        If given, events/spans are recorded to this JSONL file (flushed
+        atomically); without it only the metric registry is live.
+    registry:
+        Use an existing registry instead of a fresh one (e.g. to aggregate
+        several runs).
+    flush_every:
+        Passed through to :class:`TraceWriter`.
+
+    Returns the active registry.  Raises if telemetry is already enabled.
+    """
+    global _STATE
+    if _STATE is not None:
+        raise RuntimeError("telemetry is already enabled; call disable() first")
+    reg = registry if registry is not None else Registry()
+    writer = (
+        TraceWriter(trace_path, flush_every=flush_every)
+        if trace_path is not None
+        else None
+    )
+    _STATE = (reg, writer)
+    return reg
+
+
+def disable() -> None:
+    """Turn telemetry off; flushes the registry snapshot into the trace.
+
+    A no-op when telemetry is not enabled.
+    """
+    global _STATE
+    if _STATE is None:
+        return
+    reg, writer = _STATE
+    _STATE = None
+    if writer is not None:
+        writer.metrics(reg.snapshot())
+        writer.close()
+
+
+def enabled() -> bool:
+    """Whether a telemetry session is active."""
+    return _STATE is not None
+
+
+@contextmanager
+def session(trace_path=None, *, registry: Registry | None = None,
+            flush_every: int = 64):
+    """Enable telemetry for the duration of a ``with`` block.
+
+    Yields the active :class:`Registry`; on exit the registry snapshot is
+    appended to the trace and the file is closed.
+    """
+    reg = enable(trace_path, registry=registry, flush_every=flush_every)
+    try:
+        yield reg
+    finally:
+        disable()
+
+
+def get_registry() -> Registry | None:
+    """The active registry, or ``None`` when telemetry is disabled."""
+    return _STATE[0] if _STATE is not None else None
+
+
+def get_writer() -> TraceWriter | None:
+    """The active trace writer, or ``None`` (disabled or registry-only)."""
+    return _STATE[1] if _STATE is not None else None
+
+
+# ----------------------------------------------------------------- hook sites
+#
+# These are the functions instrumented code calls.  Each one is a single
+# global load plus an ``is None`` test on the disabled path.
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` (no-op when disabled)."""
+    state = _STATE
+    if state is None:
+        return
+    state[0].counter(name).inc(n)
+
+
+def gauge_set(name: str, value) -> None:
+    """Set gauge ``name`` (no-op when disabled)."""
+    state = _STATE
+    if state is None:
+        return
+    state[0].gauge(name).set(value)
+
+
+def observe(name: str, value) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    state = _STATE
+    if state is None:
+        return
+    state[0].histogram(name).observe(value)
+
+
+def event(name: str, **fields) -> None:
+    """Write a point event to the trace (no-op when disabled or traceless)."""
+    state = _STATE
+    if state is None or state[1] is None:
+        return
+    state[1].event(name, **fields)
+
+
+def span(name: str, **fields):
+    """Open a trace span; returns a shared null span when disabled."""
+    state = _STATE
+    if state is None or state[1] is None:
+        return _NULL_SPAN
+    return state[1].span(name, **fields)

@@ -1,0 +1,63 @@
+"""``python -m repro telemetry`` — inspect and validate trace files.
+
+Subcommands::
+
+    python -m repro telemetry summarize RUN.jsonl   # human-readable report
+    python -m repro telemetry summarize RUN.jsonl --json
+    python -m repro telemetry validate RUN.jsonl    # schema check, exit 1 on error
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .summarize import read_trace, render_summary, summarize_trace, validate_trace
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``telemetry`` subcommand; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro telemetry",
+        description="Summarize or validate a telemetry JSONL trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser(
+        "summarize", help="render a trace into a human-readable report"
+    )
+    p_sum.add_argument("trace", help="path to the JSONL trace file")
+    p_sum.add_argument(
+        "--json", action="store_true", help="emit the structured summary as JSON"
+    )
+    p_val = sub.add_parser(
+        "validate", help="check a trace against the documented schema"
+    )
+    p_val.add_argument("trace", help="path to the JSONL trace file")
+    args = parser.parse_args(argv)
+
+    events = read_trace(args.trace)
+    if args.command == "validate":
+        errors = validate_trace(events)
+        if errors:
+            for err in errors:
+                print(f"INVALID {args.trace}: {err}")
+            return 1
+        print(f"OK {args.trace}: {len(events)} events, schema valid")
+        return 0
+
+    summary = summarize_trace(events)
+    try:
+        if args.json:
+            print(json.dumps(summary, indent=2, default=str))
+        else:
+            print(render_summary(summary))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.  Point
+        # stdout at devnull so the interpreter-exit flush stays quiet.
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0

@@ -1,0 +1,183 @@
+"""Process-wide metric instruments: counters, gauges, histograms.
+
+The paper's diagnostics (Figs. 5-8) are per-iteration scalars — fit
+wall-time, restart LML spread, update-vs-refit counts, retry tallies —
+that until now lived in ad-hoc dataclass fields.  A :class:`Registry`
+gives them one home: hook sites anywhere in the stack get-or-create an
+instrument by name and record into it; a campaign driver (or the
+``repro telemetry`` CLI) reads one :meth:`Registry.snapshot` at the end.
+
+Everything here is standard library only — the telemetry layer must be
+importable from the lowest-level modules (``repro.gp.incremental``)
+without creating dependency cycles or new requirements.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry"]
+
+
+class Counter:
+    """Monotonically increasing count (fit calls, fallbacks, retries)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, _lock: threading.Lock | None = None):
+        self.name = name
+        self.value = 0
+        self._lock = _lock or threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the count; ``n`` must not be negative."""
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        with self._lock:
+            self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """Last-written scalar (pool size, node utilization, n_train)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, _lock: threading.Lock | None = None):
+        self.name = name
+        self.value: float | None = None
+        self._lock = _lock or threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current level; overwrites the previous value."""
+        with self._lock:
+            self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Distribution of observations (fit seconds, LML spread, makespan).
+
+    Keeps every observation (telemetry runs are thousands of events, not
+    millions) in sorted order so exact quantiles are one index away.
+    """
+
+    __slots__ = ("name", "_sorted", "total", "_lock")
+
+    def __init__(self, name: str, _lock: threading.Lock | None = None):
+        self.name = name
+        self._sorted: list[float] = []
+        self.total = 0.0
+        self._lock = _lock or threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            insort(self._sorted, value)
+            self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def min(self) -> float | None:
+        return self._sorted[0] if self._sorted else None
+
+    @property
+    def max(self) -> float | None:
+        return self._sorted[-1] if self._sorted else None
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / len(self._sorted) if self._sorted else None
+
+    def percentile(self, q: float) -> float | None:
+        """Exact ``q``-th percentile (nearest-rank), ``0 <= q <= 100``."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self._sorted:
+            return None
+        rank = min(len(self._sorted) - 1, int(q / 100.0 * len(self._sorted)))
+        return self._sorted[rank]
+
+    def summary(self) -> dict:
+        """Count/total/min/mean/p50/p90/max as a plain dict."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class Registry:
+    """Get-or-create home for named instruments.
+
+    A name permanently belongs to the kind that first claimed it;
+    re-requesting it as a different kind raises, which catches the
+    classic typo of observing into a counter.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = kind(name, _lock=self._lock)
+                self._instruments[name] = inst
+            elif not isinstance(inst, kind):
+                raise TypeError(
+                    f"instrument {name!r} already registered as "
+                    f"{type(inst).__name__}, requested {kind.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """All instrument values as one JSON-serializable dict."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in sorted(instruments.items()):
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                out["histograms"][name] = inst.summary()
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry without re-creating it)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)

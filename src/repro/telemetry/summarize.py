@@ -1,0 +1,333 @@
+"""Turn a telemetry JSONL trace into a validated, human-readable report.
+
+Three layers, each usable on its own:
+
+* :func:`read_trace` — parse the file, raising a descriptive error on a
+  torn or non-JSON line;
+* :func:`validate_trace` — check every event against the schema documented
+  in ``docs/TELEMETRY.md`` (required keys, known kinds, balanced and
+  properly-nested spans, non-decreasing timestamps); returns the list of
+  violations instead of raising so CI can print them all;
+* :func:`summarize_trace` / :func:`render_summary` — aggregate the events
+  into the paper's diagnostics (per-fit wall-times, restart LML spreads,
+  update-vs-refit counts, campaign round table, scheduler stats) and
+  render them for a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+__all__ = [
+    "read_trace",
+    "validate_trace",
+    "summarize_trace",
+    "render_summary",
+]
+
+_EVENT_KINDS = ("span_start", "span_end", "point", "metrics")
+#: keys required per event kind (beyond "ev" and "t", required everywhere)
+_REQUIRED_KEYS = {
+    "span_start": ("span", "parent", "name"),
+    "span_end": ("span", "name", "elapsed"),
+    "point": ("span", "name"),
+    "metrics": ("metrics",),
+}
+#: tolerance for clock monotonicity checks (events from parallel threads
+#: interleave within the writer-lock granularity)
+_T_SLACK = 1e-6
+
+
+def read_trace(path) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts."""
+    events = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not a valid trace line ({exc.msg})"
+            ) from exc
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}:{lineno}: trace line is not a JSON object")
+        events.append(event)
+    return events
+
+
+def validate_trace(events: list[dict]) -> list[str]:
+    """Schema violations in ``events`` (empty list = valid trace)."""
+    errors: list[str] = []
+    open_spans: dict[int, dict] = {}
+    stack_by_parent: dict[int | None, int] = {}
+    last_t = -math.inf
+    seen_ids: set[int] = set()
+    for i, event in enumerate(events):
+        where = f"event {i}"
+        kind = event.get("ev")
+        if kind not in _EVENT_KINDS:
+            errors.append(f"{where}: unknown ev kind {kind!r}")
+            continue
+        t = event.get("t")
+        if not isinstance(t, (int, float)):
+            errors.append(f"{where}: missing/non-numeric t")
+        else:
+            if t < last_t - _T_SLACK:
+                errors.append(
+                    f"{where}: timestamp {t} goes backwards (previous {last_t})"
+                )
+            last_t = max(last_t, t)
+        for key in _REQUIRED_KEYS[kind]:
+            if key not in event:
+                errors.append(f"{where}: {kind} missing required key {key!r}")
+        if kind == "span_start":
+            span_id = event.get("span")
+            if span_id in seen_ids:
+                errors.append(f"{where}: span id {span_id} reused")
+            seen_ids.add(span_id)
+            parent = event.get("parent")
+            if parent is not None and parent not in open_spans:
+                errors.append(
+                    f"{where}: span {span_id} has parent {parent} "
+                    "which is not an open span"
+                )
+            open_spans[span_id] = event
+        elif kind == "span_end":
+            span_id = event.get("span")
+            start = open_spans.pop(span_id, None)
+            if start is None:
+                errors.append(
+                    f"{where}: span_end for {span_id} without an open span_start"
+                )
+            elif start.get("name") != event.get("name"):
+                errors.append(
+                    f"{where}: span {span_id} started as "
+                    f"{start.get('name')!r} but ended as {event.get('name')!r}"
+                )
+    del stack_by_parent
+    for span_id, start in open_spans.items():
+        errors.append(
+            f"span {span_id} ({start.get('name')!r}) was never closed"
+        )
+    return errors
+
+
+def _finite(values):
+    return [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+
+
+def summarize_trace(events: list[dict]) -> dict:
+    """Aggregate a trace into the diagnostics the paper plots.
+
+    Returns a plain dict with keys:
+
+    ``duration``, ``n_events`` — trace envelope;
+    ``span_stats`` — per span name: count, total/mean elapsed;
+    ``fits`` — per full fit: t, elapsed, n, lml, restart spread/statuses;
+    ``updates`` — rank-1 update spans (t, elapsed, points folded in);
+    ``rounds`` — campaign round table (round, n_jobs, n_ok, makespan, max_sd);
+    ``iterations`` — per-iteration AL point events;
+    ``metrics`` — the last registry snapshot in the trace (or None).
+    """
+    span_stats: dict[str, dict] = {}
+    fits: list[dict] = []
+    updates: list[dict] = []
+    rounds: list[dict] = []
+    iterations: list[dict] = []
+    metrics = None
+    restart_children: dict[int, list[dict]] = {}
+    starts: dict[int, dict] = {}
+
+    for event in events:
+        kind = event.get("ev")
+        if kind == "span_start":
+            starts[event["span"]] = event
+        elif kind == "span_end":
+            name = event.get("name", "?")
+            stat = span_stats.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            elapsed = float(event.get("elapsed", 0.0))
+            stat["count"] += 1
+            stat["total_s"] += elapsed
+            stat["max_s"] = max(stat["max_s"], elapsed)
+            start = starts.get(event["span"], {})
+            if name == "restart":
+                parent = start.get("parent")
+                restart_children.setdefault(parent, []).append(event)
+            elif name == "fit":
+                fits.append(
+                    {
+                        "span": event["span"],
+                        "t": start.get("t", 0.0),
+                        "elapsed": elapsed,
+                        "n": start.get("n"),
+                        "lml": event.get("lml"),
+                        "warm_start": start.get("warm_start"),
+                    }
+                )
+            elif name == "update":
+                updates.append(
+                    {
+                        "t": start.get("t", 0.0),
+                        "elapsed": elapsed,
+                        "n_new": start.get("n_new"),
+                        "n": start.get("n"),
+                    }
+                )
+            elif name == "round":
+                rounds.append(
+                    {
+                        "round": start.get("round"),
+                        "elapsed": elapsed,
+                        **{
+                            k: event.get(k)
+                            for k in ("n_jobs", "n_ok", "makespan", "max_sd")
+                            if k in event
+                        },
+                    }
+                )
+        elif kind == "point":
+            if event.get("name") == "al.iteration":
+                iterations.append(event)
+        elif kind == "metrics":
+            metrics = event.get("metrics")
+
+    # Restart spread per fit span: range of the finite per-start objective
+    # values (the negative LML, so the spread equals the LML spread).
+    for fit in fits:
+        children = restart_children.get(fit["span"], [])
+        values = _finite([c.get("value") for c in children])
+        fit["n_starts"] = len(children)
+        fit["lml_spread"] = (max(values) - min(values)) if len(values) > 1 else 0.0
+        statuses = [c.get("status") for c in children]
+        fit["n_bad_starts"] = sum(1 for s in statuses if s and s != "ok")
+
+    duration = 0.0
+    for event in events:
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            duration = max(duration, t)
+
+    return {
+        "n_events": len(events),
+        "duration": duration,
+        "span_stats": span_stats,
+        "fits": fits,
+        "updates": updates,
+        "rounds": rounds,
+        "iterations": iterations,
+        "metrics": metrics,
+    }
+
+
+def _fmt(value, spec=".4g") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, spec)
+    return str(value)
+
+
+def render_summary(summary: dict, *, max_rows: int = 20) -> str:
+    """Render :func:`summarize_trace` output for a terminal."""
+    lines: list[str] = []
+    lines.append(
+        f"trace: {summary['n_events']} events over "
+        f"{summary['duration']:.3f} s (monotonic)"
+    )
+
+    fits = summary["fits"]
+    updates = summary["updates"]
+    lines.append("")
+    lines.append(
+        f"model path: {len(fits)} full fit(s), "
+        f"{len(updates)} rank-1 update(s)"
+    )
+    if fits:
+        lines.append("  fit timings (s): "
+                     + ", ".join(f"{f['elapsed']:.4f}" for f in fits[:max_rows])
+                     + (" ..." if len(fits) > max_rows else ""))
+        total_fit = sum(f["elapsed"] for f in fits)
+        spreads = _finite([f["lml_spread"] for f in fits])
+        lines.append(
+            f"  fit wall-time: total {total_fit:.4f} s, "
+            f"mean {total_fit / len(fits):.4f} s"
+        )
+        if spreads:
+            lines.append(
+                f"  restart LML spread: mean {sum(spreads) / len(spreads):.4g}, "
+                f"max {max(spreads):.4g}"
+            )
+        n_bad = sum(f.get("n_bad_starts", 0) for f in fits)
+        if n_bad:
+            lines.append(f"  non-converged/non-finite starts: {n_bad}")
+
+    if summary["rounds"]:
+        lines.append("")
+        lines.append("campaign rounds:")
+        lines.append("  round  n_jobs  n_ok  makespan(s)  max_sd")
+        for row in summary["rounds"][:max_rows]:
+            lines.append(
+                f"  {_fmt(row.get('round')):>5}"
+                f"  {_fmt(row.get('n_jobs')):>6}"
+                f"  {_fmt(row.get('n_ok')):>4}"
+                f"  {_fmt(row.get('makespan'), '.6g'):>11}"
+                f"  {_fmt(row.get('max_sd'))}"
+            )
+        if len(summary["rounds"]) > max_rows:
+            lines.append(f"  ... {len(summary['rounds']) - max_rows} more")
+
+    if summary["iterations"]:
+        lines.append("")
+        lines.append(f"AL iterations: {len(summary['iterations'])}")
+        last = summary["iterations"][-1]
+        lines.append(
+            "  last: "
+            + ", ".join(
+                f"{k}={_fmt(last.get(k))}"
+                for k in ("iteration", "n_train", "rmse", "amsd", "sd_at_selected")
+                if k in last
+            )
+        )
+
+    if summary["span_stats"]:
+        lines.append("")
+        lines.append("spans:")
+        lines.append("  name                 count   total(s)     max(s)")
+        for name, stat in sorted(summary["span_stats"].items()):
+            lines.append(
+                f"  {name:<20} {stat['count']:>5}   {stat['total_s']:>8.4f}"
+                f"   {stat['max_s']:>8.4f}"
+            )
+
+    metrics = summary["metrics"]
+    if metrics:
+        if metrics.get("counters"):
+            lines.append("")
+            lines.append("counters:")
+            for name, value in sorted(metrics["counters"].items()):
+                lines.append(f"  {name:<40} {value}")
+        if metrics.get("gauges"):
+            lines.append("")
+            lines.append("gauges:")
+            for name, value in sorted(metrics["gauges"].items()):
+                lines.append(f"  {name:<40} {_fmt(value)}")
+        if metrics.get("histograms"):
+            lines.append("")
+            lines.append("histograms:")
+            lines.append(
+                "  name                                     count"
+                "       mean        p90        max"
+            )
+            for name, h in sorted(metrics["histograms"].items()):
+                lines.append(
+                    f"  {name:<40} {h['count']:>5}"
+                    f" {_fmt(h['mean'], '10.4g')} {_fmt(h['p90'], '10.4g')}"
+                    f" {_fmt(h['max'], '10.4g')}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Structured JSONL event log with nested spans.
+
+One trace is one run: a sequence of JSON objects, one per line, ordered by
+a monotonic clock that starts at 0 when the writer is created.  Four event
+kinds exist (the full schema lives in ``docs/TELEMETRY.md``):
+
+``span_start`` / ``span_end``
+    A timed region.  Spans nest — ``campaign > round > fit > restart`` —
+    via the ``parent`` id, maintained per thread so parallel sweep workers
+    do not corrupt each other's ancestry.  Fields attached with
+    :meth:`Span.set` while the span is open land on its ``span_end`` line.
+``point``
+    An instantaneous observation (one AL iteration's metrics, one
+    scheduler batch) attributed to the innermost open span.
+``metrics``
+    A :meth:`repro.telemetry.registry.Registry.snapshot`, normally the
+    final line of a trace.
+
+The file is written the way :mod:`repro.al.session` writes checkpoints:
+the buffered lines are flushed to a temporary file in the target directory
+and moved into place with :func:`os.replace`, so a crash mid-write leaves
+the previous complete version, never a torn line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["Span", "TraceWriter"]
+
+
+def _json_default(obj):
+    """Serialize numpy scalars/arrays (duck-typed; numpy is not imported)."""
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):
+        return obj.item()
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    return str(obj)
+
+
+class Span:
+    """Handle for one open span; a context manager yielded by
+    :meth:`TraceWriter.span`.
+
+    Extra result fields — the fit's LML, the restart's status — are
+    attached with :meth:`set` and written on the ``span_end`` line.
+    """
+
+    __slots__ = ("writer", "span_id", "name", "_fields", "_t_start")
+
+    def __init__(self, writer: "TraceWriter", span_id: int, name: str):
+        self.writer = writer
+        self.span_id = span_id
+        self.name = name
+        self._fields: dict = {}
+        self._t_start = 0.0
+
+    def set(self, **fields) -> "Span":
+        """Attach result fields to this span's ``span_end`` event."""
+        self._fields.update(fields)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._fields.setdefault("error", exc_type.__name__)
+        self.writer._end_span(self)
+
+
+class TraceWriter:
+    """Buffered, atomically flushed JSONL trace.
+
+    Parameters
+    ----------
+    path:
+        Target file.  Parent directories are created.
+    flush_every:
+        Rewrite the file after this many buffered events (and always on
+        :meth:`close`), bounding how much a crash can lose.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(self, path, *, flush_every: int = 64, clock=time.monotonic):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = Path(path)
+        self.flush_every = int(flush_every)
+        self._clock = clock
+        self._t0 = clock()
+        self._lines: list[str] = []
+        self._unflushed = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_span_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ events
+
+    def _now(self) -> float:
+        return round(self._clock() - self._t0, 9)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _emit(self, payload: dict) -> None:
+        line = json.dumps(payload, default=_json_default)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("trace writer is closed")
+            self._lines.append(line)
+            self._unflushed += 1
+            should_flush = self._unflushed >= self.flush_every
+        if should_flush:
+            self.flush()
+
+    def span(self, name: str, **fields) -> Span:
+        """Open a span; use as ``with writer.span("fit", n=12) as sp:``."""
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(self, span_id, name)
+        span._t_start = self._now()
+        self._emit(
+            {
+                "ev": "span_start",
+                "t": span._t_start,
+                "span": span_id,
+                "parent": parent,
+                "name": name,
+                **fields,
+            }
+        )
+        stack.append(span)
+        return span
+
+    def _end_span(self, span: Span) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} ended out of order (spans must nest)"
+            )
+        stack.pop()
+        t = self._now()
+        self._emit(
+            {
+                "ev": "span_end",
+                "t": t,
+                "span": span.span_id,
+                "name": span.name,
+                "elapsed": round(t - span._t_start, 9),
+                **span._fields,
+            }
+        )
+
+    def event(self, name: str, **fields) -> None:
+        """One instantaneous ``point`` event inside the current span."""
+        stack = self._stack()
+        self._emit(
+            {
+                "ev": "point",
+                "t": self._now(),
+                "span": stack[-1].span_id if stack else None,
+                "name": name,
+                **fields,
+            }
+        )
+
+    def metrics(self, snapshot: dict) -> None:
+        """Append a registry snapshot (normally the trace's last line)."""
+        self._emit({"ev": "metrics", "t": self._now(), "metrics": snapshot})
+
+    # ------------------------------------------------------------------- file
+
+    def flush(self) -> Path:
+        """Atomically rewrite the trace file with everything buffered so far."""
+        with self._lock:
+            text = "\n".join(self._lines) + ("\n" if self._lines else "")
+            self._unflushed = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return self.path
+
+    def close(self) -> Path:
+        """Flush and refuse further events."""
+        path = self.flush()
+        with self._lock:
+            self._closed = True
+        return path
+
+    @property
+    def n_events(self) -> int:
+        return len(self._lines)

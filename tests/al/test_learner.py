@@ -146,3 +146,52 @@ def test_trace_final_and_empty():
     learner = _learner()
     learner.run(2)
     assert learner.trace.final.iteration == 1
+
+
+def test_fixed_noise_bounds_with_schedule_rejected():
+    """Regression: a schedule used to silently replace 'fixed' bounds with a
+    numeric interval, re-enabling noise optimization behind the caller's back."""
+    from repro.gp import GaussianProcessRegressor
+
+    def fixed_factory():
+        return GaussianProcessRegressor(
+            noise_variance=0.1, noise_variance_bounds="fixed", rng=0
+        )
+
+    learner = _learner(
+        model_factory=fixed_factory,
+        noise_floor_schedule=lambda i: 0.5 / np.sqrt(i + 1),
+    )
+    with pytest.raises(ValueError, match="fixed"):
+        learner.step()
+
+
+def test_fixed_noise_bounds_without_schedule_still_work():
+    from repro.gp import GaussianProcessRegressor
+
+    def fixed_factory():
+        return GaussianProcessRegressor(
+            noise_variance=0.1, noise_variance_bounds="fixed", rng=0
+        )
+
+    learner = _learner(model_factory=fixed_factory)
+    rec = learner.step()
+    assert rec.noise_variance == pytest.approx(0.1)
+
+
+def test_large_noise_floor_widens_upper_bound():
+    """Regression: noise_floor > 1e3 used to produce an inverted bounds box."""
+    factory = default_model_factory(noise_floor=5e3)
+    model = factory()
+    low, high = model.noise_variance_bounds
+    assert low == 5e3
+    assert high == 5e4
+    assert low < high
+    model.fit(np.linspace(0, 1, 8)[:, np.newaxis], np.arange(8.0))
+    assert low <= model.noise_variance_ <= high
+
+
+def test_default_model_factory_validates_noise_floor():
+    for bad in (0.0, -1.0, np.nan, np.inf):
+        with pytest.raises(ValueError, match="noise_floor"):
+            default_model_factory(noise_floor=bad)

@@ -96,3 +96,53 @@ def test_shape_validation():
         minimize_with_restarts(
             _quadratic(np.zeros(1)), np.zeros(1), np.array([[1.0, -1.0]])
         )
+
+
+def test_all_nonfinite_starts_fall_back_to_clipped_theta0():
+    """Regression: argmin over _BAD_VALUE sentinels returned garbage theta."""
+
+    def f(theta):
+        return np.inf, np.zeros_like(theta)
+
+    theta0 = np.array([5.0, -5.0])  # outside the box on both sides
+    bounds = np.array([[-1.0, 1.0], [-1.0, 1.0]])
+    with pytest.warns(RuntimeWarning, match="non-finite"):
+        out = minimize_with_restarts(f, theta0, bounds, n_restarts=3, rng=0)
+    np.testing.assert_allclose(out.theta, [1.0, -1.0])  # clipped theta0
+    assert out.fallback is True
+    assert out.value == np.inf
+    assert out.statuses == ["nonfinite"] * 4
+    assert len(out.all_values) == 4
+
+
+def test_statuses_recorded_per_start():
+    out = minimize_with_restarts(
+        _quadratic(np.zeros(1)), np.ones(1), np.array([[-2.0, 2.0]]),
+        n_restarts=2, rng=0,
+    )
+    assert out.fallback is False
+    assert out.statuses == ["ok"] * 3
+
+
+def test_partial_nonfinite_starts_do_not_fall_back():
+    """Only the all-failed case falls back; one good start is enough."""
+
+    calls = {"n": 0}
+
+    def f(theta):
+        # First start (the deterministic one) always blows up; the
+        # random restarts see a clean quadratic.
+        calls["n"] += 1
+        if theta[0] > 0.5:
+            return np.inf, np.zeros_like(theta)
+        d = theta - 0.2
+        return float(d @ d), 2 * d
+
+    out = minimize_with_restarts(
+        f, np.array([0.9]), np.array([[-1.0, 1.0]]), n_restarts=6, rng=2
+    )
+    assert out.fallback is False
+    assert "nonfinite" in out.statuses
+    assert "ok" in out.statuses
+    assert np.isfinite(out.value)
+    assert out.theta[0] == pytest.approx(0.2, abs=1e-4)

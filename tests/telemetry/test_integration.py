@@ -1,0 +1,202 @@
+"""Session lifecycle, disabled-mode no-ops, and an instrumented campaign."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry.summarize import read_trace, summarize_trace, validate_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry_state():
+    """Never leak an enabled session into other tests."""
+    yield
+    telemetry.disable()
+
+
+class TestLifecycle:
+    def test_disabled_hooks_are_noops(self):
+        assert not telemetry.enabled()
+        telemetry.count("x")
+        telemetry.gauge_set("g", 1.0)
+        telemetry.observe("h", 2.0)
+        telemetry.event("e", a=1)
+        sp = telemetry.span("s", b=2)
+        with sp as inner:
+            inner.set(c=3)
+        assert telemetry.get_registry() is None
+        assert telemetry.get_writer() is None
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert telemetry.span("a") is telemetry.span("b")
+
+    def test_enable_disable_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        reg = telemetry.enable(path)
+        assert telemetry.enabled()
+        telemetry.count("n", 2)
+        assert reg.counter("n").value == 2
+        telemetry.disable()
+        assert not telemetry.enabled()
+        events = read_trace(path)
+        assert events[-1]["ev"] == "metrics"
+        assert events[-1]["metrics"]["counters"]["n"] == 2
+
+    def test_double_enable_raises(self):
+        telemetry.enable()
+        with pytest.raises(RuntimeError, match="already enabled"):
+            telemetry.enable()
+
+    def test_registry_only_session(self):
+        with telemetry.session() as reg:
+            telemetry.count("n")
+            telemetry.event("dropped")  # no writer: silently ignored
+            assert telemetry.span("s") is telemetry.span("s")  # null span
+        assert reg.counter("n").value == 1
+
+    def test_session_closes_on_exception(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            with telemetry.session(path):
+                telemetry.count("n")
+                raise RuntimeError("boom")
+        assert not telemetry.enabled()
+        assert read_trace(path)[-1]["ev"] == "metrics"
+
+
+def _tiny_campaign(trace_path, *, fast_refits=False, refit_every=1, n_rounds=3):
+    from repro.al.campaign import CampaignConfig, OnlineCampaign
+    from repro.datasets.generate import ModelExecutor
+
+    rng = np.random.default_rng(3)
+    candidates = np.column_stack(
+        [
+            rng.choice([16, 32, 64], size=12),
+            rng.choice([8, 16, 32, 64], size=12),
+            rng.choice([1.2, 1.6, 2.0], size=12),
+        ]
+    )
+    config = CampaignConfig(
+        operator="poisson1",
+        candidates=candidates,
+        batch_size=2,
+        n_rounds=n_rounds,
+    )
+    with telemetry.session(trace_path):
+        campaign = OnlineCampaign(
+            config,
+            executor=ModelExecutor(),
+            rng=7,
+            fast_refits=fast_refits,
+            refit_every=refit_every,
+        )
+        result = campaign.run()
+    return result
+
+
+class TestInstrumentedCampaign:
+    def test_trace_is_schema_valid(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        result = _tiny_campaign(path)
+        assert len(result.rounds) == 3
+        events = read_trace(path)
+        assert validate_trace(events) == []
+
+    def test_expected_event_sequence_and_nesting(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        _tiny_campaign(path)
+        events = read_trace(path)
+
+        # The first span is the campaign, the last event the snapshot.
+        first_span = next(e for e in events if e["ev"] == "span_start")
+        assert first_span["name"] == "campaign"
+        assert first_span["mode"] == "run"
+        assert events[-1]["ev"] == "metrics"
+
+        starts = {e["span"]: e for e in events if e["ev"] == "span_start"}
+        names = {sid: e["name"] for sid, e in starts.items()}
+
+        rounds = [e for e in starts.values() if e["name"] == "round"]
+        assert [r["round"] for r in rounds] == [0, 1, 2]
+        # campaign > round > fit > restart
+        for r in rounds:
+            assert names[r["parent"]] == "campaign"
+        fit_spans = [e for e in starts.values() if e["name"] == "fit"]
+        assert fit_spans, "expected at least one fit span"
+        # Fits inside the round loop nest under a round; the final model
+        # fit after the loop nests directly under the campaign.
+        fit_parents = {names[f["parent"]] for f in fit_spans}
+        assert "round" in fit_parents
+        assert fit_parents <= {"round", "campaign"}
+        restarts = [e for e in starts.values() if e["name"] == "restart"]
+        assert restarts, "expected restart spans under fits"
+        for r in restarts:
+            assert names[r["parent"]] == "fit"
+        # submit waves carry the scheduler seed for reproducibility.
+        waves = [
+            e for e in events
+            if e["ev"] == "point" and e["name"] == "submit.wave"
+        ]
+        assert waves and all("scheduler_seed" in w for w in waves)
+
+    def test_metrics_count_update_vs_refit(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        _tiny_campaign(path, fast_refits=True, refit_every=2, n_rounds=4)
+        summary = summarize_trace(read_trace(path))
+        counters = summary["metrics"]["counters"]
+        # The seed succeeds, so every round advances the model: with
+        # refit_every=2 full refits and incremental updates alternate and
+        # must add up to n_rounds.
+        assert counters["campaign.fit.full"] >= 1
+        assert counters["campaign.fit.incremental"] >= 1
+        assert (
+            counters["campaign.fit.full"] + counters["campaign.fit.incremental"]
+            == 4
+        )
+        # Each incremental advance folds points in via rank-1 update().
+        assert counters["gp.update.total"] >= counters["campaign.fit.incremental"]
+        assert counters["quarantine.inspected"] >= counters["quarantine.accepted"]
+        assert "scheduler.jobs.completed" in counters
+
+    def test_summary_replays_fit_timings_and_rounds(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        _tiny_campaign(path)
+        summary = summarize_trace(read_trace(path))
+        assert summary["fits"], "per-fit timings missing"
+        assert all(f["elapsed"] >= 0 for f in summary["fits"])
+        assert all("lml_spread" in f for f in summary["fits"])
+        assert [r["round"] for r in summary["rounds"]] == [0, 1, 2]
+        hist = summary["metrics"]["histograms"]
+        assert hist["gp.fit.seconds"]["count"] == len(summary["fits"])
+        assert "scheduler.node_utilization" in hist
+
+
+class TestInstrumentedLearner:
+    def test_learner_iteration_events(self, tmp_path):
+        from repro.al.learner import ActiveLearner, default_model_factory
+        from repro.al.partition import random_partition
+        from repro.al.strategies import VarianceReduction
+
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(30, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] + 0.05 * rng.normal(size=30)
+        costs = np.ones(30)
+        partition = random_partition(30, 1, n_initial=8)
+        path = tmp_path / "learner.jsonl"
+        with telemetry.session(path):
+            learner = ActiveLearner(
+                X, y, costs, partition,
+                VarianceReduction(),
+                model_factory=default_model_factory(),
+            )
+            learner.run(3)
+        events = read_trace(path)
+        assert validate_trace(events) == []
+        iterations = [
+            e for e in events
+            if e["ev"] == "point" and e["name"] == "al.iteration"
+        ]
+        assert [e["iteration"] for e in iterations] == [0, 1, 2]
+        for e in iterations:
+            for key in ("rmse", "amsd", "nlpd", "lml", "cumulative_cost"):
+                assert key in e

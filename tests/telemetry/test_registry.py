@@ -1,0 +1,95 @@
+"""Unit tests for the telemetry metric instruments."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, Registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("fits")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("fits")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_starts_unset_and_overwrites(self):
+        g = Gauge("pool")
+        assert g.value is None
+        g.set(12)
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        h = Histogram("seconds")
+        assert h.count == 0
+        assert h.min is None and h.max is None and h.mean is None
+        assert h.percentile(50) is None
+        assert h.summary()["count"] == 0
+
+    def test_statistics(self):
+        h = Histogram("seconds")
+        for v in [3.0, 1.0, 2.0]:
+            h.observe(v)
+        assert h.count == 3
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 3.0
+        assert h.percentile(50) == 2.0
+
+    def test_percentile_validates_range(self):
+        h = Histogram("seconds")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_summary_shape(self):
+        h = Histogram("seconds")
+        h.observe(2.0)
+        s = h.summary()
+        assert set(s) == {"count", "total", "min", "mean", "p50", "p90", "max"}
+        assert s["count"] == 1
+        assert s["total"] == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = Registry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_kind_conflict_raises(self):
+        reg = Registry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("x")
+
+    def test_snapshot_shape(self):
+        reg = Registry()
+        reg.counter("n").inc(3)
+        reg.gauge("level").set(0.5)
+        reg.histogram("dist").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"n": 3}
+        assert snap["gauges"] == {"level": 0.5}
+        assert snap["histograms"]["dist"]["count"] == 1
+
+    def test_reset_drops_instruments(self):
+        reg = Registry()
+        reg.counter("n").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.counter("n").value == 0

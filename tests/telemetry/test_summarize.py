@@ -1,0 +1,187 @@
+"""Tests for trace validation, summarization and the telemetry CLI."""
+
+import json
+
+import pytest
+
+from repro.telemetry import TraceWriter
+from repro.telemetry.cli import main as telemetry_main
+from repro.telemetry.summarize import (
+    read_trace,
+    render_summary,
+    summarize_trace,
+    validate_trace,
+)
+
+
+def _write_trace(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+
+class TestReadTrace:
+    def test_reads_events_and_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ev": "point", "t": 0, "span": null, "name": "a"}\n\n')
+        assert len(read_trace(path)) == 1
+
+    def test_reports_line_number_on_bad_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ev": "metrics", "t": 0, "metrics": {}}\n{torn')
+        with pytest.raises(ValueError, match=":2:"):
+            read_trace(path)
+
+    def test_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_trace(path)
+
+
+class TestValidate:
+    def test_valid_nested_trace(self):
+        events = [
+            {"ev": "span_start", "t": 0.0, "span": 0, "parent": None, "name": "a"},
+            {"ev": "span_start", "t": 0.1, "span": 1, "parent": 0, "name": "b"},
+            {"ev": "point", "t": 0.2, "span": 1, "name": "p"},
+            {"ev": "span_end", "t": 0.3, "span": 1, "name": "b", "elapsed": 0.2},
+            {"ev": "span_end", "t": 0.4, "span": 0, "name": "a", "elapsed": 0.4},
+            {"ev": "metrics", "t": 0.5, "metrics": {}},
+        ]
+        assert validate_trace(events) == []
+
+    def test_unknown_kind(self):
+        errors = validate_trace([{"ev": "bogus", "t": 0.0}])
+        assert any("unknown ev kind" in e for e in errors)
+
+    def test_missing_required_key(self):
+        errors = validate_trace(
+            [{"ev": "span_start", "t": 0.0, "span": 0, "name": "a"}]
+        )
+        assert any("missing required key 'parent'" in e for e in errors)
+
+    def test_backwards_timestamp(self):
+        errors = validate_trace(
+            [
+                {"ev": "point", "t": 1.0, "span": None, "name": "a"},
+                {"ev": "point", "t": 0.5, "span": None, "name": "b"},
+            ]
+        )
+        assert any("goes backwards" in e for e in errors)
+
+    def test_unclosed_span(self):
+        errors = validate_trace(
+            [{"ev": "span_start", "t": 0.0, "span": 0, "parent": None, "name": "a"}]
+        )
+        assert any("never closed" in e for e in errors)
+
+    def test_span_end_without_start(self):
+        errors = validate_trace(
+            [{"ev": "span_end", "t": 0.0, "span": 9, "name": "a", "elapsed": 0.0}]
+        )
+        assert any("without an open span_start" in e for e in errors)
+
+    def test_reused_span_id_and_bad_parent(self):
+        events = [
+            {"ev": "span_start", "t": 0.0, "span": 0, "parent": None, "name": "a"},
+            {"ev": "span_end", "t": 0.1, "span": 0, "name": "a", "elapsed": 0.1},
+            {"ev": "span_start", "t": 0.2, "span": 0, "parent": None, "name": "b"},
+            {"ev": "span_start", "t": 0.3, "span": 1, "parent": 7, "name": "c"},
+        ]
+        errors = validate_trace(events)
+        assert any("reused" in e for e in errors)
+        assert any("not an open span" in e for e in errors)
+
+    def test_name_mismatch(self):
+        events = [
+            {"ev": "span_start", "t": 0.0, "span": 0, "parent": None, "name": "a"},
+            {"ev": "span_end", "t": 0.1, "span": 0, "name": "z", "elapsed": 0.1},
+        ]
+        errors = validate_trace(events)
+        assert any("started as 'a' but ended as 'z'" in e for e in errors)
+
+
+class TestSummarize:
+    def _fit_trace(self):
+        # One fit with two restarts (objective = -LML), one rank-1 update.
+        return [
+            {"ev": "span_start", "t": 0.0, "span": 0, "parent": None,
+             "name": "fit", "n": 10, "warm_start": False},
+            {"ev": "span_start", "t": 0.0, "span": 1, "parent": 0,
+             "name": "restart", "index": 0},
+            {"ev": "span_end", "t": 0.1, "span": 1, "name": "restart",
+             "elapsed": 0.1, "value": -5.0, "status": "ok"},
+            {"ev": "span_start", "t": 0.1, "span": 2, "parent": 0,
+             "name": "restart", "index": 1},
+            {"ev": "span_end", "t": 0.2, "span": 2, "name": "restart",
+             "elapsed": 0.1, "value": -3.0, "status": "failed"},
+            {"ev": "span_end", "t": 0.2, "span": 0, "name": "fit",
+             "elapsed": 0.2, "lml": 5.0},
+            {"ev": "span_start", "t": 0.3, "span": 3, "parent": None,
+             "name": "update", "n": 10, "n_new": 2},
+            {"ev": "span_end", "t": 0.31, "span": 3, "name": "update",
+             "elapsed": 0.01, "n_rebuilds": 0},
+            {"ev": "metrics", "t": 0.4,
+             "metrics": {"counters": {"gp.fit.total": 1},
+                         "gauges": {"al.pool_size": 3.0},
+                         "histograms": {}}},
+        ]
+
+    def test_fit_and_update_aggregation(self):
+        s = summarize_trace(self._fit_trace())
+        assert s["n_events"] == 9
+        assert s["duration"] == 0.4
+        (fit,) = s["fits"]
+        assert fit["n"] == 10
+        assert fit["lml"] == 5.0
+        assert fit["n_starts"] == 2
+        assert fit["n_bad_starts"] == 1
+        assert fit["lml_spread"] == pytest.approx(2.0)
+        (update,) = s["updates"]
+        assert update["n_new"] == 2
+        assert s["metrics"]["counters"]["gp.fit.total"] == 1
+        assert s["span_stats"]["restart"]["count"] == 2
+
+    def test_render_mentions_key_sections(self):
+        text = render_summary(summarize_trace(self._fit_trace()))
+        assert "1 full fit(s), 1 rank-1 update(s)" in text
+        assert "restart LML spread" in text
+        assert "gp.fit.total" in text
+        assert "al.pool_size" in text
+
+
+class TestCli:
+    def _valid_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TraceWriter(path)
+        with w.span("fit", n=4):
+            pass
+        w.metrics({"counters": {"gp.fit.total": 1}, "gauges": {}, "histograms": {}})
+        w.close()
+        return path
+
+    def test_summarize_ok(self, tmp_path, capsys):
+        path = self._valid_trace(tmp_path)
+        assert telemetry_main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "full fit(s)" in out
+
+    def test_summarize_json(self, tmp_path, capsys):
+        path = self._valid_trace(tmp_path)
+        assert telemetry_main(["summarize", "--json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_events"] == 3
+
+    def test_validate_ok(self, tmp_path, capsys):
+        path = self._valid_trace(tmp_path)
+        assert telemetry_main(["validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_flags_bad_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        _write_trace(
+            path,
+            [{"ev": "span_start", "t": 0.0, "span": 0, "parent": None,
+              "name": "a"}],
+        )
+        assert telemetry_main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Unit tests for the JSONL trace writer and span nesting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import TraceWriter
+from repro.telemetry.summarize import read_trace
+
+
+def _events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TraceWriter(path)
+        with w.span("campaign") as outer:
+            with w.span("round") as inner:
+                pass
+        w.close()
+        ev = _events(path)
+        starts = {e["name"]: e for e in ev if e["ev"] == "span_start"}
+        assert starts["campaign"]["parent"] is None
+        assert starts["round"]["parent"] == starts["campaign"]["span"]
+        assert outer.span_id != inner.span_id
+
+    def test_set_fields_land_on_span_end(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TraceWriter(path)
+        with w.span("fit", n=10) as sp:
+            sp.set(lml=-3.5)
+        w.close()
+        ev = _events(path)
+        start, end = ev[0], ev[1]
+        assert start["n"] == 10
+        assert end["lml"] == -3.5
+        assert end["elapsed"] >= 0.0
+
+    def test_exception_marks_span_end(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TraceWriter(path)
+        with pytest.raises(RuntimeError, match="boom"):
+            with w.span("fit"):
+                raise RuntimeError("boom")
+        w.close()
+        end = _events(path)[-1]
+        assert end["ev"] == "span_end"
+        assert end["error"] == "RuntimeError"
+
+    def test_out_of_order_end_raises(self, tmp_path):
+        w = TraceWriter(tmp_path / "t.jsonl")
+        outer = w.span("outer")
+        w.span("inner")
+        with pytest.raises(RuntimeError, match="out of order"):
+            w._end_span(outer)
+
+    def test_point_event_attributed_to_open_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TraceWriter(path)
+        w.event("outside")
+        with w.span("round") as sp:
+            w.event("inside", value=1)
+        w.close()
+        points = [e for e in _events(path) if e["ev"] == "point"]
+        assert points[0]["span"] is None
+        assert points[1]["span"] == sp.span_id
+        assert points[1]["value"] == 1
+
+
+class TestWriter:
+    def test_round_trip_and_monotonic_time(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        ticks = iter(float(i) for i in range(100))
+        w = TraceWriter(path, clock=lambda: next(ticks))
+        with w.span("a"):
+            w.event("p")
+        w.metrics({"counters": {}, "gauges": {}, "histograms": {}})
+        w.close()
+        ev = read_trace(path)
+        assert [e["ev"] for e in ev] == ["span_start", "point", "span_end", "metrics"]
+        ts = [e["t"] for e in ev]
+        assert ts == sorted(ts)
+        assert ts[0] == 1.0  # injectable clock: first tick after t0
+
+    def test_flush_every_keeps_file_current(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TraceWriter(path, flush_every=2)
+        w.event("one")
+        assert not path.exists()  # still buffered
+        w.event("two")
+        assert len(_events(path)) == 2  # auto-flushed, atomically
+        w.close()
+
+    def test_numpy_values_serialize(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TraceWriter(path)
+        w.event("np", scalar=np.float64(1.5), vector=np.arange(3))
+        w.close()
+        ev = _events(path)[0]
+        assert ev["scalar"] == 1.5
+        assert ev["vector"] == [0, 1, 2]
+
+    def test_closed_writer_rejects_events(self, tmp_path):
+        w = TraceWriter(tmp_path / "t.jsonl")
+        w.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            w.event("late")
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceWriter(tmp_path / "t.jsonl", flush_every=0)
+
+    def test_n_events(self, tmp_path):
+        w = TraceWriter(tmp_path / "t.jsonl")
+        assert w.n_events == 0
+        w.event("a")
+        w.event("b")
+        assert w.n_events == 2
+        w.close()
