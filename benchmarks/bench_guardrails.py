@@ -1,0 +1,176 @@
+"""Robustness: guardrails keep a chaos campaign useful (ISSUE 4).
+
+One seeded chaos scenario — performance drift (every runtime 10x slower
+after job 12, as after a thermal throttle or a mis-deployed library) plus
+one crash-prone node — run three ways:
+
+* **fault-free** — the same campaign with a clean executor (the yardstick);
+* **guarded** — guardrails on (model health checks with last-known-good
+  rollback, residual drift detection with trimming, campaign watchdog)
+  plus the node circuit breaker, recording a telemetry trace;
+* **bare** — identical faults, no guardrails, no breaker.
+
+Post-drift the cluster genuinely is 10x slower, so models are scored on
+the *drifted* truth (log10 truth + log10 drift factor) over a held-out
+probe grid; the fault-free yardstick is scored on clean truth.  The
+guarded campaign must trim its way back to the new regime (RMSE within
+25% of fault-free) while the bare campaign trains on a mixed-regime set
+and lands materially worse.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from conftest import banner
+
+from repro import telemetry
+from repro.al.campaign import CampaignConfig, OnlineCampaign
+from repro.al.guardrails import DriftConfig, GuardrailConfig, HealthConfig
+from repro.cluster import BreakerConfig
+from repro.cluster.faults import FaultConfig, FaultyExecutor
+from repro.datasets.generate import ModelExecutor
+from repro.perfmodel import RuntimeModel
+from repro.telemetry.summarize import read_trace, summarize_trace, validate_trace
+
+DRIFT_FACTOR = 10.0
+DRIFT_AFTER = 12
+CRASH_NODE = {0: 0.9}
+SEED = 7
+
+
+def _candidates():
+    # Single-node jobs only (<= 32 ranks): the scheduler must be able to
+    # route around the crash-prone node once the breaker opens it.
+    sizes = [32**3, 64**3, 96**3, 128**3, 192**3, 256**3]
+    nps = [1, 4, 16, 32]
+    freqs = [1.2, 1.8, 2.4]
+    return np.array(
+        [(s, p, f) for s in sizes for p in nps for f in freqs], dtype=float
+    )
+
+
+def _probe_rmse(model, *, drifted: bool) -> float:
+    rm = RuntimeModel()
+    rng = np.random.default_rng(99)
+    rows = _candidates()[rng.choice(len(_candidates()), 40, replace=False)]
+    X = np.column_stack(
+        [np.log10(rows[:, 0]), np.log2(rows[:, 1]), rows[:, 2]]
+    )
+    truth = np.log10(
+        [float(rm.runtime("poisson1", s, int(p), f)) for s, p, f in rows]
+    )
+    if drifted:
+        truth = truth + np.log10(DRIFT_FACTOR)
+    pred = model.predict(X)
+    return float(np.sqrt(np.mean((pred - truth) ** 2)))
+
+
+def _config():
+    return CampaignConfig(
+        operator="poisson1",
+        candidates=_candidates(),
+        batch_size=3,
+        n_rounds=10,
+    )
+
+
+def _chaos_executor():
+    return FaultyExecutor(
+        ModelExecutor(),
+        FaultConfig(
+            drift_after_jobs=DRIFT_AFTER,
+            drift_factor=DRIFT_FACTOR,
+            node_crash_rates=CRASH_NODE,
+        ),
+    )
+
+
+def _guard_config():
+    # Stricter-than-default health gate: the drift transition leaves the
+    # training set mixed-regime, which shows up as a per-point LML drop
+    # before the changepoint detector has enough post-drift samples.
+    return GuardrailConfig(
+        health=HealthConfig(max_lml_drop_per_point=0.15),
+        drift=DriftConfig(threshold=6.0),
+    )
+
+
+def _run_fault_free():
+    result = OnlineCampaign(_config(), ModelExecutor(), rng=SEED).run()
+    return result, _probe_rmse(result.model, drifted=False)
+
+
+def _run_guarded(trace_path: str):
+    campaign = OnlineCampaign(
+        _config(),
+        _chaos_executor(),
+        rng=SEED,
+        guardrails=_guard_config(),
+        breaker=BreakerConfig(failure_threshold=2, cooldown_seconds=3600.0),
+    )
+    with telemetry.session(trace_path):
+        result = campaign.run()
+    return result, _probe_rmse(result.model, drifted=True)
+
+
+def _run_bare():
+    result = OnlineCampaign(_config(), _chaos_executor(), rng=SEED).run()
+    return result, _probe_rmse(result.model, drifted=True)
+
+
+def _sweep():
+    trace_path = str(Path(tempfile.mkdtemp()) / "chaos.jsonl")
+    clean, rmse_clean = _run_fault_free()
+    guarded, rmse_guarded = _run_guarded(trace_path)
+    bare, rmse_bare = _run_bare()
+    return {
+        "clean": (clean, rmse_clean),
+        "guarded": (guarded, rmse_guarded),
+        "bare": (bare, rmse_bare),
+        "trace_path": trace_path,
+    }
+
+
+def test_guardrails_keep_chaos_campaign_useful(once):
+    out = once(_sweep)
+    clean, rmse_clean = out["clean"]
+    guarded, rmse_guarded = out["guarded"]
+    bare, rmse_bare = out["bare"]
+    tallies = guarded.guardrails
+
+    banner("GUARDRAILS — seeded chaos campaign (drift + crash-prone node)")
+    print(f"{'mode':>10} {'stop':>12} {'obs':>4} {'sim wall s':>11} "
+          f"{'probe RMSE':>11}")
+    for mode, (result, rmse) in (
+        ("clean", out["clean"]), ("guarded", out["guarded"]),
+        ("bare", out["bare"]),
+    ):
+        print(f"{mode:>10} {result.stop_reason:>12} {len(result.y):>4} "
+              f"{result.simulated_seconds:>11,.0f} {rmse:>11.4f}")
+    print(
+        f"guarded interventions: {tallies.n_unhealthy_fits} unhealthy fits, "
+        f"{tallies.n_rollbacks} rollbacks, {tallies.n_drift_events} drift "
+        f"events ({tallies.n_trimmed_points} trimmed), "
+        f"{tallies.n_breaker_opens} breaker opens"
+    )
+
+    # The guarded chaos campaign completes and every guardrail layer fired.
+    assert guarded.stop_reason == "completed"
+    assert tallies.n_rollbacks >= 1
+    assert tallies.n_breaker_opens >= 1
+    assert tallies.n_drift_events >= 1
+
+    # ...and the trace agrees: the interventions are in telemetry, and the
+    # trace itself is schema-valid.
+    events = read_trace(out["trace_path"])
+    assert validate_trace(events) == []
+    counters = summarize_trace(events)["metrics"]["counters"]
+    assert counters.get("guardrail.rollback", 0) >= 1
+    assert counters.get("breaker.open", 0) >= 1
+    assert counters.get("guardrail.drift", 0) >= 1
+
+    # Guardrails recover the new regime: within 25% of the fault-free run.
+    assert rmse_guarded <= 1.25 * rmse_clean
+    # Without them the same chaos leaves a materially worse model.
+    assert rmse_bare > 1.5 * rmse_guarded

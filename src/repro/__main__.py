@@ -8,6 +8,7 @@ Usage::
     python -m repro all --quick
     python -m repro fig7 --quick --trace fig7.jsonl
     python -m repro telemetry summarize fig7.jsonl
+    python -m repro campaign --guardrails --breaker --crash-node 0:0.8
 
 ``--quick`` shrinks the sweep sizes of the AL experiments (fig7/fig8) so
 the whole evaluation runs in a few minutes; without it they use the bench
@@ -57,6 +58,10 @@ def main(argv=None) -> int:
         from .telemetry.cli import main as telemetry_main
 
         return telemetry_main(argv[1:])
+    if argv[:1] == ["campaign"]:
+        from .al.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

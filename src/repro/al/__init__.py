@@ -22,6 +22,17 @@ from .continuous import (
     maximize_cost_efficiency,
     maximize_sd,
 )
+from .guardrails import (
+    DriftConfig,
+    DriftDetector,
+    GuardrailConfig,
+    GuardrailTallies,
+    HealthConfig,
+    HealthReport,
+    LastKnownGood,
+    ModelHealth,
+    apply_remediation,
+)
 from .learner import ActiveLearner, ALTrace, IterationRecord, default_model_factory
 from .metrics import amsd, evaluate_model, gmsd, nlpd, rmse
 from .oracle import HPGMGExecutor, Observation, OfflineOracle, OnlineHPGMGOracle
@@ -41,7 +52,12 @@ from .session import (
     save_session,
     snapshot,
 )
-from .stopping import AMSDConvergence, dynamic_noise_floor, first_converged_iteration
+from .stopping import (
+    AMSDConvergence,
+    amsd_tail_converged,
+    dynamic_noise_floor,
+    first_converged_iteration,
+)
 from .strategies import (
     EMCM,
     CostEfficiency,
@@ -72,6 +88,15 @@ __all__ = [
     "QuarantinePolicy",
     "QuarantineDecision",
     "FailureAccounting",
+    "HealthConfig",
+    "HealthReport",
+    "ModelHealth",
+    "LastKnownGood",
+    "apply_remediation",
+    "DriftConfig",
+    "DriftDetector",
+    "GuardrailConfig",
+    "GuardrailTallies",
     "interval_coverage",
     "coverage_curve",
     "AcquisitionResult",
@@ -109,6 +134,7 @@ __all__ = [
     "compare_strategies",
     "StrategyComparison",
     "AMSDConvergence",
+    "amsd_tail_converged",
     "dynamic_noise_floor",
     "first_converged_iteration",
     "OfflineOracle",

@@ -44,10 +44,19 @@ from typing import Callable
 import numpy as np
 
 from .. import telemetry as tm
+from ..cluster.breaker import AllNodesOpenError, BreakerConfig, NodeCircuitBreaker
 from ..cluster.jobs import JobSpec
 from ..cluster.machine import ClusterSpec, wisconsin_cluster
 from ..cluster.scheduler import Executor, SlurmSimulator
 from ..gp.gpr import GaussianProcessRegressor
+from .guardrails import (
+    DriftDetector,
+    GuardrailConfig,
+    GuardrailTallies,
+    LastKnownGood,
+    ModelHealth,
+    apply_remediation,
+)
 from .learner import default_model_factory
 from .pool import CandidatePool
 from .resilience import FailureAccounting, QuarantinePolicy, RetryPolicy
@@ -129,6 +138,15 @@ class CampaignResult:
         Failure accounting: executions that ended FAILED/TIMEOUT,
         re-submissions performed, completed-but-gated observations, and
         the core-seconds that produced no usable observation.
+    stop_reason:
+        ``"completed"`` when every round ran; ``"watchdog"`` when a
+        guardrail budget (wall-clock or core-seconds) ended the campaign
+        early; ``"cluster_unavailable"`` when the node circuit breaker
+        left pending jobs permanently unplaceable.  Early stops still
+        return a best-effort result (final fit on everything measured).
+    guardrails:
+        :class:`~repro.al.guardrails.GuardrailTallies` of every guardrail
+        intervention, or ``None`` when the campaign ran unguarded.
     """
 
     X: np.ndarray
@@ -141,6 +159,8 @@ class CampaignResult:
     n_retries: int = 0
     n_quarantined: int = 0
     wasted_core_seconds: float = 0.0
+    stop_reason: str = "completed"
+    guardrails: GuardrailTallies | None = None
 
 
 @dataclass
@@ -174,6 +194,12 @@ class CampaignCheckpoint:
     rng_state: dict
     executor_rng_state: dict | None = None
     strategy_rng_state: dict | None = None
+    # Guardrail bookkeeping (None for unguarded campaigns and pre-guardrail
+    # checkpoints): tallies, escalation level, reference LML, stop reason.
+    # The drift detector and last-known-good snapshot restart cold on
+    # resume, so guarded campaigns resume *correctly* but not bit-
+    # identically (see docs/GUARDRAILS.md).
+    guardrail_state: dict | None = None
 
 
 def save_checkpoint(checkpoint: CampaignCheckpoint, path) -> Path:
@@ -224,6 +250,7 @@ class _CampaignState:
     total_makespan: float = 0.0
     total_core_seconds: float = 0.0
     accounting: FailureAccounting = field(default_factory=FailureAccounting)
+    stop_reason: str = "completed"
 
 
 def _generator_state(obj) -> dict | None:
@@ -266,6 +293,23 @@ class OnlineCampaign:
         always uses the fast believer chain.
     refit_every:
         Rounds between full hyperparameter refits when ``fast_refits``.
+    guardrails:
+        ``None`` (default) runs unguarded.  A
+        :class:`~repro.al.guardrails.GuardrailConfig` (or ``True`` for the
+        defaults) enables post-fit health checks with last-known-good
+        rollback and escalating remediation, Page-Hinkley drift detection
+        on prediction residuals, and the wall-clock/cost watchdog.
+        Guarded campaigns checkpoint and resume *correctly* but not
+        bit-identically: the drift detector and the rollback snapshot
+        restart cold on resume.
+    breaker:
+        ``None`` (default) schedules on all nodes.  A
+        :class:`~repro.cluster.breaker.NodeCircuitBreaker` (or a
+        :class:`~repro.cluster.breaker.BreakerConfig`, or ``True`` for the
+        defaults) is threaded through every scheduler wave on the
+        campaign-global clock: nodes that keep failing jobs are opened,
+        probed after a cooldown, and eventually blacklisted; jobs route
+        around them.  The breaker state restarts cold on resume.
     """
 
     def __init__(
@@ -281,6 +325,8 @@ class OnlineCampaign:
         quarantine_policy: QuarantinePolicy | None = None,
         fast_refits: bool = False,
         refit_every: int = 1,
+        guardrails: GuardrailConfig | bool | None = None,
+        breaker: NodeCircuitBreaker | BreakerConfig | bool | None = None,
     ):
         if refit_every < 1:
             raise ValueError("refit_every must be >= 1")
@@ -295,6 +341,30 @@ class OnlineCampaign:
         self.fast_refits = bool(fast_refits)
         self.refit_every = int(refit_every)
 
+        if guardrails is True:
+            guardrails = GuardrailConfig()
+        self.guardrails: GuardrailConfig | None = guardrails or None
+        if breaker is True:
+            breaker = BreakerConfig()
+        if isinstance(breaker, BreakerConfig):
+            breaker = NodeCircuitBreaker(breaker, n_nodes=self.cluster.n_nodes)
+        self.breaker: NodeCircuitBreaker | None = breaker or None
+
+        guard = self.guardrails
+        self._health = (
+            ModelHealth(guard.health) if guard and guard.check_health else None
+        )
+        self._drift = (
+            DriftDetector(guard.drift) if guard and guard.check_drift else None
+        )
+        self._lkg = LastKnownGood()
+        self._tallies = GuardrailTallies()
+        self._remediation_level = 0
+        self._prev_lml_pp: float | None = None
+        # Breaker counters already accounted for by a resumed checkpoint
+        # (the live breaker restarts its own counters from zero).
+        self._breaker_base = (0, 0, 0)
+
     # --------------------------------------------------------------- submission
 
     def _submit(
@@ -302,6 +372,7 @@ class OnlineCampaign:
         rows: np.ndarray,
         *,
         model: GaussianProcessRegressor | None = None,
+        clock0: float = 0.0,
     ) -> _BatchOutcome:
         """Run one batch through the scheduler, retrying rejected jobs.
 
@@ -309,10 +380,14 @@ class OnlineCampaign:
         runtime may become an observation; rejected jobs are re-submitted
         (in waves, with backoff charged to the makespan) while the retry
         policy allows.  ``model`` enables the z-score outlier gate.
+        ``clock0`` is the campaign-global time at which this submission
+        begins — each wave's fresh simulator starts its local clock at
+        zero, so the shared circuit breaker needs the offset to keep
+        cooldowns on one timeline.
         """
         rows = np.asarray(rows, dtype=float)
         with tm.span("submit", n_jobs=len(rows)) as sp:
-            outcome = self._submit_impl(rows, model=model)
+            outcome = self._submit_impl(rows, model=model, clock0=clock0)
             sp.set(
                 n_ok=len(outcome.accepted),
                 makespan=outcome.makespan,
@@ -325,6 +400,7 @@ class OnlineCampaign:
         rows: np.ndarray,
         *,
         model: GaussianProcessRegressor | None,
+        clock0: float = 0.0,
     ) -> _BatchOutcome:
         feats = _features(rows)
         acct = FailureAccounting()
@@ -358,6 +434,8 @@ class OnlineCampaign:
                 self.executor,
                 rng=scheduler_seed,
                 time_limit_seconds=self.config.time_limit_seconds,
+                breaker=self.breaker,
+                breaker_clock_offset=clock0 + makespan,
             )
             records = sim.run_batch(specs)
             by_repeat = {r.repeat_index: r for r in records}
@@ -415,6 +493,9 @@ class OnlineCampaign:
         last_exc: Exception | None = None
         for jitter_scale in (1.0, 1e3, 1e6):
             model = self.model_factory()
+            if self.guardrails is not None and self._remediation_level > 0:
+                apply_remediation(model, self._remediation_level, self.guardrails)
+                self._tallies.n_remediations += 1
             model.jitter *= jitter_scale
             if jitter_scale > 1.0:
                 tm.count("campaign.fit.jitter_escalation")
@@ -498,6 +579,36 @@ class OnlineCampaign:
                 model = self._fit_model(X[:n_now], y[:n_now], fallback=model)
         return model
 
+    # ----------------------------------------------------------- guardrails
+
+    @property
+    def _guarded(self) -> bool:
+        return self.guardrails is not None or self.breaker is not None
+
+    def _sync_breaker_tallies(self) -> None:
+        """Fold the live breaker's lifetime counters into the tallies.
+
+        ``_breaker_base`` carries counts restored from a checkpoint (the
+        breaker object itself restarts cold on resume).
+        """
+        if self.breaker is None:
+            return
+        base = self._breaker_base
+        self._tallies.n_breaker_opens = base[0] + self.breaker.n_opened
+        self._tallies.n_breaker_probes = base[1] + self.breaker.n_probes
+        self._tallies.n_breaker_blacklisted = base[2] + self.breaker.n_blacklisted
+
+    def _guardrail_state_payload(self, state: _CampaignState) -> dict | None:
+        if not self._guarded:
+            return None
+        self._sync_breaker_tallies()
+        return {
+            "tallies": self._tallies.as_dict(),
+            "remediation_level": self._remediation_level,
+            "prev_lml_per_point": self._prev_lml_pp,
+            "stop_reason": state.stop_reason,
+        }
+
     # ------------------------------------------------------------ checkpointing
 
     def _checkpoint(self, state: _CampaignState, path) -> None:
@@ -528,6 +639,7 @@ class OnlineCampaign:
             strategy_rng_state=(
                 tie_rng().bit_generator.state if callable(tie_rng) else None
             ),
+            guardrail_state=self._guardrail_state_payload(state),
         )
         save_checkpoint(checkpoint, path)
 
@@ -556,13 +668,19 @@ class OnlineCampaign:
         ):
             # Seed experiment (a total seed failure degrades gracefully: the
             # round loop re-submits the seed until an observation lands).
-            outcome = self._submit(cand_rows[[state.seed_index]])
-            if 0 in outcome.accepted:
-                state.measured_X.append(cand_X[state.seed_index])
-                state.measured_y.append(outcome.accepted[0])
-            state.total_makespan += outcome.makespan
-            state.total_core_seconds += outcome.core_seconds
-            state.accounting.add(outcome.accounting)
+            try:
+                outcome = self._submit(
+                    cand_rows[[state.seed_index]], clock0=state.total_makespan
+                )
+            except AllNodesOpenError as exc:
+                self._stop_cluster_unavailable(state, exc)
+            else:
+                if 0 in outcome.accepted:
+                    state.measured_X.append(cand_X[state.seed_index])
+                    state.measured_y.append(outcome.accepted[0])
+                state.total_makespan += outcome.makespan
+                state.total_core_seconds += outcome.core_seconds
+                state.accounting.add(outcome.accounting)
             self._checkpoint(state, checkpoint_path)
 
             return self._continue(state, None, checkpoint_path)
@@ -631,6 +749,18 @@ class OnlineCampaign:
                 wasted_core_seconds=checkpoint.wasted_core_seconds,
             ),
         )
+        if checkpoint.guardrail_state:
+            gs = checkpoint.guardrail_state
+            self._tallies = GuardrailTallies.from_dict(gs.get("tallies"))
+            self._remediation_level = int(gs.get("remediation_level", 0))
+            prev = gs.get("prev_lml_per_point")
+            self._prev_lml_pp = None if prev is None else float(prev)
+            state.stop_reason = str(gs.get("stop_reason", "completed"))
+            self._breaker_base = (
+                self._tallies.n_breaker_opens,
+                self._tallies.n_breaker_probes,
+                self._tallies.n_breaker_blacklisted,
+            )
         with tm.span(
             "campaign",
             mode="resume",
@@ -644,6 +774,138 @@ class OnlineCampaign:
                 checkpoint_path = path
             return self._continue(state, model, checkpoint_path)
 
+    def _stop_cluster_unavailable(
+        self, state: _CampaignState, exc: AllNodesOpenError
+    ) -> None:
+        """End the campaign early: the breaker isolated the whole cluster."""
+        warnings.warn(
+            f"ending campaign early ({exc})", RuntimeWarning, stacklevel=3
+        )
+        state.stop_reason = "cluster_unavailable"
+        tm.count("guardrail.cluster_unavailable")
+        tm.event("guardrail.stop", reason="cluster_unavailable")
+
+    def _watchdog_tripped(self, state: _CampaignState) -> bool:
+        """True when a guardrail budget says no further round may start."""
+        guard = self.guardrails
+        if guard is None:
+            return False
+        over_wall = (
+            guard.max_wall_seconds is not None
+            and state.total_makespan >= guard.max_wall_seconds
+        )
+        over_cost = (
+            guard.max_cost_core_seconds is not None
+            and state.total_core_seconds >= guard.max_cost_core_seconds
+        )
+        if not (over_wall or over_cost):
+            return False
+        state.stop_reason = "watchdog"
+        self._tallies.n_watchdog_stops += 1
+        tm.count("guardrail.watchdog_stop")
+        tm.event(
+            "guardrail.stop",
+            reason="watchdog",
+            over_wall=over_wall,
+            over_cost=over_cost,
+            simulated_seconds=state.total_makespan,
+            cpu_core_seconds=state.total_core_seconds,
+        )
+        return True
+
+    def _health_gate(
+        self,
+        model: GaussianProcessRegressor,
+        state: _CampaignState,
+        round_index: int,
+    ) -> GaussianProcessRegressor:
+        """Check a freshly (re)fitted model; roll back when unhealthy.
+
+        A healthy fit becomes the new last-known-good snapshot and resets
+        the remediation escalation.  An unhealthy one is replaced by the
+        snapshot re-materialized on the current training set, and the next
+        full refit runs remediated (more restarts, then a raised noise
+        floor).  After ``max_rollbacks`` consecutive rejections the latest
+        fit is accepted anyway — the workload may genuinely have changed.
+        """
+        assert self._health is not None
+        report = self._health.check(model, prev_lml_per_point=self._prev_lml_pp)
+        guard = self.guardrails
+        if report.healthy:
+            self._lkg.remember(model)
+            if report.n_train >= self._health.config.min_points:
+                # Tiny-fit LML is not a comparable baseline (see
+                # HealthConfig.min_points).
+                self._prev_lml_pp = report.lml_per_point
+            self._remediation_level = 0
+            return model
+        self._tallies.n_unhealthy_fits += 1
+        if (
+            self._lkg.available
+            and self._remediation_level < guard.max_rollbacks
+        ):
+            X = np.vstack(state.measured_X)
+            y = np.asarray(state.measured_y, dtype=float)
+            try:
+                rolled_back = self._lkg.restore(X, y)
+            except np.linalg.LinAlgError:
+                pass  # snapshot no longer extendable; keep the fresh fit
+            else:
+                self._tallies.n_rollbacks += 1
+                self._remediation_level += 1
+                tm.count("guardrail.rollback")
+                tm.event(
+                    "guardrail.rollback",
+                    round=round_index,
+                    issues=list(report.issues),
+                    remediation_level=self._remediation_level,
+                )
+                return rolled_back
+        # Out of rollbacks (or nothing to roll back to): accept the fit.
+        self._lkg.remember(model)
+        self._prev_lml_pp = report.lml_per_point
+        self._remediation_level = 0
+        return model
+
+    def _handle_drift(
+        self, state: _CampaignState, round_index: int
+    ) -> GaussianProcessRegressor | None:
+        """A drift alarm fired: discard the stale regime, start fresh.
+
+        Under ``drift_action="trim"`` the oldest ``trim_fraction`` of the
+        training rows (the pre-drift regime) is dropped; under ``"refit"``
+        the data stays but the next round refits hyperparameters from
+        scratch.  Either way the rollback snapshot, the reference LML and
+        the detector reset (the old regime is no longer a valid baseline)
+        and ``fit_counts`` is zeroed so a resume also starts with a fresh
+        fit.  Returns the model to carry forward (always ``None``).
+        """
+        guard = self.guardrails
+        self._tallies.n_drift_events += 1
+        n_trimmed = 0
+        if guard.drift_action == "trim":
+            n = len(state.measured_y)
+            n_trimmed = min(int(n * guard.trim_fraction), max(n - 2, 0))
+            if n_trimmed > 0:
+                state.measured_X = state.measured_X[n_trimmed:]
+                state.measured_y = state.measured_y[n_trimmed:]
+                self._tallies.n_trimmed_points += n_trimmed
+        state.fit_counts = [0] * len(state.fit_counts)
+        self._lkg.reset()
+        self._prev_lml_pp = None
+        self._remediation_level = 0
+        if self._drift is not None:
+            self._drift.reset()
+        tm.count("guardrail.drift")
+        tm.event(
+            "guardrail.drift",
+            round=round_index,
+            action=guard.drift_action,
+            n_trimmed=n_trimmed,
+            n_kept=len(state.measured_y),
+        )
+        return None
+
     def _continue(
         self,
         state: _CampaignState,
@@ -655,12 +917,24 @@ class OnlineCampaign:
         cand_X = _features(cand_rows)
 
         for round_index in range(state.next_round, self.config.n_rounds):
+            if state.stop_reason != "completed":
+                break
+            if self._watchdog_tripped(state):
+                break
             with tm.span("round", round=round_index) as round_sp:
+                drift_z: list[float] = []
                 if not state.measured_y:
                     # No usable observation yet (the seed experiment keeps
                     # failing): spend this round re-measuring the seed instead
                     # of selecting on an unfittable model.
-                    outcome = self._submit(cand_rows[[state.seed_index]])
+                    try:
+                        outcome = self._submit(
+                            cand_rows[[state.seed_index]],
+                            clock0=state.total_makespan,
+                        )
+                    except AllNodesOpenError as exc:
+                        self._stop_cluster_unavailable(state, exc)
+                        break
                     if 0 in outcome.accepted:
                         state.measured_X.append(cand_X[state.seed_index])
                         state.measured_y.append(outcome.accepted[0])
@@ -669,23 +943,52 @@ class OnlineCampaign:
                     max_sd = float("nan")
                     k = 1
                 else:
+                    full_fit = (
+                        not self.fast_refits
+                        or model is None
+                        or not model.fitted
+                        or round_index % self.refit_every == 0
+                    )
                     model = self._advance_model(model, state, round_index)
+                    if self._health is not None and full_fit:
+                        model = self._health_gate(model, state, round_index)
                     state.fit_counts.append(len(state.measured_y))
                     pool = CandidatePool(
                         cand_X, np.zeros(len(cand_X)), np.zeros(len(cand_X))
                     )
                     k = min(self.config.batch_size, pool.n_available)
                     picks = select_batch(model, pool, self.strategy, k)
-                    _, sd = model.predict(cand_X[picks], return_std=True)
-                    outcome = self._submit(cand_rows[picks], model=model)
+                    mu, sd = model.predict(cand_X[picks], return_std=True)
+                    try:
+                        outcome = self._submit(
+                            cand_rows[picks],
+                            model=model,
+                            clock0=state.total_makespan,
+                        )
+                    except AllNodesOpenError as exc:
+                        self._stop_cluster_unavailable(state, exc)
+                        break
+                    sd_total = np.sqrt(sd**2 + model.noise_variance_)
                     for slot in sorted(outcome.accepted):
+                        y_obs = outcome.accepted[slot]
                         state.measured_X.append(cand_X[picks[slot]])
-                        state.measured_y.append(outcome.accepted[slot])
+                        state.measured_y.append(y_obs)
+                        if self._drift is not None:
+                            drift_z.append(
+                                (y_obs - float(mu[slot]))
+                                / max(float(sd_total[slot]), 1e-12)
+                            )
                     n_ok = len(outcome.accepted)
                     max_sd = float(sd.max())
                 state.total_makespan += outcome.makespan
                 state.total_core_seconds += outcome.core_seconds
                 state.accounting.add(outcome.accounting)
+                if (
+                    self._drift is not None
+                    and drift_z
+                    and self._drift.update_many(drift_z)
+                ):
+                    model = self._handle_drift(state, round_index)
                 state.rounds.append(
                     {
                         "n_jobs": k,
@@ -706,6 +1009,9 @@ class OnlineCampaign:
                         max_sd=max_sd,
                     )
 
+        if state.stop_reason != "completed":
+            # Persist the stop reason so a resume doesn't replay the stop.
+            self._checkpoint(state, checkpoint_path)
         if state.measured_y:
             final_model = self._fit_model(
                 state.measured_X, state.measured_y, fallback=model
@@ -721,6 +1027,14 @@ class OnlineCampaign:
             final_model = self.model_factory()
             X = np.empty((0, cand_rows.shape[1]))
         acct = state.accounting
+        tallies: GuardrailTallies | None = None
+        if self._guarded:
+            self._sync_breaker_tallies()
+            tallies = self._tallies
+            acct.n_rollbacks = tallies.n_rollbacks
+            acct.n_drift_events = tallies.n_drift_events
+            acct.n_breaker_opens = tallies.n_breaker_opens
+            acct.n_watchdog_stops = tallies.n_watchdog_stops
         return CampaignResult(
             X=X,
             y=np.asarray(state.measured_y, dtype=float),
@@ -732,4 +1046,6 @@ class OnlineCampaign:
             n_retries=acct.n_retries,
             n_quarantined=acct.n_quarantined,
             wasted_core_seconds=acct.wasted_core_seconds,
+            stop_reason=state.stop_reason,
+            guardrails=tallies,
         )

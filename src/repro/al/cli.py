@@ -1,0 +1,183 @@
+"""``python -m repro campaign`` — run a simulated online AL campaign.
+
+The subcommand exists to exercise the robustness machinery end to end
+from a shell: fault injection, guardrails (model health checks, rollback,
+drift detection), and the node circuit breaker, with an optional
+telemetry trace for post-mortems::
+
+    python -m repro campaign --rounds 8 --batch 3
+    python -m repro campaign --guardrails --drift-after 10 --drift-factor 10
+    python -m repro campaign --guardrails --breaker --crash-node 0:0.8 \\
+        --trace chaos.jsonl
+    python -m repro telemetry summarize chaos.jsonl
+
+Exit code 0 means the campaign produced a result (including best-effort
+early stops — inspect ``stop_reason`` in the output); crashes are bugs.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+__all__ = ["main"]
+
+_SIZES = (48**3, 96**3, 192**3, 384**3)
+_FREQS = (1.2, 2.4)
+
+
+def _candidates(max_ranks: int) -> np.ndarray:
+    nps = [p for p in (1, 8, 32, 128) if p <= max_ranks]
+    return np.array(
+        [(s, p, f) for s in _SIZES for p in nps for f in _FREQS], dtype=float
+    )
+
+
+def _parse_crash_node(text: str) -> tuple[int, float]:
+    try:
+        node_s, rate_s = text.split(":", 1)
+        node, rate = int(node_s), float(rate_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE:RATE (e.g. 0:0.8), got {text!r}"
+        )
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError("crash rate must be in [0, 1]")
+    return node, rate
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``campaign`` subcommand; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Run a simulated online AL campaign with optional "
+        "faults, guardrails, and a node circuit breaker.",
+    )
+    parser.add_argument("--rounds", type=int, default=8, help="AL rounds")
+    parser.add_argument("--batch", type=int, default=3, help="batch size")
+    parser.add_argument("--seed", type=int, default=0, help="campaign RNG seed")
+    parser.add_argument(
+        "--max-ranks", type=int, default=128,
+        help="drop candidates above this rank count (128 ranks = all 4 nodes)",
+    )
+    parser.add_argument(
+        "--guardrails", action="store_true",
+        help="enable model health checks, rollback, drift detection, "
+        "and the campaign watchdog",
+    )
+    parser.add_argument(
+        "--breaker", action="store_true",
+        help="enable the per-node circuit breaker in the scheduler",
+    )
+    parser.add_argument(
+        "--max-wall-seconds", type=float, default=None,
+        help="watchdog budget on simulated wall-clock (implies --guardrails)",
+    )
+    parser.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="per-job crash probability (fault injection)",
+    )
+    parser.add_argument(
+        "--crash-node", type=_parse_crash_node, action="append", default=[],
+        metavar="NODE:RATE",
+        help="per-node crash probability, repeatable (e.g. --crash-node 0:0.8)",
+    )
+    parser.add_argument(
+        "--drift-after", type=int, default=None, metavar="N",
+        help="inject performance drift after N completed jobs",
+    )
+    parser.add_argument(
+        "--drift-factor", type=float, default=4.0,
+        help="runtime multiplier once drift begins (with --drift-after)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a telemetry JSONL trace of the campaign",
+    )
+    args = parser.parse_args(argv)
+
+    # Imports deferred so --help stays instant.
+    from ..cluster.faults import FaultConfig, FaultyExecutor
+    from ..datasets.generate import ModelExecutor
+    from .campaign import CampaignConfig, OnlineCampaign
+    from .guardrails import GuardrailConfig
+
+    executor = ModelExecutor()
+    faulty = (
+        args.crash_rate > 0 or args.crash_node or args.drift_after is not None
+    )
+    if faulty:
+        executor = FaultyExecutor(
+            executor,
+            FaultConfig(
+                crash_rate=args.crash_rate,
+                drift_after_jobs=args.drift_after,
+                drift_factor=(
+                    args.drift_factor if args.drift_after is not None else 1.0
+                ),
+                node_crash_rates=dict(args.crash_node) or None,
+            ),
+        )
+
+    guardrails = None
+    if args.guardrails or args.max_wall_seconds is not None:
+        guardrails = GuardrailConfig(max_wall_seconds=args.max_wall_seconds)
+    campaign = OnlineCampaign(
+        CampaignConfig(
+            operator="poisson1",
+            candidates=_candidates(args.max_ranks),
+            batch_size=args.batch,
+            n_rounds=args.rounds,
+        ),
+        executor,
+        rng=args.seed,
+        guardrails=guardrails,
+        breaker=args.breaker or None,
+    )
+
+    def run():
+        return campaign.run()
+
+    if args.trace:
+        from .. import telemetry
+
+        with telemetry.session(args.trace):
+            result = run()
+    else:
+        result = run()
+
+    print(f"stop_reason:        {result.stop_reason}")
+    print(f"rounds run:         {len(result.rounds)}/{args.rounds}")
+    print(f"observations:       {len(result.y)}")
+    print(f"simulated seconds:  {result.simulated_seconds:.0f}")
+    print(f"core-seconds:       {result.cpu_core_seconds:.0f}")
+    print(
+        "failures:           "
+        f"{result.n_failed} failed, {result.n_retries} retries, "
+        f"{result.n_quarantined} quarantined, "
+        f"{result.wasted_core_seconds:.0f} wasted core-s"
+    )
+    if faulty:
+        s = executor.stats
+        print(
+            "injected:           "
+            f"{s.n_faults} faults, {s.n_drifted} drifted, "
+            f"{s.n_node_crashes} node crashes"
+        )
+    if result.guardrails is not None:
+        t = result.guardrails
+        print(
+            "guardrails:         "
+            f"{t.n_unhealthy_fits} unhealthy fits, {t.n_rollbacks} rollbacks, "
+            f"{t.n_drift_events} drift events ({t.n_trimmed_points} trimmed), "
+            f"{t.n_watchdog_stops} watchdog stops"
+        )
+        print(
+            "breaker:            "
+            f"{t.n_breaker_opens} opens, {t.n_breaker_probes} probes, "
+            f"{t.n_breaker_blacklisted} blacklisted"
+        )
+    if args.trace:
+        print(f"[telemetry trace written to {args.trace}]")
+    return 0

@@ -118,8 +118,12 @@ class ActiveLearner:
         Zero-argument callable producing a fresh regressor per refit.
     noise_floor_schedule:
         Optional ``iteration -> noise variance floor`` callable implementing
-        the paper's proposed dynamic limit (e.g. ``1/sqrt(N)``); overrides
-        the factory's static bounds each refit iteration.
+        the paper's proposed dynamic limit (e.g.
+        :func:`repro.al.stopping.dynamic_noise_floor`); overrides the
+        factory's static bounds each refit iteration.  Requires numeric
+        (scaled) ``noise_variance_bounds`` on the factory's models;
+        combining it with ``"fixed"`` bounds raises a ``ValueError`` at the
+        first refit (see the mirrored note on ``dynamic_noise_floor``).
     fast_refits:
         Keep the fitted model alive across iterations and fold newly
         queried points into its posterior with O(n^2) rank-1 Cholesky
@@ -138,6 +142,15 @@ class ActiveLearner:
         optimum instead of the factory template (the random restarts still
         sample the full bounds box).  Only meaningful with
         ``fast_refits=True``.
+    guardrails:
+        Optional :class:`repro.al.guardrails.GuardrailConfig` (or ``True``
+        for the defaults).  Every full refit is then health-checked
+        (condition number, pinned hyperparameters, per-point LML
+        regression, LOOCV outlier rate); an unhealthy fit is rolled back
+        to the last healthy model — re-materialized on the current
+        training set — and the next refit runs with escalating remediation
+        (:func:`repro.al.guardrails.apply_remediation`).  ``n_rollbacks``
+        counts the interventions.
     """
 
     def __init__(
@@ -153,6 +166,7 @@ class ActiveLearner:
         fast_refits: bool = False,
         refit_every: int = 1,
         warm_start: bool = False,
+        guardrails=None,
     ):
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
@@ -171,6 +185,22 @@ class ActiveLearner:
         self.fast_refits = bool(fast_refits)
         self.refit_every = int(refit_every)
         self.warm_start = bool(warm_start)
+
+        # Guardrails (imported lazily: guardrails.py imports from gp only).
+        from .guardrails import GuardrailConfig, LastKnownGood, ModelHealth
+
+        if guardrails is True:
+            guardrails = GuardrailConfig()
+        self.guardrails = guardrails or None
+        self._health = (
+            ModelHealth(self.guardrails.health)
+            if self.guardrails is not None and self.guardrails.check_health
+            else None
+        )
+        self._lkg = LastKnownGood()
+        self._prev_lml_pp: float | None = None
+        self._remediation_level = 0
+        self.n_rollbacks = 0
 
         self._X_train = X[partition.initial].copy()
         self._y_train = y[partition.initial].copy()
@@ -216,6 +246,10 @@ class ActiveLearner:
         tm.count("al.fit.full")
         warm = self.fast_refits and self.warm_start and self.model is not None
         model = self.model if warm else self.model_factory()
+        if not warm and self.guardrails is not None and self._remediation_level > 0:
+            from .guardrails import apply_remediation
+
+            apply_remediation(model, self._remediation_level, self.guardrails)
         if self.noise_floor_schedule is not None:
             floor = float(self.noise_floor_schedule(iteration))
             if floor <= 0:
@@ -233,7 +267,35 @@ class ActiveLearner:
             model.noise_variance_bounds = (floor, max(bounds[1], floor * 10))
             model.noise_variance = max(model.noise_variance, floor)
         model.fit(self._X_train, self._y_train, warm_start=warm)
+        if self._health is not None:
+            model = self._health_gate(model, iteration)
         return model
+
+    def _health_gate(
+        self, model: GaussianProcessRegressor, iteration: int
+    ) -> GaussianProcessRegressor:
+        """Accept a healthy fit as last-known-good; roll an unhealthy one back."""
+        report = self._health.check(model, prev_lml_per_point=self._prev_lml_pp)
+        if (
+            report.healthy
+            or not self._lkg.available
+            or self._remediation_level >= self.guardrails.max_rollbacks
+        ):
+            self._lkg.remember(model)
+            if report.n_train >= self._health.config.min_points:
+                self._prev_lml_pp = report.lml_per_point
+            self._remediation_level = 0
+            return model
+        self.n_rollbacks += 1
+        self._remediation_level += 1
+        tm.count("guardrail.rollback")
+        tm.event(
+            "guardrail.rollback",
+            iteration=iteration,
+            issues=list(report.issues),
+            remediation_level=self._remediation_level,
+        )
+        return self._lkg.restore(self._X_train, self._y_train)
 
     # -------------------------------------------------------------------- loop
 

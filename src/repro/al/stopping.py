@@ -19,7 +19,27 @@ import numpy as np
 
 from .learner import ALTrace
 
-__all__ = ["AMSDConvergence", "dynamic_noise_floor", "first_converged_iteration"]
+__all__ = [
+    "AMSDConvergence",
+    "amsd_tail_converged",
+    "dynamic_noise_floor",
+    "first_converged_iteration",
+]
+
+
+def amsd_tail_converged(tail: np.ndarray, rel_tol: float) -> bool:
+    """The shared AMSD tail test: has this window of values stopped moving?
+
+    True when the relative span ``(max - min) / max`` of ``tail`` is below
+    ``rel_tol`` (an all-zero tail counts as converged — the series cannot
+    move any further).  Both :meth:`AMSDConvergence.converged` (the online
+    stopping rule) and :func:`first_converged_iteration` (the retrospective
+    scan) delegate here, so the two can never drift apart.
+    """
+    top = float(np.max(tail))
+    if top == 0.0:
+        return True
+    return (top - float(np.min(tail))) / top < rel_tol
 
 
 @dataclass
@@ -40,24 +60,28 @@ class AMSDConvergence:
             raise ValueError("rel_tol must be positive")
 
     def converged(self, trace: ALTrace) -> bool:
-        """Has the trace's AMSD series converged at its current end?"""
+        """Has the trace's AMSD series converged at its current end?
+
+        Delegates to :func:`amsd_tail_converged` on the last ``window``
+        values — the same predicate :func:`first_converged_iteration`
+        scans with.
+        """
         series = trace.series("amsd")
         if series.size < self.window:
             return False
-        tail = series[-self.window :]
-        top = float(np.max(tail))
-        if top == 0.0:
-            return True
-        return float(np.max(tail) - np.min(tail)) / top < self.rel_tol
+        return amsd_tail_converged(series[-self.window :], self.rel_tol)
 
 
 def first_converged_iteration(trace: ALTrace, rule: AMSDConvergence) -> int | None:
-    """First iteration at which the rule would have fired (None if never)."""
+    """First iteration at which the rule would have fired (None if never).
+
+    Applies :func:`amsd_tail_converged` — the exact predicate
+    :meth:`AMSDConvergence.converged` uses online — to every window of the
+    series, so the retrospective answer always matches a live run.
+    """
     series = trace.series("amsd")
     for end in range(rule.window, series.size + 1):
-        tail = series[end - rule.window : end]
-        top = float(np.max(tail))
-        if top == 0.0 or (top - float(np.min(tail))) / top < rule.rel_tol:
+        if amsd_tail_converged(series[end - rule.window : end], rule.rel_tol):
             return end - 1
     return None
 
@@ -68,6 +92,14 @@ def dynamic_noise_floor(scale: float = 1.0, *, minimum: float = 1e-8):
     Returns a callable ``iteration -> floor`` suitable for
     :class:`repro.al.learner.ActiveLearner`'s ``noise_floor_schedule``.
     Iterations count from 0; the floor at iteration ``i`` uses ``N = i + 1``.
+
+    The schedule composes only with models whose noise bounds are numeric
+    (*scaled*): each refit the learner replaces the lower bound with the
+    scheduled floor and widens the upper bound to at least ``10x`` the
+    floor.  Pairing it with ``noise_variance_bounds="fixed"`` raises a
+    ``ValueError`` in :meth:`ActiveLearner._fit_model <repro.al.learner.
+    ActiveLearner>` — the schedule would silently re-enable noise
+    optimization the caller explicitly froze (see the mirrored note there).
     """
     if scale <= 0:
         raise ValueError("scale must be positive")

@@ -6,6 +6,11 @@ Public API::
                                SlurmSimulator, JobSpec, JobRecord)
 """
 
+from .breaker import (
+    AllNodesOpenError,
+    BreakerConfig,
+    NodeCircuitBreaker,
+)
 from .energy import (
     MIN_RECORDS_PER_MINUTE,
     integrate_energy,
@@ -40,4 +45,7 @@ __all__ = [
     "FaultConfig",
     "FaultStats",
     "FaultyExecutor",
+    "BreakerConfig",
+    "NodeCircuitBreaker",
+    "AllNodesOpenError",
 ]

@@ -17,7 +17,18 @@ machinery in :mod:`repro.al.resilience` can be exercised deterministically:
   (a noisy-node slowdown; the measurement is real, just expensive);
 * **corrupt** — the job completes in biased time with
   ``verification_passed=False`` (a bad measurement that must not reach the
-  GP training set).
+  GP training set);
+* **drift** — after ``drift_after_jobs`` executions the machine's behaviour
+  shifts: every later runtime is multiplied by ``drift_factor`` but the job
+  still *passes verification* (think a firmware update, thermal throttling
+  or a changed BIOS setting — the measurement is real, the regime changed).
+  Drift is the poison :class:`repro.al.guardrails.DriftDetector` exists to
+  catch: unlike corruption it cannot be filtered per job;
+* **per-node crashes** — ``node_crash_rates`` gives individual nodes extra
+  crash probability.  These only fire through the optional
+  :meth:`FaultyExecutor.execute_on` entry point, which the scheduler uses
+  when it knows the node placement; they are what trips
+  :class:`repro.cluster.breaker.NodeCircuitBreaker`.
 
 Fault draws come either from a dedicated generator (``rng=...`` at
 construction) or, with ``rng=None``, from the scheduler's own seeded stream
@@ -29,6 +40,7 @@ of the campaign seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Mapping
 
 import numpy as np
 
@@ -62,6 +74,21 @@ class FaultConfig:
         Multiplicative bias of a corrupted measurement (``0.5`` halves the
         reported runtime — a systematically wrong value, flagged by
         ``verification_passed=False``).
+    drift_after_jobs:
+        ``None`` disables drift (default).  Otherwise, executions after the
+        first ``drift_after_jobs`` jobs have their runtime multiplied by
+        ``drift_factor`` while still passing verification.  The count is
+        job-based (executors have no clock) and applied before the fault
+        cascade, so a drifted job can additionally crash, hang, etc.
+    drift_factor:
+        Runtime multiplier in the drifted regime (must be positive and,
+        when drift is enabled, different from 1).
+    node_crash_rates:
+        Mapping ``node index -> extra crash probability`` applied when the
+        scheduler places the job via :meth:`FaultyExecutor.execute_on`
+        (probabilities combine independently across the job's nodes).
+        Empty/None disables node-targeted crashes; plain ``execute`` never
+        applies them.
     """
 
     crash_rate: float = 0.0
@@ -72,6 +99,9 @@ class FaultConfig:
     hang_runtime_seconds: float = 7200.0
     straggler_factor: float = 3.0
     corrupt_runtime_factor: float = 0.5
+    drift_after_jobs: int | None = None
+    drift_factor: float = 1.0
+    node_crash_rates: Mapping[int, float] | None = None
 
     def __post_init__(self):
         rates = (
@@ -93,6 +123,24 @@ class FaultConfig:
             raise ValueError("straggler_factor must be >= 1")
         if self.corrupt_runtime_factor <= 0:
             raise ValueError("corrupt_runtime_factor must be positive")
+        if self.drift_after_jobs is not None:
+            if self.drift_after_jobs < 0:
+                raise ValueError("drift_after_jobs must be >= 0 or None")
+            if self.drift_factor == 1.0:
+                raise ValueError(
+                    "drift enabled but drift_factor is 1.0 (a no-op drift); "
+                    "set a factor != 1 or drift_after_jobs=None"
+                )
+        if self.drift_factor <= 0:
+            raise ValueError("drift_factor must be positive")
+        if self.node_crash_rates:
+            for node, rate in self.node_crash_rates.items():
+                if int(node) < 0:
+                    raise ValueError(f"node index must be >= 0, got {node}")
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"node_crash_rates must be in [0, 1], got {rate} for node {node}"
+                    )
 
     @property
     def total_rate(self) -> float:
@@ -114,10 +162,18 @@ class FaultStats:
     n_hangs: int = 0
     n_stragglers: int = 0
     n_corrupted: int = 0
+    n_drifted: int = 0
+    n_node_crashes: int = 0
 
     @property
     def n_faults(self) -> int:
-        """Total injected faults of any class."""
+        """Total injected per-job faults (crash/hang/straggler/corrupt).
+
+        Drifted jobs are *not* faults in this sense — they complete and
+        verify; ``n_drifted`` counts them separately.  Node-targeted
+        crashes are counted in both ``n_node_crashes`` and, via the outcome
+        they produce, nowhere here (they bypass the rate cascade).
+        """
         return self.n_crashes + self.n_hangs + self.n_stragglers + self.n_corrupted
 
 
@@ -154,12 +210,26 @@ class FaultyExecutor:
         return self.inner.estimate(spec)
 
     def execute(self, spec: JobSpec, rng: np.random.Generator) -> ExecutionOutcome:
-        """Run the wrapped executor, then possibly inject one fault."""
+        """Run the wrapped executor, then possibly inject one fault.
+
+        The fault-class uniform is drawn *before* the inner execution so the
+        injector's position in a shared RNG stream does not depend on how
+        many draws the workload makes — checkpoint/resume replays stay
+        bit-identical.  Drift (if enabled and past ``drift_after_jobs``)
+        rescales the true outcome first; the fault cascade then acts on the
+        drifted measurement.
+        """
         gen = self.rng if self.rng is not None else rng
         u = float(gen.uniform())
         outcome = self.inner.execute(spec, rng)
         self.stats.n_jobs += 1
         c = self.config
+        if c.drift_after_jobs is not None and self.stats.n_jobs > c.drift_after_jobs:
+            self.stats.n_drifted += 1
+            outcome = replace(
+                outcome,
+                runtime_seconds=outcome.runtime_seconds * c.drift_factor,
+            )
         edge = c.crash_rate
         if u < edge:
             self.stats.n_crashes += 1
@@ -190,6 +260,39 @@ class FaultyExecutor:
             return replace(
                 outcome,
                 runtime_seconds=outcome.runtime_seconds * c.corrupt_runtime_factor,
+                verification_passed=False,
+            )
+        return outcome
+
+    def execute_on(
+        self, spec: JobSpec, rng: np.random.Generator, nodes
+    ) -> ExecutionOutcome:
+        """Placement-aware execution: :meth:`execute` plus node-targeted crashes.
+
+        The scheduler calls this (when available) with the nodes the job
+        landed on.  With no ``node_crash_rates`` configured it is *exactly*
+        ``self.execute(spec, rng)`` — same draws, same outcome — so
+        subclasses that override :meth:`execute` keep working unchanged.
+        With rates set, one extra uniform is drawn first (fixed position in
+        the stream, again for replay stability) and compared against the
+        probability that any of the job's nodes crashes; a hit turns the
+        outcome into a crash unless it already failed.
+        """
+        c = self.config
+        if not c.node_crash_rates:
+            return self.execute(spec, rng)
+        gen = self.rng if self.rng is not None else rng
+        u_node = float(gen.uniform())
+        p_ok = 1.0
+        for node in nodes:
+            p_ok *= 1.0 - float(c.node_crash_rates.get(int(node), 0.0))
+        outcome = self.execute(spec, rng)
+        if u_node < 1.0 - p_ok and not outcome.failed:
+            self.stats.n_node_crashes += 1
+            return replace(
+                outcome,
+                runtime_seconds=outcome.runtime_seconds * c.crash_runtime_fraction,
+                failed=True,
                 verification_passed=False,
             )
         return outcome

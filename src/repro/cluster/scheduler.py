@@ -26,6 +26,7 @@ from typing import Optional, Protocol, Sequence
 import numpy as np
 
 from .. import telemetry as tm
+from .breaker import AllNodesOpenError, NodeCircuitBreaker
 from .energy import integrate_energy, records_per_minute, trace_is_usable
 from .jobs import JobRecord, JobSpec
 from .machine import ClusterSpec
@@ -97,6 +98,18 @@ class SlurmSimulator:
         Seed or generator driving all stochastic components.
     time_limit_seconds:
         SLURM time limit recorded for (and enforced on) each job.
+    breaker:
+        Optional :class:`~repro.cluster.breaker.NodeCircuitBreaker`.  When
+        present, open/blacklisted nodes take no new jobs, every completion
+        is fed back as success/failure, a stalled queue fast-forwards
+        across cooldowns, and a permanently unplaceable queue raises
+        :class:`~repro.cluster.breaker.AllNodesOpenError` instead of the
+        generic deadlock error.  The breaker typically outlives the
+        simulator (one breaker per campaign, one simulator per wave).
+    breaker_clock_offset:
+        Added to this simulator's local clock (which starts at 0 every
+        ``run_batch``) before any breaker call, mapping wave-local times
+        onto the campaign-global timeline that cooldowns are measured in.
     """
 
     def __init__(
@@ -109,6 +122,8 @@ class SlurmSimulator:
         rng=None,
         time_limit_seconds: float = 3600.0,
         policy: str = "fifo",
+        breaker: Optional[NodeCircuitBreaker] = None,
+        breaker_clock_offset: float = 0.0,
     ):
         if (power_model is None) != (sampler is None):
             raise ValueError("power_model and sampler must be supplied together")
@@ -121,6 +136,13 @@ class SlurmSimulator:
         self.rng = np.random.default_rng(rng)
         self.time_limit_seconds = float(time_limit_seconds)
         self.policy = policy
+        self.breaker = breaker
+        self.breaker_clock_offset = float(breaker_clock_offset)
+        if breaker is not None and breaker.n_nodes != cluster.n_nodes:
+            raise ValueError(
+                f"breaker tracks {breaker.n_nodes} nodes, cluster has "
+                f"{cluster.n_nodes}"
+            )
         self._job_counter = itertools.count(1)
 
     # ------------------------------------------------------------------ running
@@ -152,11 +174,24 @@ class SlurmSimulator:
                 )
             )
 
+        def usable_free(t: float) -> list[int]:
+            """Free nodes the breaker (if any) lets a job start on at ``t``."""
+            if self.breaker is None:
+                return sorted(free_nodes)
+            bt = t + self.breaker_clock_offset
+            return [n for n in sorted(free_nodes) if self.breaker.allow(n, bt)]
+
         def start_job(qjob: _QueuedJob, t: float) -> None:
-            nodes = tuple(sorted(free_nodes)[: qjob.n_nodes])
+            nodes = tuple(usable_free(t)[: qjob.n_nodes])
             for node in nodes:
                 free_nodes.remove(node)
-            outcome = self.executor.execute(qjob.spec, self.rng)
+            if self.breaker is not None:
+                self.breaker.on_job_start(nodes, t + self.breaker_clock_offset)
+            execute_on = getattr(self.executor, "execute_on", None)
+            if execute_on is not None:
+                outcome = execute_on(qjob.spec, self.rng, nodes)
+            else:
+                outcome = self.executor.execute(qjob.spec, self.rng)
             runtime = min(outcome.runtime_seconds, self.time_limit_seconds)
             rjob = _RunningJob(
                 queued=qjob,
@@ -184,14 +219,15 @@ class SlurmSimulator:
                     eligible.sort(
                         key=lambda q: (self.executor.estimate(q.spec), q.job_id)
                     )
+                n_usable = len(usable_free(t))
                 head = eligible[0]
-                if head.n_nodes <= len(free_nodes):
+                if head.n_nodes <= n_usable:
                     queue.remove(head)
                     start_job(head, t)
                     continue
                 # Head blocked: compute its shadow start from running jobs.
                 ends = sorted((r.end_time, len(r.nodes)) for r in running)
-                avail = len(free_nodes)
+                avail = n_usable
                 shadow = t
                 for end_time, released in ends:
                     avail += released
@@ -200,12 +236,12 @@ class SlurmSimulator:
                         break
                 started_any = False
                 for q in eligible[1:]:
-                    if q.n_nodes > len(free_nodes):
+                    if q.n_nodes > n_usable:
                         continue
                     est = min(
                         self.executor.estimate(q.spec), self.time_limit_seconds
                     )
-                    if t + est <= shadow or q.n_nodes <= len(free_nodes) - head.n_nodes:
+                    if t + est <= shadow or q.n_nodes <= n_usable - head.n_nodes:
                         queue.remove(q)
                         start_job(q, t)
                         started_any = True
@@ -227,12 +263,35 @@ class SlurmSimulator:
                 schedule(now)
                 continue
             if next_end is None:
+                if self.breaker is not None:
+                    # Nothing running, nothing arriving: the only event that
+                    # can unblock the queue is a breaker cooldown expiring.
+                    bt = now + self.breaker_clock_offset
+                    nxt = self.breaker.next_transition_time(bt)
+                    if nxt is not None:
+                        now = nxt - self.breaker_clock_offset
+                        schedule(now)
+                        continue
+                    needed = min(q.n_nodes for q in queue)
+                    raise AllNodesOpenError(
+                        self.breaker.describe_stall(bt, needed)
+                    )
                 raise RuntimeError("queue non-empty but nothing running or arriving")
             now, _, rjob = heapq.heappop(heap)
             running.remove(rjob)
             for node in rjob.nodes:
                 free_nodes.add(node)
-            records.append(self._make_record(rjob))
+            record = self._make_record(rjob)
+            records.append(record)
+            if self.breaker is not None:
+                bt = now + self.breaker_clock_offset
+                feed = (
+                    self.breaker.record_success
+                    if record.state == "COMPLETED"
+                    else self.breaker.record_failure
+                )
+                for node in rjob.nodes:
+                    feed(node, bt)
             schedule(now)
         if tm.enabled():
             self._record_batch_telemetry(records)

@@ -19,7 +19,13 @@ from .kernels import (
     Sum,
     WhiteKernel,
 )
-from .loocv import LOOResult, fit_loocv, loo_pseudo_likelihood, loo_residuals
+from .loocv import (
+    LOOResult,
+    fit_loocv,
+    loo_pseudo_likelihood,
+    loo_residuals,
+    loo_standardized_residuals,
+)
 from .optimize import OptimizeOutcome, minimize_with_restarts
 from .trend import TrendGPR, polynomial_basis
 
@@ -41,6 +47,7 @@ __all__ = [
     "minimize_with_restarts",
     "LOOResult",
     "loo_residuals",
+    "loo_standardized_residuals",
     "loo_pseudo_likelihood",
     "fit_loocv",
     "TrendGPR",

@@ -28,7 +28,13 @@ from .gpr import GaussianProcessRegressor, _LOG_2PI
 from .optimize import OptimizeOutcome, minimize_with_restarts
 from .validate import as_1d_array, as_2d_array, check_consistent_rows
 
-__all__ = ["loo_residuals", "loo_pseudo_likelihood", "fit_loocv", "LOOResult"]
+__all__ = [
+    "loo_residuals",
+    "loo_standardized_residuals",
+    "loo_pseudo_likelihood",
+    "fit_loocv",
+    "LOOResult",
+]
 
 
 @dataclass
@@ -76,6 +82,32 @@ def loo_residuals(model: GaussianProcessRegressor) -> LOOResult:
         std=res.std * fit.y_std,
         pseudo_log_likelihood=res.pseudo_log_likelihood,
     )
+
+
+def loo_standardized_residuals(model: GaussianProcessRegressor) -> np.ndarray:
+    """LOO standardized residuals (z-scores) of a *fitted* regressor.
+
+    For every training point ``i`` this is
+
+        z_i = (y_i - mu_{-i}) / sigma_{-i},
+
+    the held-out residual of point ``i`` under the GP trained on all other
+    points, in units of that prediction's standard deviation — the
+    diagnostic R&W Section 5.4.2 recommends for spotting observations the
+    model cannot explain.  Under a well-specified model the z-scores are
+    approximately standard normal, so ``|z_i| > 3`` marks ``y_i`` as an
+    outlier (a corrupted measurement, or a point from a different regime
+    after a cluster slowdown).  :class:`repro.al.guardrails.ModelHealth`
+    uses the fraction of such outliers as an overfitting/poisoning alarm.
+
+    Computed from the single Cholesky factorization cached by the fit
+    (no refits); scale-invariant, so target normalization cancels.
+    """
+    if not model.fitted:
+        raise RuntimeError("model is not fitted")
+    res = loo_residuals(model)
+    y = model.y_train_
+    return (y - res.mean) / res.std
 
 
 def loo_pseudo_likelihood(

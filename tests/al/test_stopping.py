@@ -99,3 +99,92 @@ def test_dynamic_floor_integrates_with_learner():
         assert rec.noise_variance >= floor * 0.999
     # Later iterations may settle on lower noise than early ones allowed.
     assert trace.records[-1].noise_variance <= trace.records[0].noise_variance + 1e-9
+
+
+def test_shared_predicate_is_single_source_of_truth():
+    """Both call sites delegate to amsd_tail_converged, so a live rule and
+    the retrospective scan agree on every prefix of every series."""
+    from repro.al import amsd_tail_converged
+
+    rng = np.random.default_rng(5)
+    rule = AMSDConvergence(window=4, rel_tol=0.08)
+    for _ in range(20):
+        values = np.abs(rng.standard_normal(12)) * rng.uniform(0.1, 2.0)
+        # Occasionally flatten a tail so both outcomes are exercised.
+        if rng.uniform() < 0.5:
+            k = int(rng.integers(3, 8))
+            values[-k:] = values[-k] * (1 + 0.001 * rng.standard_normal(k))
+        trace = _trace_with_amsd(values)
+        # Online: step the rule forward one iteration at a time.
+        online = None
+        for end in range(1, len(values) + 1):
+            prefix = _trace_with_amsd(values[:end])
+            if rule.converged(prefix) and online is None:
+                online = end - 1
+        assert online == first_converged_iteration(trace, rule)
+        # Direct predicate agreement at the full-series end.
+        if len(values) >= rule.window:
+            assert rule.converged(trace) == amsd_tail_converged(
+                np.asarray(values[-rule.window :]), rule.rel_tol
+            )
+
+
+def test_shared_predicate_zero_tail():
+    from repro.al import amsd_tail_converged
+
+    assert amsd_tail_converged(np.zeros(4), 0.05)
+    assert not amsd_tail_converged(np.array([1.0, 0.5, 0.2, 0.1]), 0.05)
+
+
+def test_dynamic_floor_works_with_scaled_bounds():
+    """The schedule composes with numeric ('scaled') noise bounds: every
+    refit installs the scheduled floor and widens the upper bound."""
+    from repro.al import ActiveLearner, VarianceReduction, random_partition
+    from repro.gp import GaussianProcessRegressor
+
+    rng = np.random.default_rng(1)
+    X = np.sort(rng.uniform(0, 10, size=30))[:, np.newaxis]
+    y = X[:, 0] * 0.3 + 0.05 * rng.standard_normal(30)
+    part = random_partition(30, rng=1)
+
+    def factory():
+        return GaussianProcessRegressor(
+            noise_variance=0.5, noise_variance_bounds=(1e-6, 1e2),
+            n_restarts=0, rng=0,
+        )
+
+    learner = ActiveLearner(
+        X, y, np.ones(30), part, VarianceReduction(),
+        model_factory=factory,
+        noise_floor_schedule=dynamic_noise_floor(scale=2.0),
+    )
+    trace = learner.run(3)
+    for i, rec in enumerate(trace.records):
+        floor = 2.0 / np.sqrt(i + 1)
+        assert rec.noise_variance >= floor * 0.999
+    # The learner rewrote the bounds on the fitted model.
+    low, high = learner.model.noise_variance_bounds
+    assert low == pytest.approx(2.0 / np.sqrt(3))
+    assert high >= low * 10
+
+
+def test_dynamic_floor_raises_cleanly_with_fixed_bounds():
+    """'fixed' bounds + a schedule is a contradiction: the learner raises a
+    descriptive ValueError instead of silently re-enabling optimization
+    (cross-linked in the dynamic_noise_floor docstring)."""
+    from repro.al import ActiveLearner, VarianceReduction, random_partition
+    from repro.gp import GaussianProcessRegressor
+
+    rng = np.random.default_rng(1)
+    X = np.sort(rng.uniform(0, 10, size=20))[:, np.newaxis]
+    y = X[:, 0] * 0.3 + 0.05 * rng.standard_normal(20)
+    part = random_partition(20, rng=1)
+    learner = ActiveLearner(
+        X, y, np.ones(20), part, VarianceReduction(),
+        model_factory=lambda: GaussianProcessRegressor(
+            noise_variance=0.1, noise_variance_bounds="fixed", optimizer=None
+        ),
+        noise_floor_schedule=dynamic_noise_floor(scale=1.0),
+    )
+    with pytest.raises(ValueError, match="fixed"):
+        learner.step()

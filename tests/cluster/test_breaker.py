@@ -1,0 +1,342 @@
+"""Tests for per-node circuit breakers and their scheduler wiring."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AllNodesOpenError,
+    BreakerConfig,
+    FaultConfig,
+    FaultyExecutor,
+    JobSpec,
+    NodeCircuitBreaker,
+    SlurmSimulator,
+    wisconsin_cluster,
+)
+from repro.cluster.breaker import BLACKLISTED, CLOSED, HALF_OPEN, OPEN
+from repro.datasets.generate import ModelExecutor
+
+
+def _spec(i=0, ranks=32):
+    # 32 ranks = one 32-thread node on the Wisconsin testbed.
+    return JobSpec("poisson1", float(96**3), ranks, 2.4, repeat_index=i)
+
+
+# --------------------------------------------------------------- config
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BreakerConfig(failure_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(window=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(window_failure_rate=0.0)
+    with pytest.raises(ValueError):
+        BreakerConfig(window_failure_rate=1.5)
+    with pytest.raises(ValueError):
+        BreakerConfig(cooldown_seconds=-1.0)
+    with pytest.raises(ValueError):
+        BreakerConfig(half_open_max_probes=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(max_opens=0)
+
+
+# ---------------------------------------------------- state machine unit
+
+
+def test_trips_open_after_consecutive_failures():
+    br = NodeCircuitBreaker(BreakerConfig(failure_threshold=3), n_nodes=2)
+    for _ in range(2):
+        br.record_failure(0, t=10.0)
+    assert br.state(0, 10.0) == CLOSED  # one short of the threshold
+    br.record_failure(0, t=20.0)
+    assert br.state(0, 20.0) == OPEN
+    assert not br.allow(0, 20.0)
+    assert br.allow(1, 20.0)  # other nodes unaffected
+    assert br.n_opened == 1
+
+
+def test_success_resets_consecutive_count():
+    br = NodeCircuitBreaker(BreakerConfig(failure_threshold=2), n_nodes=1)
+    br.record_failure(0, 0.0)
+    br.record_success(0, 1.0)
+    br.record_failure(0, 2.0)
+    assert br.state(0, 2.0) == CLOSED  # streak was broken
+
+
+def test_windowed_failure_rate_trips_flaky_node():
+    cfg = BreakerConfig(failure_threshold=10, window=4, window_failure_rate=0.5)
+    br = NodeCircuitBreaker(cfg, n_nodes=1)
+    # Alternate success/failure: never 10 consecutive, but 2/4 in window.
+    br.record_failure(0, 0.0)
+    br.record_success(0, 1.0)
+    br.record_failure(0, 2.0)
+    assert br.state(0, 2.0) == CLOSED  # window not full yet
+    br.record_success(0, 3.0)
+    br.record_failure(0, 4.0)
+    assert br.state(0, 4.0) == OPEN
+
+
+def test_cooldown_expiry_goes_half_open_and_probe_success_closes():
+    cfg = BreakerConfig(failure_threshold=1, cooldown_seconds=100.0, max_opens=5)
+    br = NodeCircuitBreaker(cfg, n_nodes=1)
+    br.record_failure(0, t=0.0)
+    assert br.state(0, 50.0) == OPEN
+    assert br.state(0, 100.0) == HALF_OPEN  # lazy transition at cooldown end
+    assert br.allow(0, 100.0)
+    br.on_job_start([0], 100.0)
+    assert br.n_probes == 1
+    br.record_success(0, 150.0)
+    assert br.state(0, 150.0) == CLOSED
+    assert br.n_closed == 1
+
+
+def test_half_open_probe_failure_reopens():
+    cfg = BreakerConfig(failure_threshold=1, cooldown_seconds=100.0, max_opens=5)
+    br = NodeCircuitBreaker(cfg, n_nodes=1)
+    br.record_failure(0, 0.0)
+    br.on_job_start([0], 120.0)  # resolves to half-open, probe starts
+    br.record_failure(0, 130.0)
+    assert br.state(0, 130.0) == OPEN
+    assert br.n_opened == 2
+    # The new cooldown counts from the reopen time.
+    assert br.state(0, 130.0 + 99.0) == OPEN
+    assert br.state(0, 130.0 + 100.0) == HALF_OPEN
+
+
+def test_half_open_caps_concurrent_probes():
+    cfg = BreakerConfig(
+        failure_threshold=1, cooldown_seconds=10.0, half_open_max_probes=1,
+        max_opens=5,
+    )
+    br = NodeCircuitBreaker(cfg, n_nodes=1)
+    br.record_failure(0, 0.0)
+    assert br.allow(0, 20.0)  # half-open, probe slot free
+    br.on_job_start([0], 20.0)
+    assert not br.allow(0, 20.0)  # slot taken until the probe resolves
+
+
+def test_blacklist_after_max_opens():
+    cfg = BreakerConfig(failure_threshold=1, cooldown_seconds=10.0, max_opens=2)
+    br = NodeCircuitBreaker(cfg, n_nodes=2)
+    br.record_failure(0, 0.0)  # open #1
+    br.on_job_start([0], 20.0)  # half-open probe
+    br.record_failure(0, 21.0)  # open #2 -> blacklisted
+    assert br.state(0, 1e9) == BLACKLISTED  # never recovers
+    assert not br.allow(0, 1e9)
+    assert br.n_blacklisted == 1
+    assert br.placeable_nodes() == 1
+
+
+def test_next_transition_time_only_counts_open_nodes():
+    cfg = BreakerConfig(failure_threshold=1, cooldown_seconds=100.0, max_opens=5)
+    br = NodeCircuitBreaker(cfg, n_nodes=3)
+    assert br.next_transition_time(0.0) is None
+    br.record_failure(0, 0.0)
+    br.record_failure(1, 30.0)
+    assert br.next_transition_time(50.0) == pytest.approx(100.0)
+    # Past node 0's expiry, only node 1's future transition remains.
+    assert br.next_transition_time(110.0) == pytest.approx(130.0)
+
+
+# ---------------------------------------------------------- fault model
+
+
+def test_drift_rescales_runtime_but_verifies():
+    ex = FaultyExecutor(
+        ModelExecutor(),
+        FaultConfig(drift_after_jobs=2, drift_factor=2.0),
+        rng=0,
+    )
+    clean = ModelExecutor()
+    runtimes, clean_runtimes = [], []
+    for i in range(4):
+        out = ex.execute(_spec(i), np.random.default_rng(i))
+        ref = clean.execute(_spec(i), np.random.default_rng(i))
+        runtimes.append(out.runtime_seconds)
+        clean_runtimes.append(ref.runtime_seconds)
+        assert out.verification_passed
+        assert not out.failed
+    assert runtimes[0] == pytest.approx(clean_runtimes[0])
+    assert runtimes[1] == pytest.approx(clean_runtimes[1])
+    assert runtimes[2] == pytest.approx(2.0 * clean_runtimes[2])
+    assert runtimes[3] == pytest.approx(2.0 * clean_runtimes[3])
+    assert ex.stats.n_drifted == 2
+    assert ex.stats.n_faults == 0  # drift is not a per-job fault
+
+
+def test_drift_config_validation():
+    with pytest.raises(ValueError):
+        FaultConfig(drift_after_jobs=-1)
+    with pytest.raises(ValueError, match="no-op"):
+        FaultConfig(drift_after_jobs=5)  # factor left at 1.0
+    with pytest.raises(ValueError):
+        FaultConfig(node_crash_rates={0: 1.5})
+
+
+def test_execute_on_without_node_rates_matches_execute():
+    """execute_on must route through execute so subclass overrides hold."""
+
+    class Logging(FaultyExecutor):
+        def __init__(self, *a, **k):
+            super().__init__(*a, **k)
+            self.calls = 0
+
+        def execute(self, spec, rng):
+            self.calls += 1
+            return super().execute(spec, rng)
+
+    ex = Logging(ModelExecutor(), FaultConfig(), rng=0)
+    ref = FaultyExecutor(ModelExecutor(), FaultConfig(), rng=0)
+    out = ex.execute_on(_spec(), np.random.default_rng(7), (0,))
+    out_ref = ref.execute(_spec(), np.random.default_rng(7))
+    assert out == out_ref
+    assert ex.calls == 1
+
+
+def test_node_crash_rates_target_specific_nodes():
+    cfg = FaultConfig(node_crash_rates={0: 1.0})
+    ex = FaultyExecutor(ModelExecutor(), cfg, rng=0)
+    on_bad = ex.execute_on(_spec(), np.random.default_rng(1), (0,))
+    assert on_bad.failed
+    on_good = ex.execute_on(_spec(1), np.random.default_rng(1), (1,))
+    assert not on_good.failed
+    assert ex.stats.n_node_crashes == 1
+
+
+# ------------------------------------------------------ scheduler wiring
+
+
+def _crashy_sim(breaker, *, node_rates, n_jobs, seed=0, offset=0.0):
+    ex = FaultyExecutor(
+        ModelExecutor(), FaultConfig(node_crash_rates=node_rates), rng=seed
+    )
+    sim = SlurmSimulator(
+        wisconsin_cluster(),
+        ex,
+        rng=seed,
+        breaker=breaker,
+        breaker_clock_offset=offset,
+    )
+    return sim, [_spec(i) for i in range(n_jobs)]
+
+
+def test_scheduler_routes_around_open_node():
+    br = NodeCircuitBreaker(
+        BreakerConfig(failure_threshold=2, cooldown_seconds=1e9), n_nodes=4
+    )
+    sim, specs = _crashy_sim(br, node_rates={0: 1.0}, n_jobs=12)
+    records = sim.run_batch(specs)
+    assert len(records) == 12
+    assert br.state(0, 0.0) == OPEN
+    failed_on_0 = [r for r in records if r.state == "FAILED" and "node0" in r.node_list]
+    # The breaker caps node0's damage at the trip threshold.
+    assert len(failed_on_0) == 2
+    # Everything after the trip completed on the healthy nodes.
+    late = [r for r in records if r.state == "COMPLETED"]
+    assert all("node0" not in r.node_list for r in late)
+    assert len(late) == 10
+
+
+def test_all_nodes_open_raises_actionable_error_not_deadlock():
+    # Every node crashes every job; a single open blacklists permanently.
+    br = NodeCircuitBreaker(
+        BreakerConfig(failure_threshold=1, max_opens=1), n_nodes=4
+    )
+    rates = {n: 1.0 for n in range(4)}
+    sim, specs = _crashy_sim(br, node_rates=rates, n_jobs=8)
+    with pytest.raises(AllNodesOpenError) as err:
+        sim.run_batch(specs)
+    message = str(err.value)
+    assert "blacklisted" in message
+    assert "Remediations" in message
+    assert "failure_threshold" in message
+
+
+def test_cooldown_expiry_mid_batch_fast_forwards_and_recovers():
+    """With all nodes tripped, the queue waits out the cooldown and probes."""
+
+    class FailFirstN:
+        """Crash the first ``n`` executions, then behave."""
+
+        def __init__(self, n):
+            self.inner = ModelExecutor()
+            self.n = n
+            self.count = 0
+
+        def estimate(self, spec):
+            return self.inner.estimate(spec)
+
+        def execute(self, spec, rng):
+            out = self.inner.execute(spec, rng)
+            self.count += 1
+            if self.count <= self.n:
+                from dataclasses import replace
+
+                return replace(
+                    out,
+                    runtime_seconds=out.runtime_seconds * 0.1,
+                    failed=True,
+                    verification_passed=False,
+                )
+            return out
+
+    br = NodeCircuitBreaker(
+        BreakerConfig(failure_threshold=1, cooldown_seconds=5000.0, max_opens=5),
+        n_nodes=4,
+    )
+    # 4 crashes trip all 4 nodes; the remaining jobs must wait out the
+    # cooldown, probe half-open nodes, and complete.
+    sim = SlurmSimulator(wisconsin_cluster(), FailFirstN(4), rng=0, breaker=br)
+    specs = [_spec(i) for i in range(8)]
+    records = sim.run_batch(specs)
+    assert len(records) == 8
+    completed = [r for r in records if r.state == "COMPLETED"]
+    assert len(completed) == 4
+    # Recovery happened after the cooldown, not before.
+    assert all(r.start_time >= 5000.0 for r in completed)
+    assert br.n_probes >= 1
+    assert br.n_closed >= 1
+
+
+def test_breaker_clock_offset_maps_wave_time_to_campaign_time():
+    br = NodeCircuitBreaker(
+        BreakerConfig(failure_threshold=1, cooldown_seconds=1e9), n_nodes=4
+    )
+    sim, specs = _crashy_sim(br, node_rates={0: 1.0}, n_jobs=2, offset=12345.0)
+    sim.run_batch(specs)
+    assert br.state(0, 12345.0 + 1.0) == OPEN
+    # The open was stamped on the campaign-global timeline.
+    assert br._nodes[0].opened_at >= 12345.0
+
+
+def test_wide_job_blocked_by_blacklist_raises():
+    """A 4-node job can never run once one node is blacklisted."""
+    br = NodeCircuitBreaker(
+        BreakerConfig(failure_threshold=1, max_opens=1), n_nodes=4
+    )
+    ex = FaultyExecutor(
+        ModelExecutor(), FaultConfig(node_crash_rates={0: 1.0}), rng=0
+    )
+    sim = SlurmSimulator(wisconsin_cluster(), ex, rng=0, breaker=br)
+    specs = [_spec(0), _spec(1), _spec(2, ranks=128)]  # last needs all 4 nodes
+    with pytest.raises(AllNodesOpenError):
+        sim.run_batch(specs)
+
+
+def test_breaker_node_count_must_match_cluster():
+    br = NodeCircuitBreaker(n_nodes=2)
+    with pytest.raises(ValueError, match="nodes"):
+        SlurmSimulator(wisconsin_cluster(), ModelExecutor(), breaker=br)
+
+
+def test_no_breaker_behaviour_unchanged():
+    """A breaker-free simulator is bit-identical to the pre-breaker code."""
+    ex1 = FaultyExecutor(ModelExecutor(), FaultConfig(crash_rate=0.2), rng=3)
+    ex2 = FaultyExecutor(ModelExecutor(), FaultConfig(crash_rate=0.2), rng=3)
+    specs = [_spec(i) for i in range(6)]
+    rec1 = SlurmSimulator(wisconsin_cluster(), ex1, rng=1).run_batch(specs)
+    rec2 = SlurmSimulator(wisconsin_cluster(), ex2, rng=1).run_batch(specs)
+    assert [r.state for r in rec1] == [r.state for r in rec2]
+    assert [r.runtime_seconds for r in rec1] == [r.runtime_seconds for r in rec2]

@@ -107,3 +107,56 @@ def test_pseudo_likelihood_state_restored():
     before = model._theta().copy()
     loo_pseudo_likelihood(model, before + 0.7, X, y)
     np.testing.assert_allclose(model._theta(), before)
+
+
+def test_standardized_residuals_flag_planted_outlier():
+    """A grossly corrupted target gets |z| >> 3; clean points stay small."""
+    rng = np.random.default_rng(3)
+    X = np.sort(rng.uniform(0, 6, size=20))[:, np.newaxis]
+    y = np.sin(X[:, 0]) + 0.02 * rng.standard_normal(20)
+    y[7] += 4.0  # planted outlier, ~200 noise SDs off the surface
+    model = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(1.0, "fixed"),
+        noise_variance=0.02**2,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+    ).fit(X, y)
+
+    from repro.gp import loo_standardized_residuals
+
+    z = loo_standardized_residuals(model)
+    assert z.shape == (20,)
+    assert abs(z[7]) > 10.0
+    assert np.argmax(np.abs(z)) == 7
+    clean = np.abs(np.delete(z, 7))
+    # The outlier dominates; most clean points stay far below it (its
+    # immediate neighbours are contaminated through the smooth kernel).
+    assert np.median(clean) < abs(z[7]) / 10
+
+
+def test_standardized_residuals_near_standard_normal_when_clean():
+    rng = np.random.default_rng(11)
+    X = np.sort(rng.uniform(0, 6, size=40))[:, np.newaxis]
+    y = np.sin(X[:, 0]) + 0.05 * rng.standard_normal(40)
+    model = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(1.0, "fixed"),
+        noise_variance=0.05**2,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+        normalize_y=True,
+    ).fit(X, y)
+
+    from repro.gp import loo_standardized_residuals
+
+    z = loo_standardized_residuals(model)
+    # Well-specified model: z-scores are ~N(0, 1) regardless of
+    # normalize_y (the standardization cancels the target scaling).
+    assert np.mean(np.abs(z) > 3.0) <= 0.05
+    assert 0.3 < np.std(z) < 3.0
+
+
+def test_standardized_residuals_require_fitted_model():
+    with pytest.raises(RuntimeError):
+        from repro.gp import loo_standardized_residuals
+
+        loo_standardized_residuals(GaussianProcessRegressor())
