@@ -27,6 +27,9 @@ Subpackages
 ``repro.telemetry``
     Zero-cost-when-disabled instrumentation: metric registry, JSONL trace
     spans, and the ``python -m repro telemetry`` report CLI.
+``repro.parallel``
+    Deterministic serial/thread/process fan-out (``ParallelMap``) used by
+    multi-restart fits, partition batches, and replicate campaign sweeps.
 
 Quickstart
 ----------
@@ -51,10 +54,12 @@ __all__ = [
     "experiments",
     "viz",
     "telemetry",
+    "parallel",
 ]
 
 _SUBPACKAGES = frozenset(
     {
+        "parallel",
         "gp",
         "al",
         "hpgmg",

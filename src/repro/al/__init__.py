@@ -44,6 +44,7 @@ from .resilience import (
     QuarantinePolicy,
     RetryPolicy,
 )
+from .replicates import ReplicateOutcome, SweepResult, run_replicates
 from .runner import BatchResult, aggregate_series, run_batch
 from .session import (
     ALSessionState,
@@ -127,6 +128,9 @@ __all__ = [
     "BatchResult",
     "run_batch",
     "aggregate_series",
+    "ReplicateOutcome",
+    "SweepResult",
+    "run_replicates",
     "TradeoffCurve",
     "tradeoff_curve",
     "crossover_cost",

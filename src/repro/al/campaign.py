@@ -276,6 +276,14 @@ class OnlineCampaign:
         Hardware description; defaults to the Wisconsin testbed.
     strategy:
         Per-pick selection strategy used inside the batch construction.
+    rng:
+        Campaign randomness: a seed or a ``numpy.random.Generator``
+        (``default_rng(rng)`` either way).  A Generator is adopted *as
+        is*, so never hand the same Generator object to two campaigns
+        that may run concurrently — interleaved draws make both runs
+        irreproducible.  Replicate fleets should derive one generator
+        per campaign from ``SeedSequence.spawn`` children, which is
+        exactly what :func:`repro.al.replicates.run_replicates` does.
     retry_policy:
         Re-submission schedule for failed/rejected experiments; defaults
         to 3 attempts with exponential backoff.  ``RetryPolicy.none()``

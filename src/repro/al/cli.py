@@ -10,6 +10,14 @@ telemetry trace for post-mortems::
     python -m repro campaign --guardrails --breaker --crash-node 0:0.8 \\
         --trace chaos.jsonl
     python -m repro telemetry summarize chaos.jsonl
+    python -m repro campaign --replicates 16 --workers 8 \\
+        --checkpoint-dir sweep-ckpt
+
+``--replicates N`` runs N independent campaigns (a ``SeedSequence.spawn``
+seed tree rooted at ``--seed``) through the process-parallel sweep in
+:mod:`repro.al.replicates` and prints fleet aggregates; ``--workers`` and
+``--backend`` control the fan-out, and ``--checkpoint-dir`` makes the
+sweep crash-safe and exactly-once resumable.
 
 Exit code 0 means the campaign produced a result (including best-effort
 early stops — inspect ``stop_reason`` in the output); crashes are bugs.
@@ -45,6 +53,104 @@ def _parse_crash_node(text: str) -> tuple[int, float]:
     if not 0.0 <= rate <= 1.0:
         raise argparse.ArgumentTypeError("crash rate must be in [0, 1]")
     return node, rate
+
+
+class _CampaignFactory:
+    """Build one replicate's campaign from parsed CLI options.
+
+    A module-level class (not a closure over ``args``) so the factory
+    pickles to process-pool workers.  Each replicate gets its own executor
+    chain — fault injection state must never be shared across replicates —
+    and its private spawned ``rng``.
+    """
+
+    def __init__(self, *, rounds, batch, max_ranks, crash_rate, crash_node,
+                 drift_after, drift_factor, guardrails, max_wall_seconds,
+                 breaker):
+        self.rounds = rounds
+        self.batch = batch
+        self.max_ranks = max_ranks
+        self.crash_rate = crash_rate
+        self.crash_node = crash_node
+        self.drift_after = drift_after
+        self.drift_factor = drift_factor
+        self.guardrails = guardrails
+        self.max_wall_seconds = max_wall_seconds
+        self.breaker = breaker
+
+    @property
+    def faulty(self) -> bool:
+        return bool(
+            self.crash_rate > 0
+            or self.crash_node
+            or self.drift_after is not None
+        )
+
+    def __call__(self, index, rng):
+        from ..cluster.faults import FaultConfig, FaultyExecutor
+        from ..datasets.generate import ModelExecutor
+        from .campaign import CampaignConfig, OnlineCampaign
+        from .guardrails import GuardrailConfig
+
+        executor = ModelExecutor()
+        if self.faulty:
+            executor = FaultyExecutor(
+                executor,
+                FaultConfig(
+                    crash_rate=self.crash_rate,
+                    drift_after_jobs=self.drift_after,
+                    drift_factor=(
+                        self.drift_factor
+                        if self.drift_after is not None
+                        else 1.0
+                    ),
+                    node_crash_rates=dict(self.crash_node) or None,
+                ),
+            )
+        guardrails = None
+        if self.guardrails or self.max_wall_seconds is not None:
+            guardrails = GuardrailConfig(max_wall_seconds=self.max_wall_seconds)
+        return OnlineCampaign(
+            CampaignConfig(
+                operator="poisson1",
+                candidates=_candidates(self.max_ranks),
+                batch_size=self.batch,
+                n_rounds=self.rounds,
+            ),
+            executor,
+            rng=rng,
+            guardrails=guardrails,
+            breaker=self.breaker or None,
+        )
+
+
+def _run_sweep(args, factory: _CampaignFactory) -> int:
+    from .replicates import run_replicates
+
+    sweep = run_replicates(
+        factory,
+        args.replicates,
+        seed=args.seed,
+        n_workers=args.workers,
+        backend=args.backend,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    s = sweep.summary()
+    print(f"replicates:         {s['n_replicates']}")
+    print(
+        "stop reasons:       "
+        + ", ".join(f"{k}={v}" for k, v in sorted(s["stop_reasons"].items()))
+    )
+    print(f"mean sim seconds:   {s['mean_simulated_seconds']:.0f}")
+    print(f"max sim seconds:    {s['max_simulated_seconds']:.0f}")
+    print(f"total core-seconds: {s['total_cpu_core_seconds']:.0f}")
+    print(f"mean observations:  {s['mean_observations']:.1f}")
+    if args.checkpoint_dir:
+        print(
+            f"checkpoints:        {s['n_loaded']} loaded, "
+            f"{s['n_resumed']} resumed (dir: {args.checkpoint_dir})"
+        )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -95,46 +201,56 @@ def main(argv=None) -> int:
         "--trace", default=None, metavar="PATH",
         help="record a telemetry JSONL trace of the campaign",
     )
+    parser.add_argument(
+        "--replicates", type=int, default=1, metavar="N",
+        help="run N independent replicate campaigns (SeedSequence-spawned "
+        "seeds) and print fleet aggregates",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel workers for the replicate sweep",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="fan-out backend for the replicate sweep "
+        "(default: $REPRO_PARALLEL_BACKEND or process)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="per-replicate checkpoints + result files; re-running the "
+        "sweep resumes exactly-once instead of starting over",
+    )
     args = parser.parse_args(argv)
+    if args.replicates < 1:
+        parser.error("--replicates must be >= 1")
 
-    # Imports deferred so --help stays instant.
-    from ..cluster.faults import FaultConfig, FaultyExecutor
-    from ..datasets.generate import ModelExecutor
-    from .campaign import CampaignConfig, OnlineCampaign
-    from .guardrails import GuardrailConfig
-
-    executor = ModelExecutor()
-    faulty = (
-        args.crash_rate > 0 or args.crash_node or args.drift_after is not None
+    factory = _CampaignFactory(
+        rounds=args.rounds,
+        batch=args.batch,
+        max_ranks=args.max_ranks,
+        crash_rate=args.crash_rate,
+        crash_node=args.crash_node,
+        drift_after=args.drift_after,
+        drift_factor=args.drift_factor,
+        guardrails=args.guardrails,
+        max_wall_seconds=args.max_wall_seconds,
+        breaker=args.breaker,
     )
-    if faulty:
-        executor = FaultyExecutor(
-            executor,
-            FaultConfig(
-                crash_rate=args.crash_rate,
-                drift_after_jobs=args.drift_after,
-                drift_factor=(
-                    args.drift_factor if args.drift_after is not None else 1.0
-                ),
-                node_crash_rates=dict(args.crash_node) or None,
-            ),
-        )
+    faulty = factory.faulty
 
-    guardrails = None
-    if args.guardrails or args.max_wall_seconds is not None:
-        guardrails = GuardrailConfig(max_wall_seconds=args.max_wall_seconds)
-    campaign = OnlineCampaign(
-        CampaignConfig(
-            operator="poisson1",
-            candidates=_candidates(args.max_ranks),
-            batch_size=args.batch,
-            n_rounds=args.rounds,
-        ),
-        executor,
-        rng=args.seed,
-        guardrails=guardrails,
-        breaker=args.breaker or None,
-    )
+    if args.replicates > 1:
+        if args.trace:
+            from .. import telemetry
+
+            with telemetry.session(args.trace):
+                code = _run_sweep(args, factory)
+            print(f"[telemetry trace written to {args.trace}]")
+            return code
+        return _run_sweep(args, factory)
+
+    # Single campaign: keep the historical output (and rng=seed behaviour).
+    campaign = factory(0, args.seed)
+    executor = campaign.executor
 
     def run():
         return campaign.run()

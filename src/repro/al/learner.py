@@ -24,29 +24,44 @@ from .strategies import Strategy
 __all__ = ["IterationRecord", "ALTrace", "ActiveLearner", "default_model_factory"]
 
 
+class _DefaultModelFactory:
+    """Zero-argument factory for the paper's robust GPR settings.
+
+    A class rather than a closure so factories pickle — process-backend
+    :func:`repro.al.runner.run_batch` ships the factory to pool workers.
+    """
+
+    __slots__ = ("noise_floor", "upper")
+
+    def __init__(self, noise_floor: float, upper: float):
+        self.noise_floor = noise_floor
+        self.upper = upper
+
+    def __call__(self) -> GaussianProcessRegressor:
+        return GaussianProcessRegressor(
+            noise_variance=max(1e-2, self.noise_floor),
+            noise_variance_bounds=(self.noise_floor, self.upper),
+            n_restarts=2,
+            rng=0,
+        )
+
+
 def default_model_factory(noise_floor: float = 1e-1) -> Callable[[], GaussianProcessRegressor]:
     """Model factory with the paper's robust settings.
 
     ``noise_floor`` is the lower bound on the GPR noise variance — the
     paper's fix for early-iteration overfitting (Fig. 7b uses ``1e-1``).
     The upper bound widens with the floor (``max(1e3, 10 * noise_floor)``)
-    so a large floor can never produce an inverted bounds interval.
+    so a large floor can never produce an inverted bounds interval.  The
+    returned factory is picklable, so it works with every
+    :class:`repro.parallel.ParallelMap` backend.
     """
     if not np.isfinite(noise_floor) or noise_floor <= 0:
         raise ValueError(
             f"noise_floor must be positive and finite, got {noise_floor}"
         )
     upper = max(1e3, 10.0 * noise_floor)
-
-    def factory() -> GaussianProcessRegressor:
-        return GaussianProcessRegressor(
-            noise_variance=max(1e-2, noise_floor),
-            noise_variance_bounds=(noise_floor, upper),
-            n_restarts=2,
-            rng=0,
-        )
-
-    return factory
+    return _DefaultModelFactory(noise_floor, upper)
 
 
 @dataclass(frozen=True)

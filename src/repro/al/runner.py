@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..parallel import ParallelMap
 from .learner import ActiveLearner, ALTrace
 from .partition import random_partitions
 from .strategies import Strategy
@@ -71,6 +72,34 @@ class BatchResult:
         return self.series_matrix(attribute).std(axis=0)
 
 
+class _PartitionTask:
+    """Run one partition's AL trajectory; picklable for process workers.
+
+    Everything a worker needs travels inside the task: the dataset, the
+    per-partition :class:`Strategy` instance (constructed *in the parent*,
+    see :func:`run_batch`), and the learner keyword arguments.  The
+    strategy instance carries its own RNG state, so the trajectory is a
+    pure function of the payload — identical on every backend.
+    """
+
+    __slots__ = ("X", "y", "costs", "learner_kwargs", "n_iterations")
+
+    def __init__(self, X, y, costs, learner_kwargs, n_iterations):
+        self.X = X
+        self.y = y
+        self.costs = costs
+        self.learner_kwargs = learner_kwargs
+        self.n_iterations = n_iterations
+
+    def __call__(self, part_and_strategy) -> tuple[str, ALTrace]:
+        partition, strategy = part_and_strategy
+        learner = ActiveLearner(
+            self.X, self.y, self.costs, partition, strategy,
+            **self.learner_kwargs,
+        )
+        return strategy.name, learner.run(self.n_iterations)
+
+
 def run_batch(
     X: np.ndarray,
     y: np.ndarray,
@@ -85,6 +114,7 @@ def run_batch(
     model_factory: Callable | None = None,
     noise_floor_schedule: Callable[[int], float] | None = None,
     n_workers: int = 1,
+    backend: str | None = None,
     fast_refits: bool = False,
     refit_every: int = 1,
     warm_start: bool = False,
@@ -97,10 +127,18 @@ def run_batch(
     — comparing two strategies with identical arguments compares them on
     *identical partitions*, which is how the paper's Fig. 8 is built.
 
-    ``n_workers > 1`` runs partitions on a thread pool.  Partitions are
-    fully independent and each learner's RNG is self-seeded, so the result
-    is identical to the serial run regardless of scheduling; the speedup
-    comes from LAPACK releasing the GIL during the Cholesky-heavy fits.
+    ``n_workers > 1`` fans the partitions out over a
+    :class:`repro.parallel.ParallelMap`.  The default backend is
+    ``"process"`` (the fits are GIL-bound numpy, so threads used to buy
+    almost nothing) unless overridden by ``backend`` or the
+    ``REPRO_PARALLEL_BACKEND`` environment variable.  Every strategy
+    instance is constructed *in the parent, in partition order* — factories
+    touching shared state (a closed-over RNG, a shared cost model) are
+    therefore safe, and the factory itself never needs to pickle.  Results
+    are bit-identical across backends and worker counts.  The process
+    backend does require the dataset, strategies, ``model_factory`` and
+    ``noise_floor_schedule`` to be picklable (module-level functions and
+    classes; :func:`default_model_factory` qualifies).
 
     ``fast_refits``, ``refit_every`` and ``warm_start`` are forwarded to
     each :class:`~repro.al.learner.ActiveLearner`: with ``fast_refits=True``
@@ -121,29 +159,23 @@ def run_batch(
         test_fraction=test_fraction,
     )
 
-    def run_one(i: int) -> tuple[str, ALTrace]:
-        strategy = strategy_factory(i)
-        learner = ActiveLearner(
-            X,
-            y,
-            costs,
-            parts[i],
-            strategy,
+    # Strategies are built serially in the parent: factories are free to
+    # share state, and each instance (with its private RNG) travels to
+    # whichever worker runs its partition.
+    strategies = [strategy_factory(i) for i in range(len(parts))]
+    task = _PartitionTask(
+        X, y, costs,
+        dict(
             model_factory=model_factory,
             noise_floor_schedule=noise_floor_schedule,
             fast_refits=fast_refits,
             refit_every=refit_every,
             warm_start=warm_start,
-        )
-        return strategy.name, learner.run(n_iterations)
-
-    if n_workers == 1:
-        outcomes = [run_one(i) for i in range(len(parts))]
-    else:
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            outcomes = list(pool.map(run_one, range(len(parts))))
+        ),
+        n_iterations,
+    )
+    pm = ParallelMap(backend, n_workers)
+    outcomes = pm.map(task, list(zip(parts, strategies)))
     name = outcomes[0][0] if outcomes else "unknown"
     return BatchResult(strategy=name, traces=[t for _, t in outcomes])
 

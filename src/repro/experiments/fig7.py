@@ -48,6 +48,17 @@ class Fig7Result:
     collapse_eliminated: bool
 
 
+def _strategy_for_partition(i: int) -> VarianceReduction:
+    """Per-partition strategy with its own tie-break seed.
+
+    A single ``VarianceReduction()`` per partition but all carrying
+    ``seed=0`` would break every exact score tie identically across the
+    batch, correlating the "independent" partitions.  Module-level (not a
+    lambda) so the factory also pickles to process workers.
+    """
+    return VarianceReduction(seed=i)
+
+
 def _run_setting(
     X, y, costs, floor: float, *, n_partitions: int, n_iterations: int, seed,
     n_workers: int = 1,
@@ -56,7 +67,7 @@ def _run_setting(
         X,
         y,
         costs,
-        strategy_factory=lambda i: VarianceReduction(),
+        strategy_factory=_strategy_for_partition,
         n_partitions=n_partitions,
         n_iterations=n_iterations,
         seed=seed,

@@ -35,6 +35,16 @@ from .common import DEFAULT_SEED, fig6_subset
 __all__ = ["Fig8Result", "run"]
 
 
+def _vr_for_partition(i: int) -> VarianceReduction:
+    """Per-partition tie-break seed; module-level so it pickles to workers."""
+    return VarianceReduction(seed=i)
+
+
+def _ce_for_partition(i: int) -> CostEfficiency:
+    """Per-partition tie-break seed; module-level so it pickles to workers."""
+    return CostEfficiency(seed=i)
+
+
 @dataclass(frozen=True)
 class Fig8Result:
     """Both strategies' batches, tradeoff curves, and the comparison."""
@@ -74,12 +84,8 @@ def run(
         model_factory=default_model_factory(noise_floor=noise_floor),
         n_workers=n_workers,
     )
-    vr = run_batch(
-        X, y, costs, strategy_factory=lambda i: VarianceReduction(), **common
-    )
-    ce = run_batch(
-        X, y, costs, strategy_factory=lambda i: CostEfficiency(), **common
-    )
+    vr = run_batch(X, y, costs, strategy_factory=_vr_for_partition, **common)
+    ce = run_batch(X, y, costs, strategy_factory=_ce_for_partition, **common)
     vr_curve = tradeoff_curve(vr)
     ce_curve = tradeoff_curve(ce)
     # Compare only where both strategies have completed an experiment: below

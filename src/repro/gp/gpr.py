@@ -60,6 +60,37 @@ def default_kernel(n_features: int = 1, *, ard: bool = False) -> Kernel:
     return ConstantKernel(1.0, (1e-3, 1e3)) * RBF(length_scale, (1e-2, 1e3))
 
 
+class _FitObjective:
+    """Picklable ``theta -> (negative LML, gradient)`` for one fit's data.
+
+    Built fresh per :meth:`GaussianProcessRegressor.fit` from the kernel
+    template and training arrays.  Each call evaluates on a throwaway
+    regressor, so the objective is stateless: safe to invoke concurrently
+    from restart threads and cheap to pickle to restart processes (see
+    ``minimize_with_restarts(..., executor=)``).
+    """
+
+    __slots__ = ("kernel", "noise_variance", "noise_variance_bounds", "jitter", "X", "y")
+
+    def __init__(self, kernel, noise_variance, noise_variance_bounds, jitter, X, y):
+        self.kernel = kernel
+        self.noise_variance = noise_variance
+        self.noise_variance_bounds = noise_variance_bounds
+        self.jitter = jitter
+        self.X = X
+        self.y = y
+
+    def __call__(self, theta: np.ndarray) -> tuple[float, np.ndarray]:
+        model = GaussianProcessRegressor(
+            kernel=self.kernel,
+            noise_variance=self.noise_variance,
+            noise_variance_bounds=self.noise_variance_bounds,
+            optimizer=None,
+            jitter=self.jitter,
+        )
+        return model._nlml_and_grad(theta, self.X, self.y)
+
+
 @dataclass
 class _FitState:
     """Quantities cached by :meth:`GaussianProcessRegressor.fit`."""
@@ -104,6 +135,15 @@ class GaussianProcessRegressor:
     jitter:
         Tiny diagonal regularizer added on top of ``sigma_n^2`` for Cholesky
         robustness.
+    executor:
+        Optional :class:`repro.parallel.ParallelMap` running the restart
+        descents of every fit concurrently.  Restart starting points are
+        sampled up-front from ``rng`` and the winner is merged by
+        ``(value, start_index)``, so the fitted hyperparameters are
+        bit-identical with and without an executor, for any backend and
+        worker count.  Worth it for restart-heavy fits
+        (``benchmarks/bench_parallel.py``); the per-fit pool spin-up
+        dominates for small ``n_restarts``.
     """
 
     def __init__(
@@ -117,6 +157,7 @@ class GaussianProcessRegressor:
         optimizer: str | None = "lbfgs",
         rng=None,
         jitter: float = 1e-10,
+        executor=None,
     ):
         if noise_variance <= 0:
             raise ValueError("noise_variance must be positive")
@@ -144,6 +185,7 @@ class GaussianProcessRegressor:
         self.optimizer = optimizer
         self.rng = np.random.default_rng(rng)
         self.jitter = float(jitter)
+        self.executor = executor
         self.kernel_: Kernel | None = None
         self._fit: _FitState | None = None
 
@@ -231,10 +273,16 @@ class GaussianProcessRegressor:
         theta_history: list[np.ndarray] = []
         theta0 = self._theta()
         if self.optimizer is not None and theta0.size > 0:
-
-            def objective(theta: np.ndarray):
-                value, grad = self._nlml_and_grad(theta, X, y_norm)
-                return value, grad
+            # A picklable, stateless objective (not a bound-method closure)
+            # so restart descents can run on thread or process pools.
+            objective = _FitObjective(
+                self.kernel_.clone_with_theta(self.kernel_.theta),
+                self.noise_variance_,
+                self.noise_variance_bounds,
+                self.jitter,
+                X,
+                y_norm,
+            )
 
             outcome = minimize_with_restarts(
                 objective,
@@ -242,6 +290,7 @@ class GaussianProcessRegressor:
                 self._theta_bounds(),
                 n_restarts=self.n_restarts,
                 rng=self.rng,
+                executor=self.executor,
             )
             self._set_theta(outcome.theta)
             theta_history = outcome.all_thetas

@@ -65,11 +65,21 @@ class OptimizeOutcome:
     fallback: bool = False
 
 
-def _wrap(objective: Callable) -> Callable:
-    """Guard an objective(theta) -> (value, grad) against non-finite output."""
+class _GuardedObjective:
+    """Guard an objective(theta) -> (value, grad) against non-finite output.
 
-    def wrapped(theta: np.ndarray):
-        value, grad = objective(theta)
+    A class (not a closure) so the guarded objective pickles for the
+    process backend of :class:`repro.parallel.ParallelMap`, provided the
+    wrapped objective itself does.
+    """
+
+    __slots__ = ("objective",)
+
+    def __init__(self, objective: Callable):
+        self.objective = objective
+
+    def __call__(self, theta: np.ndarray):
+        value, grad = self.objective(theta)
         if not np.isfinite(value):
             return _BAD_VALUE, np.zeros_like(theta)
         grad = np.asarray(grad, dtype=float)
@@ -77,7 +87,48 @@ def _wrap(objective: Callable) -> Callable:
             grad = np.zeros_like(theta)
         return float(value), grad
 
-    return wrapped
+
+def _wrap(objective: Callable) -> Callable:
+    """Backward-compatible alias for :class:`_GuardedObjective`."""
+    return _GuardedObjective(objective)
+
+
+class _StartTask:
+    """Run L-BFGS-B from one start; picklable for process-pool dispatch.
+
+    Returns ``(theta, value, status)`` — plain data, so outcomes can be
+    shipped across processes and merged by the parent in *start order*.
+    """
+
+    __slots__ = ("wrapped", "bounds")
+
+    def __init__(self, wrapped: Callable, bounds: np.ndarray):
+        self.wrapped = wrapped
+        self.bounds = bounds
+
+    def __call__(self, indexed_start) -> tuple[np.ndarray, float, str]:
+        index, start = indexed_start
+        with tm.span("restart", index=index) as sp:
+            result = minimize(
+                self.wrapped,
+                start,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=self.bounds,
+            )
+            value = float(result.fun)
+            if value >= _BAD_VALUE:
+                # Every evaluation this start saw was non-finite; its
+                # "optimum" is the substituted sentinel, not a real point.
+                status = "nonfinite"
+            elif result.success:
+                status = "ok"
+            else:
+                status = "failed"
+            sp.set(value=value, status=status)
+        if status != "ok":
+            tm.count("gp.optimize.bad_starts")
+        return np.asarray(result.x), value, status
 
 
 def minimize_with_restarts(
@@ -87,6 +138,7 @@ def minimize_with_restarts(
     *,
     n_restarts: int = 4,
     rng=None,
+    executor=None,
 ) -> OptimizeOutcome:
     """Minimize ``objective`` within box ``bounds`` from multiple starts.
 
@@ -103,11 +155,23 @@ def minimize_with_restarts(
         Additional starts sampled uniformly inside the box.
     rng:
         Seed or generator for restart sampling.
+    executor:
+        Optional :class:`repro.parallel.ParallelMap` running the starts
+        concurrently (they are independent L-BFGS-B descents).  The
+        process backend additionally requires ``objective`` to be
+        picklable.  Results are identical for every backend and worker
+        count: starts are sampled up-front in the parent, and the winner
+        is chosen by the ``(value, start_index)`` tie-break below.
 
     Returns
     -------
     OptimizeOutcome
-        With the best point across all starts.
+        With the best point across all starts.  Per-start results in
+        ``all_thetas`` / ``all_values`` / ``statuses`` are ordered by
+        *start index*, never by completion order, and the winner is the
+        lexicographic minimum of ``(value, start_index)`` — so two starts
+        landing on exactly the same optimum can never make the selected
+        hyperparameters depend on scheduling.
     """
     theta0 = np.asarray(theta0, dtype=float)
     bounds = np.asarray(bounds, dtype=float)
@@ -124,33 +188,15 @@ def minimize_with_restarts(
     for _ in range(n_restarts):
         starts.append(rng.uniform(bounds[:, 0], bounds[:, 1]))
 
-    all_thetas: list[np.ndarray] = []
-    all_values: list[float] = []
-    statuses: list[str] = []
-    for i, start in enumerate(starts):
-        with tm.span("restart", index=i) as sp:
-            result = minimize(
-                wrapped,
-                start,
-                jac=True,
-                method="L-BFGS-B",
-                bounds=bounds,
-            )
-            value = float(result.fun)
-            if value >= _BAD_VALUE:
-                # Every evaluation this start saw was non-finite; its
-                # "optimum" is the substituted sentinel, not a real point.
-                status = "nonfinite"
-            elif result.success:
-                status = "ok"
-            else:
-                status = "failed"
-            sp.set(value=value, status=status)
-        all_thetas.append(np.asarray(result.x))
-        all_values.append(value)
-        statuses.append(status)
-        if status != "ok":
-            tm.count("gp.optimize.bad_starts")
+    task = _StartTask(wrapped, bounds)
+    indexed = list(enumerate(starts))
+    if executor is None:
+        outcomes = [task(pair) for pair in indexed]
+    else:
+        outcomes = executor.map(task, indexed)
+    all_thetas = [theta for theta, _, _ in outcomes]
+    all_values = [value for _, value, _ in outcomes]
+    statuses = [status for _, _, status in outcomes]
     tm.count("gp.optimize.starts", len(starts))
 
     if all(s == "nonfinite" for s in statuses):
@@ -181,7 +227,11 @@ def minimize_with_restarts(
         # Fig. 5b (the objective is -LML, so this equals the LML spread).
         tm.observe("gp.optimize.lml_spread", max(finite) - min(finite))
 
-    best = int(np.argmin(all_values))
+    # Deterministic winner: lexicographic (value, start_index).  np.argmin
+    # happens to break exact ties toward the first occurrence too, but only
+    # by accident of its scan order; make the contract explicit so parallel
+    # completion order can never leak into the selected hyperparameters.
+    best = min(range(len(all_values)), key=lambda i: (all_values[i], i))
     return OptimizeOutcome(
         theta=all_thetas[best],
         value=all_values[best],

@@ -1,0 +1,29 @@
+"""Process-parallel execution layer (serial/thread/process, deterministic).
+
+See :mod:`repro.parallel.pmap` for the design contract.  Quick use::
+
+    from repro.parallel import ParallelMap
+
+    pm = ParallelMap("process", n_workers=8)
+    results = pm.map(task, items)          # results in input order
+
+with per-task randomness from ``spawn_seeds(seed, len(items))``.
+"""
+
+from .pmap import (
+    BACKENDS,
+    ENV_BACKEND,
+    ParallelMap,
+    resolve_backend,
+    spawn_generators,
+    spawn_seeds,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ENV_BACKEND",
+    "ParallelMap",
+    "resolve_backend",
+    "spawn_generators",
+    "spawn_seeds",
+]

@@ -1,0 +1,217 @@
+"""Deterministic serial/thread/process map for embarrassingly parallel work.
+
+The paper's methodology fans out in two places: the multi-restart LML
+gradient ascent behind every GPR fit (Section V-B2) and the replicate AL
+runs averaged in Figs. 4-8.  Both are embarrassingly parallel, both are
+CPU-bound numpy, and both must stay *deterministic*: a result may never
+depend on the backend, the worker count, or task completion order.
+
+:class:`ParallelMap` provides exactly that contract:
+
+* three backends — ``"serial"`` (plain loop), ``"thread"``
+  (:class:`~concurrent.futures.ThreadPoolExecutor`; useful when the work
+  releases the GIL) and ``"process"``
+  (:class:`~concurrent.futures.ProcessPoolExecutor`; true multi-core for
+  GIL-bound numpy/scipy code);
+* results are returned **in input order**, never completion order;
+* task functions and items must be picklable for the ``process`` backend
+  (module-level functions or instances of module-level classes);
+* per-task randomness comes from :func:`spawn_seeds` /
+  :func:`spawn_generators` — ``numpy.random.SeedSequence.spawn`` children
+  keyed by *task index*, so streams are independent and bit-identical
+  across backends and worker counts;
+* telemetry recorded by process workers is not lost: each task runs under
+  a fresh worker-local :class:`~repro.telemetry.registry.Registry` whose
+  contents are shipped back and merged into the parent registry on join
+  (see :func:`repro.telemetry.worker_session`).
+
+The default backend is resolved from the ``REPRO_PARALLEL_BACKEND``
+environment variable, so whole test suites can be re-run under the
+process backend without touching call sites.
+
+Everything here is standard library + numpy — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .. import telemetry as tm
+
+__all__ = [
+    "BACKENDS",
+    "ENV_BACKEND",
+    "ParallelMap",
+    "resolve_backend",
+    "spawn_seeds",
+    "spawn_generators",
+]
+
+#: Recognized backend names, in "cheapest first" order.
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+
+
+def resolve_backend(backend: str | None = None, *, default: str = "process") -> str:
+    """Pick the execution backend: explicit > ``$REPRO_PARALLEL_BACKEND`` > default.
+
+    Raises ``ValueError`` for names outside :data:`BACKENDS` so a typo in
+    the environment fails loudly rather than silently running serial.
+    """
+    if backend is None:
+        backend = os.environ.get(ENV_BACKEND) or default
+    backend = str(backend).lower()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown parallel backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def spawn_seeds(seed, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child :class:`~numpy.random.SeedSequence` s.
+
+    ``seed`` may be an int, ``None``, or an existing ``SeedSequence``.
+    Children are keyed by spawn index, so child ``i`` is the same stream no
+    matter which worker runs it or how many workers exist — the foundation
+    of the bit-identical-across-backends guarantee.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return ss.spawn(n)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Per-task generators over :func:`spawn_seeds` children."""
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, n)]
+
+
+# --------------------------------------------------------------- worker shims
+#
+# Module-level so they pickle for the process backend.  ``fn`` travels with
+# each task; ProcessPoolExecutor pickles it once per submitted call.
+
+
+def _run_collected(payload):
+    """Process-worker shim: run one task under a local telemetry registry.
+
+    The parent had telemetry enabled, so the task's counters/gauges/
+    histograms must not vanish into the worker process.  The task runs
+    under :func:`repro.telemetry.worker_session` — a fresh worker-local
+    registry with *no* trace writer (a forked copy of the parent's writer
+    must never flush, or it would clobber the parent's trace file) — and
+    the registry contents return with the result for an in-order merge.
+    """
+    fn, item = payload
+    with tm.worker_session() as registry:
+        result = fn(item)
+    return result, registry.dump()
+
+
+def _run_plain(payload):
+    """Process-worker shim: run one task, telemetry disabled in the parent."""
+    fn, item = payload
+    with tm.worker_session():
+        # Still scope out any forked parent state: a worker must never
+        # write into an inherited trace buffer.
+        result = fn(item)
+    return result, None
+
+
+class ParallelMap:
+    """Ordered, deterministically seeded map over one of three backends.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``; ``None`` resolves via
+        ``$REPRO_PARALLEL_BACKEND`` and then ``default_backend``.
+    n_workers:
+        Pool width for the thread/process backends; defaults to
+        ``os.cpu_count()``.  Ignored by the serial backend.
+    default_backend:
+        What ``backend=None`` falls back to when the environment variable
+        is unset.  Call sites that historically ran serial pass
+        ``"serial"`` here so behaviour only changes when asked.
+
+    Instances hold no live pool (one is created per :meth:`map` call), so
+    a ``ParallelMap`` is cheap, reusable, and picklable.
+    """
+
+    def __init__(
+        self,
+        backend: str | None = None,
+        n_workers: int | None = None,
+        *,
+        default_backend: str = "process",
+    ):
+        self.backend = resolve_backend(backend, default=default_backend)
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item; results in input order.
+
+        A worker exception propagates to the caller (the pool is shut
+        down first), matching the serial loop's behaviour.  For the
+        process backend, ``fn`` and every item must be picklable, and any
+        telemetry the tasks record is merged back into the parent
+        registry in input order once all tasks complete.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.backend == "serial" or self.n_workers == 1 or len(items) == 1:
+            return [fn(item) for item in items]
+        if self.backend == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            # Threads share the parent's registry and trace writer
+            # directly; no merge step is needed.
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                return list(pool.map(fn, items))
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        collect = tm.enabled()
+        shim = _run_collected if collect else _run_plain
+        payloads = [(fn, item) for item in items]
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            outcomes = list(pool.map(shim, payloads))
+        results = []
+        registry = tm.get_registry()
+        for result, dump in outcomes:
+            results.append(result)
+            if dump is not None and registry is not None:
+                # Merge in input order so gauge last-write-wins is
+                # deterministic regardless of completion order.
+                registry.merge(dump)
+        return results
+
+    def starmap(self, fn: Callable, items: Iterable[Sequence]) -> list:
+        """:meth:`map` for tasks taking several positional arguments."""
+        return self.map(_Star(fn), items)
+
+    def __repr__(self) -> str:
+        return f"ParallelMap(backend={self.backend!r}, n_workers={self.n_workers})"
+
+
+class _Star:
+    """Picklable adapter turning ``fn(*args)`` into ``fn(args)``."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, args):
+        return self.fn(*args)

@@ -54,6 +54,7 @@ __all__ = [
     "disable",
     "enabled",
     "session",
+    "worker_session",
     "get_registry",
     "get_writer",
     "count",
@@ -152,6 +153,34 @@ def session(trace_path=None, *, registry: Registry | None = None,
         yield reg
     finally:
         disable()
+
+
+@contextmanager
+def worker_session():
+    """Telemetry scope for a pool-worker task (see :mod:`repro.parallel`).
+
+    Swaps in a fresh registry with *no* trace writer for the duration of
+    the block and yields it, restoring the previous state afterwards.
+    Unlike :func:`session` it never raises on already-enabled telemetry:
+    a forked process worker inherits the parent's ``_STATE`` — including a
+    buffered copy of the parent's trace writer, which must never flush
+    from the child or it would clobber the parent's trace file — so the
+    inherited state is shelved, the task records into the local registry,
+    and the caller ships ``registry.dump()`` back to the parent for an
+    in-order :meth:`Registry.merge`.
+
+    Not for use from *threads* of an enabled process: the state is
+    process-global, so a thread swapping it would race the other threads
+    (thread pools share the parent registry directly instead).
+    """
+    global _STATE
+    saved = _STATE
+    registry = Registry()
+    _STATE = (registry, None)
+    try:
+        yield registry
+    finally:
+        _STATE = saved
 
 
 def get_registry() -> Registry | None:

@@ -98,26 +98,41 @@ class Histogram:
     def mean(self) -> float | None:
         return self.total / len(self._sorted) if self._sorted else None
 
-    def percentile(self, q: float) -> float | None:
-        """Exact ``q``-th percentile (nearest-rank), ``0 <= q <= 100``."""
-        if not 0 <= q <= 100:
-            raise ValueError("q must be in [0, 100]")
+    def _percentile_unlocked(self, q: float) -> float | None:
         if not self._sorted:
             return None
         rank = min(len(self._sorted) - 1, int(q / 100.0 * len(self._sorted)))
         return self._sorted[rank]
 
-    def summary(self) -> dict:
-        """Count/total/min/mean/p50/p90/max as a plain dict."""
+    def percentile(self, q: float) -> float | None:
+        """Exact ``q``-th percentile (nearest-rank), ``0 <= q <= 100``."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            return self._percentile_unlocked(q)
+
+    def _summary_unlocked(self) -> dict:
+        s = self._sorted
+        n = len(s)
         return {
-            "count": self.count,
+            "count": n,
             "total": self.total,
-            "min": self.min,
-            "mean": self.mean,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "max": self.max,
+            "min": s[0] if s else None,
+            "mean": self.total / n if n else None,
+            "p50": self._percentile_unlocked(50),
+            "p90": self._percentile_unlocked(90),
+            "max": s[-1] if s else None,
         }
+
+    def summary(self) -> dict:
+        """Count/total/min/mean/p50/p90/max as a plain dict.
+
+        Computed under the instrument lock so a concurrent ``observe``
+        can never produce a torn view (count from before, total from
+        after).
+        """
+        with self._lock:
+            return self._summary_unlocked()
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
@@ -173,6 +188,44 @@ class Registry:
             else:
                 out["histograms"][name] = inst.summary()
         return out
+
+    def dump(self) -> dict:
+        """Raw, mergeable instrument contents (cf. the *summarized* snapshot).
+
+        Unlike :meth:`snapshot`, histograms are dumped as their full
+        observation lists, so two dumps can be merged without losing
+        quantile exactness.  This is the payload pool workers ship back to
+        the parent process (see :meth:`merge` and
+        :func:`repro.telemetry.worker_session`).
+        """
+        with self._lock:
+            out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+            for name, inst in sorted(self._instruments.items()):
+                if isinstance(inst, Counter):
+                    out["counters"][name] = inst.value
+                elif isinstance(inst, Gauge):
+                    out["gauges"][name] = inst.value
+                else:
+                    out["histograms"][name] = list(inst._sorted)
+        return out
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters add, histograms extend with the dumped observations, and
+        gauges take the dumped value (last merge wins — callers merge in
+        task order so the result is deterministic).  Instrument-kind
+        conflicts raise, exactly as live double-registration does.
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in dump.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, values in dump.get("histograms", {}).items():
+            hist = self.histogram(name)
+            for value in values:
+                hist.observe(value)
 
     def reset(self) -> None:
         """Drop every instrument (a fresh registry without re-creating it)."""

@@ -1,0 +1,206 @@
+"""Tests for parallel replicate sweeps: determinism and exactly-once resume."""
+
+import numpy as np
+import pytest
+
+from repro.al.campaign import CampaignConfig, OnlineCampaign
+from repro.al.replicates import ReplicateOutcome, run_replicates
+from repro.cluster.faults import FaultConfig, FaultyExecutor
+from repro.datasets.generate import ModelExecutor
+
+
+def _candidates():
+    sizes = [48**3, 96**3]
+    nps = [1, 8]
+    freqs = [1.2, 2.4]
+    return np.array(
+        [(s, p, f) for s in sizes for p in nps for f in freqs], dtype=float
+    )
+
+
+class _Killed(RuntimeError):
+    pass
+
+
+class _KillSwitch:
+    """Executor wrapper that raises after a fixed number of executions."""
+
+    def __init__(self, inner, kill_after):
+        self.inner = inner
+        self.kill_after = kill_after
+        self.n_calls = 0
+
+    def estimate(self, spec):
+        return self.inner.estimate(spec)
+
+    def execute(self, spec, rng):
+        self.n_calls += 1
+        if self.n_calls > self.kill_after:
+            raise _Killed(f"killed after {self.kill_after} executions")
+        return self.inner.execute(spec, rng)
+
+
+class _SweepFactory:
+    """Module-level (picklable) ``(index, rng) -> OnlineCampaign`` factory.
+
+    ``kill_index``/``kill_after`` arm a kill switch on one replicate so a
+    test can crash a sweep mid-campaign.
+    """
+
+    def __init__(self, *, n_rounds=3, batch=2, crash_rate=0.0,
+                 kill_index=None, kill_after=None):
+        self.n_rounds = n_rounds
+        self.batch = batch
+        self.crash_rate = crash_rate
+        self.kill_index = kill_index
+        self.kill_after = kill_after
+
+    def __call__(self, index, rng):
+        executor = ModelExecutor()
+        if self.crash_rate > 0:
+            executor = FaultyExecutor(
+                executor, FaultConfig(crash_rate=self.crash_rate)
+            )
+        if index == self.kill_index:
+            executor = _KillSwitch(executor, self.kill_after)
+        return OnlineCampaign(
+            CampaignConfig(
+                operator="poisson1",
+                candidates=_candidates(),
+                batch_size=self.batch,
+                n_rounds=self.n_rounds,
+            ),
+            executor,
+            rng=rng,
+        )
+
+
+def _y_by_index(sweep):
+    return {r.index: r.y for r in sweep.replicates}
+
+
+def test_sweep_bit_identical_across_backends():
+    """Serial, thread and process sweeps agree observation-for-observation,
+    even with fault injection in the loop."""
+    factory = _SweepFactory(crash_rate=0.2)
+    serial = run_replicates(factory, 4, seed=9, n_workers=1, backend="serial")
+    thread = run_replicates(factory, 4, seed=9, n_workers=2, backend="thread")
+    process = run_replicates(factory, 4, seed=9, n_workers=3, backend="process")
+    for other in (thread, process):
+        assert _y_by_index(other) == _y_by_index(serial)
+        np.testing.assert_array_equal(
+            other.series("simulated_seconds"), serial.series("simulated_seconds")
+        )
+        assert other.stop_reasons == serial.stop_reasons
+
+
+def test_replicates_are_independent():
+    """Spawned per-replicate streams: no two replicates share a trajectory."""
+    sweep = run_replicates(_SweepFactory(), 3, seed=0)
+    ys = [tuple(r.y) for r in sweep.replicates]
+    assert len(set(ys)) == len(ys)
+    assert [r.index for r in sweep.replicates] == [0, 1, 2]
+
+
+def test_seed_changes_trajectories():
+    a = run_replicates(_SweepFactory(), 2, seed=0)
+    b = run_replicates(_SweepFactory(), 2, seed=1)
+    assert _y_by_index(a) != _y_by_index(b)
+
+
+def test_summary_and_outcome_shape():
+    sweep = run_replicates(_SweepFactory(), 2, seed=3)
+    s = sweep.summary()
+    assert s["n_replicates"] == 2
+    assert s["stop_reasons"] == {"completed": 2}
+    assert s["mean_observations"] > 0
+    assert s["n_resumed"] == 0 and s["n_loaded"] == 0
+    r = sweep.replicates[0]
+    assert isinstance(r, ReplicateOutcome)
+    assert r.n_observations == len(r.y)
+    payload = r.payload()
+    assert payload["version"] == 1
+    assert "resumed" not in payload and "loaded" not in payload
+
+
+def test_killed_sweep_resumes_exactly_once(tmp_path):
+    """The acceptance scenario for checkpointed sweeps: kill a replicate
+    mid-campaign, re-run the sweep with more workers, and the fleet must
+    (a) never re-run completed replicates, (b) resume the half-finished
+    one from its round checkpoint, and (c) end bit-identical to a sweep
+    that was never interrupted."""
+    ckpt = tmp_path / "sweep"
+    reference = run_replicates(_SweepFactory(), 4, seed=17)
+
+    # Serial sweep killed inside replicate 2, after its first round is
+    # checkpointed (batch=2 => executions 1-2 are round 1, 3-4 round 2).
+    killing = _SweepFactory(kill_index=2, kill_after=3)
+    with pytest.raises(_Killed):
+        run_replicates(
+            killing, 4, seed=17, n_workers=1, backend="serial",
+            checkpoint_dir=ckpt,
+        )
+    done = sorted(p.name for p in ckpt.glob("*.result.json"))
+    assert done == ["replicate-0000.result.json", "replicate-0001.result.json"]
+    assert (ckpt / "replicate-0002.json").exists()  # mid-campaign checkpoint
+    mtimes = {
+        p.name: p.stat().st_mtime_ns for p in ckpt.glob("*.result.json")
+    }
+
+    # Second invocation: clean factory, process backend, wider pool.
+    sweep = run_replicates(
+        _SweepFactory(), 4, seed=17, n_workers=2, backend="process",
+        checkpoint_dir=ckpt,
+    )
+    flags = {r.index: (r.loaded, r.resumed) for r in sweep.replicates}
+    assert flags == {
+        0: (True, False),   # loaded from its result file
+        1: (True, False),
+        2: (False, True),   # resumed from its round checkpoint
+        3: (False, False),  # never started before: fresh run
+    }
+    s = sweep.summary()
+    assert s["n_loaded"] == 2 and s["n_resumed"] == 1
+
+    # (a) completed replicates were not re-executed: files untouched.
+    for name, old in mtimes.items():
+        assert (ckpt / name).stat().st_mtime_ns == old
+    # (c) the fleet is bit-identical to the uninterrupted reference.
+    assert _y_by_index(sweep) == _y_by_index(reference)
+    np.testing.assert_array_equal(
+        sweep.series("simulated_seconds"),
+        reference.series("simulated_seconds"),
+    )
+
+    # Third invocation: everything is loaded, nothing runs again.
+    again = run_replicates(
+        _SweepFactory(), 4, seed=17, n_workers=2, backend="process",
+        checkpoint_dir=ckpt,
+    )
+    assert all(r.loaded for r in again.replicates)
+    assert _y_by_index(again) == _y_by_index(reference)
+    for p in ckpt.glob("*.result.json"):
+        assert p.stat().st_mtime_ns == p.stat().st_mtime_ns  # still present
+    assert len(list(ckpt.glob("*.result.json"))) == 4
+
+
+def test_unsupported_result_version_rejected(tmp_path):
+    from repro.al.session import write_json_atomic
+
+    ckpt = tmp_path / "sweep"
+    ckpt.mkdir()
+    write_json_atomic(
+        {"version": 99, "index": 0}, ckpt / "replicate-0000.result.json"
+    )
+    with pytest.raises(ValueError, match="version"):
+        run_replicates(_SweepFactory(), 1, seed=0, checkpoint_dir=ckpt)
+
+
+def test_invalid_replicate_count():
+    with pytest.raises(ValueError):
+        run_replicates(_SweepFactory(), 0)
+
+
+def test_factory_must_return_campaign():
+    with pytest.raises(TypeError, match="OnlineCampaign"):
+        run_replicates(lambda i, rng: object(), 1)

@@ -130,15 +130,49 @@ def test_aggregate_series():
 
 
 def test_parallel_matches_serial():
-    """Thread-pooled partitions must be bit-identical to the serial run."""
-    serial = _run(lambda i: VarianceReduction(), n_workers=1)
-    parallel = _run(lambda i: VarianceReduction(), n_workers=4)
+    """Every backend x worker count must be bit-identical to the serial run.
+
+    Regression test for the GIL-bound thread fan-out this layer replaced:
+    the process backend must return the *same trajectories*, not just
+    statistically similar ones, and the explicit ``serial``/``thread``
+    backends must agree with it.
+    """
+    serial = _run(lambda i: VarianceReduction(seed=i), n_workers=1)
+    runs = {
+        "serial-x4": _run(
+            lambda i: VarianceReduction(seed=i), n_workers=4, backend="serial"
+        ),
+        "thread-x4": _run(
+            lambda i: VarianceReduction(seed=i), n_workers=4, backend="thread"
+        ),
+        "process-x2": _run(
+            lambda i: VarianceReduction(seed=i), n_workers=2, backend="process"
+        ),
+        "process-x4": _run(
+            lambda i: VarianceReduction(seed=i), n_workers=4, backend="process"
+        ),
+    }
+    for label, parallel in runs.items():
+        for attr in ("rmse", "amsd", "cumulative_cost", "sd_at_selected"):
+            np.testing.assert_array_equal(
+                serial.series_matrix(attr),
+                parallel.series_matrix(attr),
+                err_msg=f"{label}: {attr} diverged from serial",
+            )
+
+
+def test_stateful_factory_safe_under_process_backend():
+    """Factories may close over shared state: construction is parent-side."""
+    shared_rng = np.random.default_rng(5)
+
+    def factory(i):
+        return VarianceReduction(seed=int(shared_rng.integers(1 << 30)))
+
+    a = _run(factory, n_workers=2, backend="process")
+    shared_rng = np.random.default_rng(5)  # rewind
+    b = _run(factory, n_workers=1, backend="serial")
     np.testing.assert_array_equal(
-        serial.series_matrix("rmse"), parallel.series_matrix("rmse")
-    )
-    np.testing.assert_array_equal(
-        serial.series_matrix("cumulative_cost"),
-        parallel.series_matrix("cumulative_cost"),
+        a.series_matrix("rmse"), b.series_matrix("rmse")
     )
 
 

@@ -318,3 +318,19 @@ def test_property_prediction_scales_with_targets(scale):
     m2 = GaussianProcessRegressor(**kw).fit(X, scale * y)
     Xq = np.linspace(0, 1, 5)[:, np.newaxis]
     np.testing.assert_allclose(m2.predict(Xq), scale * m1.predict(Xq), rtol=1e-6, atol=1e-8)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_parallel_restart_fit_matches_serial(backend, small_1d_problem):
+    """executor= fans restarts out; hyperparameters must not change a bit."""
+    from repro.parallel import ParallelMap
+
+    X, y = small_1d_problem
+    kw = dict(noise_variance=0.05, n_restarts=3, rng=0)
+    serial = GaussianProcessRegressor(**kw).fit(X, y)
+    fanned = GaussianProcessRegressor(
+        **kw, executor=ParallelMap(backend, 2)
+    ).fit(X, y)
+    np.testing.assert_array_equal(serial.kernel_.theta, fanned.kernel_.theta)
+    assert serial.noise_variance_ == fanned.noise_variance_
+    assert serial.lml_ == fanned.lml_

@@ -146,3 +146,75 @@ def test_partial_nonfinite_starts_do_not_fall_back():
     assert "ok" in out.statuses
     assert np.isfinite(out.value)
     assert out.theta[0] == pytest.approx(0.2, abs=1e-4)
+
+
+class _Constant:
+    """Flat objective: every start converges instantly, every value ties.
+
+    Module-level class (not a closure) so the process-pool executor test
+    can pickle it.
+    """
+
+    def __call__(self, theta):
+        return 0.0, np.zeros_like(theta)
+
+
+class _Quadratic:
+    """Picklable quadratic for the cross-process executor tests."""
+
+    def __init__(self, center):
+        self.center = np.asarray(center, dtype=float)
+
+    def __call__(self, theta):
+        d = theta - self.center
+        return float(d @ d), 2 * d
+
+
+def test_exact_tie_breaks_toward_lowest_start_index():
+    """Engineered tie: all starts report identical values.
+
+    The winner must be start 0 — the deterministic (clipped ``theta0``)
+    start — by the explicit ``(value, start_index)`` lexicographic rule,
+    never whichever start happened to finish first.
+    """
+    theta0 = np.array([0.25, -0.75])
+    bounds = np.array([[-1.0, 1.0], [-1.0, 1.0]])
+    out = minimize_with_restarts(_Constant(), theta0, bounds, n_restarts=5, rng=0)
+    assert out.all_values == [0.0] * 6
+    np.testing.assert_array_equal(out.theta, out.all_thetas[0])
+    np.testing.assert_allclose(out.theta, theta0)
+
+
+def test_tie_break_is_first_minimal_value_in_start_order():
+    """General invariant: winner == first occurrence of the minimal value."""
+    out = minimize_with_restarts(
+        _Quadratic([0.1]), np.array([0.9]), np.array([[-1.0, 1.0]]),
+        n_restarts=4, rng=3,
+    )
+    values = np.asarray(out.all_values)
+    first_best = min(
+        range(len(values)), key=lambda i: (values[i], i)
+    )
+    np.testing.assert_array_equal(out.theta, out.all_thetas[first_best])
+    assert out.value == values[first_best]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_executor_matches_serial_bit_for_bit(backend):
+    """Parallel restarts return the same outcome as the serial loop."""
+    from repro.parallel import ParallelMap
+
+    theta0 = np.array([0.8, -0.3])
+    bounds = np.array([[-2.0, 2.0], [-2.0, 2.0]])
+    obj = _Quadratic([0.4, -1.1])
+    serial = minimize_with_restarts(obj, theta0, bounds, n_restarts=5, rng=11)
+    parallel = minimize_with_restarts(
+        obj, theta0, bounds, n_restarts=5, rng=11,
+        executor=ParallelMap(backend, 3),
+    )
+    np.testing.assert_array_equal(serial.theta, parallel.theta)
+    assert serial.value == parallel.value
+    assert serial.statuses == parallel.statuses
+    for a, b in zip(serial.all_thetas, parallel.all_thetas):
+        np.testing.assert_array_equal(a, b)
+    assert serial.all_values == parallel.all_values

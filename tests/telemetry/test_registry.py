@@ -93,3 +93,140 @@ class TestRegistry:
         reg.reset()
         assert len(reg) == 0
         assert reg.counter("n").value == 0
+
+
+class TestConcurrency:
+    def test_hammered_counter_loses_no_updates(self):
+        """N threads x M increments must land exactly N*M — the lost-update
+        race this registry's locking exists to prevent."""
+        import threading
+
+        reg = Registry()
+        n_threads, n_incs = 8, 2000
+
+        def hammer():
+            c = reg.counter("hits")
+            h = reg.histogram("lat")
+            for i in range(n_incs):
+                c.inc()
+                h.observe(float(i % 7))
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["counters"]["hits"] == n_threads * n_incs
+        assert snap["histograms"]["lat"]["count"] == n_threads * n_incs
+
+    def test_snapshot_never_torn_under_writes(self):
+        """Summaries read mid-hammer must be internally consistent."""
+        import threading
+
+        reg = Registry()
+        stop = threading.Event()
+
+        def writer():
+            h = reg.histogram("v")
+            c = reg.counter("n")
+            while not stop.is_set():
+                h.observe(1.0)
+                c.inc()
+
+        ws = [threading.Thread(target=writer) for _ in range(4)]
+        for w in ws:
+            w.start()
+        try:
+            for _ in range(200):
+                s = reg.snapshot()["histograms"].get("v")
+                if s is None or s["count"] == 0:
+                    continue
+                # total is count * 1.0 exactly iff count/total are read
+                # under one lock hold; a torn read breaks the identity.
+                assert s["total"] == s["count"] * 1.0
+                assert s["min"] == s["max"] == 1.0
+                assert s["mean"] == 1.0
+        finally:
+            stop.set()
+            for w in ws:
+                w.join()
+
+    def test_instrument_creation_race(self):
+        """Concurrent get-or-create returns one shared instrument."""
+        import threading
+
+        reg = Registry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(reg.counter("one"))
+
+        ts = [threading.Thread(target=create) for _ in range(8)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+
+class TestDumpMerge:
+    def test_roundtrip(self):
+        src = Registry()
+        src.counter("jobs").inc(3)
+        src.gauge("temp").set(41.5)
+        src.histogram("ms").observe(1.0)
+        src.histogram("ms").observe(9.0)
+
+        dst = Registry()
+        dst.counter("jobs").inc(2)
+        dst.merge(src.dump())
+        snap = dst.snapshot()
+        assert snap["counters"]["jobs"] == 5
+        assert snap["gauges"]["temp"] == 41.5
+        assert snap["histograms"]["ms"]["count"] == 2
+        assert snap["histograms"]["ms"]["total"] == 10.0
+
+    def test_dump_preserves_raw_observations(self):
+        """dump() ships observations, not summaries, so percentiles of the
+        merged registry equal percentiles of a single-process run."""
+        a, b, whole = Registry(), Registry(), Registry()
+        for v in range(0, 50):
+            a.histogram("x").observe(float(v))
+            whole.histogram("x").observe(float(v))
+        for v in range(50, 100):
+            b.histogram("x").observe(float(v))
+            whole.histogram("x").observe(float(v))
+        merged = Registry()
+        merged.merge(a.dump())
+        merged.merge(b.dump())
+        assert (
+            merged.histogram("x").percentile(90)
+            == whole.histogram("x").percentile(90)
+        )
+
+    def test_unset_gauge_does_not_clobber(self):
+        dst = Registry()
+        dst.gauge("g").set(7.0)
+        src = Registry()
+        src.gauge("g")  # created but never set
+        dst.merge(src.dump())
+        assert dst.snapshot()["gauges"]["g"] == 7.0
+
+    def test_merge_empty_dump(self):
+        reg = Registry()
+        reg.counter("c").inc()
+        reg.merge({})
+        assert reg.snapshot()["counters"]["c"] == 1
+
+    def test_merge_order_determines_gauge(self):
+        """Gauges are last-write-wins in merge (i.e. task input) order."""
+        first, second = Registry(), Registry()
+        first.gauge("g").set(1.0)
+        second.gauge("g").set(2.0)
+        dst = Registry()
+        dst.merge(first.dump())
+        dst.merge(second.dump())
+        assert dst.snapshot()["gauges"]["g"] == 2.0
