@@ -1,0 +1,134 @@
+"""Bench: prediction-service throughput and rollover under load.
+
+The serving layer's two promises are (1) batched queries cost two
+triangular solves per chunk — so a 10^4-point block should answer in
+milliseconds, not re-fit anything — and (2) hot rollover is cheap and
+non-disruptive: queries racing ``refresh()`` keep answering, on the old
+version until the swap, on the new one after.
+
+Reported here:
+
+* batched-predict throughput (points/s) across block sizes, mean and SD
+  service calls, against a full-block in-memory ``predict`` as reference
+  (chunking usually *wins* — smaller cross-covariance blocks stay in
+  cache);
+* registry publish/load latency at growing training-set sizes;
+* rollover under load: total queries answered and versions observed by a
+  query loop while a publisher thread pushes versions into the registry,
+  plus the rollover count (acceptance: every query answers, zero errors,
+  and the loop observes more than one version).
+"""
+
+import threading
+import time
+
+import numpy as np
+from conftest import banner
+
+from repro.gp import GaussianProcessRegressor
+from repro.serve import ModelRegistry, PredictionService
+
+
+def _fitted(n_train, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n_train, 3))
+    y = np.sin(X @ np.array([1.0, 2.0, 0.5])) + 0.02 * rng.standard_normal(n_train)
+    return GaussianProcessRegressor(rng=0, n_restarts=1, normalize_y=True).fit(X, y)
+
+
+def test_batched_predict_throughput(once, tmp_path):
+    model = _fitted(200)
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.publish(model)
+    Q = np.random.default_rng(1).uniform(size=(20_000, 3))
+
+    def run():
+        rows = []
+        for block in (1_000, 5_000, 20_000):
+            service = PredictionService(registry)
+            q = Q[:block]
+            t0 = time.perf_counter()
+            service.predict(q)
+            t_mean = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            service.predict_std(q)
+            t_std = time.perf_counter() - t0
+            rows.append((block, block / t_mean, block / t_std))
+        t0 = time.perf_counter()
+        mu_mem = model.predict(Q)
+        t_mem = time.perf_counter() - t0
+        assert np.array_equal(PredictionService(registry).predict(Q), mu_mem)
+        return rows, len(Q) / t_mem
+
+    rows, reference = once(run)
+    banner("serving: batched predict throughput (n_train=200)")
+    print(f"{'block':>8s} {'mean pts/s':>14s} {'mean+sd pts/s':>14s}")
+    for block, tp_mean, tp_std in rows:
+        print(f"{block:8d} {tp_mean:14.0f} {tp_std:14.0f}")
+    print(f"in-memory full-block reference: {reference:.0f} pts/s "
+          "(served output bit-identical)")
+
+
+def test_publish_load_latency(once, tmp_path):
+    sizes = (50, 200, 800)
+    models = {n: _fitted(n, seed=n) for n in sizes}
+
+    def run():
+        rows = []
+        for n_train in sizes:
+            model = models[n_train]
+            registry = ModelRegistry(tmp_path / f"reg{n_train}")
+            t0 = time.perf_counter()
+            registry.publish(model)
+            t_pub = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            registry.load()
+            t_load = time.perf_counter() - t0
+            rows.append((n_train, t_pub * 1e3, t_load * 1e3))
+        return rows
+
+    rows = once(run)
+    banner("serving: registry publish/load latency")
+    print(f"{'n_train':>8s} {'publish ms':>12s} {'load ms':>12s}")
+    for n_train, pub_ms, load_ms in rows:
+        print(f"{n_train:8d} {pub_ms:12.2f} {load_ms:12.2f}")
+
+
+def test_rollover_under_load(once, tmp_path):
+    """Queries race a publisher; every query must answer, across versions."""
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.publish(_fitted(100, seed=0))
+    models = [_fitted(100 + 20 * i, seed=i) for i in range(1, 5)]
+    Q = np.random.default_rng(2).uniform(size=(2_000, 3))
+
+    def run():
+        service = PredictionService(registry, auto_refresh=True)
+        versions_seen = set()
+        n_queries = 0
+        stop = threading.Event()
+
+        def publisher():
+            for model in models:
+                time.sleep(0.02)
+                registry.publish(model)
+            stop.set()
+
+        thread = threading.Thread(target=publisher)
+        thread.start()
+        while not stop.is_set() or service.version != registry.latest_version():
+            service.predict(Q)
+            versions_seen.add(service.version)
+            n_queries += 1
+        thread.join()
+        # Final answers match the final published model exactly.
+        final_model, _ = registry.load()
+        assert np.array_equal(service.predict(Q), final_model.predict(Q))
+        return n_queries, sorted(versions_seen), service.n_rollovers
+
+    n_queries, versions_seen, n_rollovers = once(run)
+    banner("serving: hot rollover under load (4 publishes racing queries)")
+    print(f"queries answered:  {n_queries} x {len(Q)} points, 0 errors")
+    print(f"versions observed: {versions_seen}")
+    print(f"rollovers:         {n_rollovers}")
+    assert len(versions_seen) > 1
+    assert n_rollovers >= 1

@@ -30,6 +30,9 @@ Subpackages
 ``repro.parallel``
     Deterministic serial/thread/process fan-out (``ParallelMap``) used by
     multi-restart fits, partition batches, and replicate campaign sweeps.
+``repro.serve``
+    Versioned model registry plus always-on prediction service with hot
+    rollover, and the ``python -m repro serve`` CLI.
 
 Quickstart
 ----------
@@ -55,6 +58,7 @@ __all__ = [
     "viz",
     "telemetry",
     "parallel",
+    "serve",
 ]
 
 _SUBPACKAGES = frozenset(
@@ -69,6 +73,7 @@ _SUBPACKAGES = frozenset(
         "experiments",
         "viz",
         "telemetry",
+        "serve",
     }
 )
 

@@ -62,6 +62,10 @@ def main(argv=None) -> int:
         from .al.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        from .serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

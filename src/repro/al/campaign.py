@@ -318,6 +318,17 @@ class OnlineCampaign:
         campaign-global clock: nodes that keep failing jobs are opened,
         probed after a cooldown, and eventually blacklisted; jobs route
         around them.  The breaker state restarts cold on resume.
+    registry:
+        ``None`` (default) trains without serving.  A
+        :class:`~repro.serve.registry.ModelRegistry` (or a path to one)
+        turns the campaign into a *publisher*: every full refit that
+        passes the health gate is pushed as a new registry version (hot
+        rollover for any attached
+        :class:`~repro.serve.service.PredictionService`), annotated with
+        the gate's :class:`~repro.al.guardrails.HealthReport` and the
+        campaign round.  Rollback rounds publish nothing — the served
+        last-known-good is already in the registry.  The final model is
+        published too (``extra={"final": True}``).
     """
 
     def __init__(
@@ -335,6 +346,7 @@ class OnlineCampaign:
         refit_every: int = 1,
         guardrails: GuardrailConfig | bool | None = None,
         breaker: NodeCircuitBreaker | BreakerConfig | bool | None = None,
+        registry=None,
     ):
         if refit_every < 1:
             raise ValueError("refit_every must be >= 1")
@@ -358,6 +370,12 @@ class OnlineCampaign:
             breaker = NodeCircuitBreaker(breaker, n_nodes=self.cluster.n_nodes)
         self.breaker: NodeCircuitBreaker | None = breaker or None
 
+        if registry is not None and not hasattr(registry, "publish"):
+            from ..serve.registry import ModelRegistry
+
+            registry = ModelRegistry(registry)
+        self.registry = registry
+
         guard = self.guardrails
         self._health = (
             ModelHealth(guard.health) if guard and guard.check_health else None
@@ -369,6 +387,7 @@ class OnlineCampaign:
         self._tallies = GuardrailTallies()
         self._remediation_level = 0
         self._prev_lml_pp: float | None = None
+        self._last_report = None  # HealthReport of the most recent gate check
         # Breaker counters already accounted for by a resumed checkpoint
         # (the live breaker restarts its own counters from zero).
         self._breaker_base = (0, 0, 0)
@@ -838,6 +857,7 @@ class OnlineCampaign:
         """
         assert self._health is not None
         report = self._health.check(model, prev_lml_per_point=self._prev_lml_pp)
+        self._last_report = report
         guard = self.guardrails
         if report.healthy:
             self._lkg.remember(model)
@@ -874,6 +894,22 @@ class OnlineCampaign:
         self._prev_lml_pp = report.lml_per_point
         self._remediation_level = 0
         return model
+
+    def _publish(
+        self,
+        model: GaussianProcessRegressor,
+        *,
+        health,
+        round_index: int | None,
+        final: bool = False,
+    ) -> None:
+        """Push a gated model to the registry (no-op without one)."""
+        if self.registry is None or not model.fitted:
+            return
+        extra = {"strategy": self.strategy.name, "final": final}
+        if round_index is not None:
+            extra["round"] = round_index
+        self.registry.publish(model, health=health, extra=extra)
 
     def _handle_drift(
         self, state: _CampaignState, round_index: int
@@ -957,9 +993,19 @@ class OnlineCampaign:
                         or not model.fitted
                         or round_index % self.refit_every == 0
                     )
-                    model = self._advance_model(model, state, round_index)
+                    fresh = self._advance_model(model, state, round_index)
+                    model = fresh
+                    publish_health = None
                     if self._health is not None and full_fit:
-                        model = self._health_gate(model, state, round_index)
+                        model = self._health_gate(fresh, state, round_index)
+                        publish_health = self._last_report
+                    if full_fit and model is fresh:
+                        # Healthy (or force-accepted) full refit: make it the
+                        # served version.  Rollback rounds publish nothing —
+                        # the last-known-good already is the served version.
+                        self._publish(
+                            model, health=publish_health, round_index=round_index
+                        )
                     state.fit_counts.append(len(state.measured_y))
                     pool = CandidatePool(
                         cand_X, np.zeros(len(cand_X)), np.zeros(len(cand_X))
@@ -1023,6 +1069,14 @@ class OnlineCampaign:
         if state.measured_y:
             final_model = self._fit_model(
                 state.measured_X, state.measured_y, fallback=model
+            )
+            final_health = None
+            if self._health is not None and final_model.fitted:
+                final_health = self._health.check(
+                    final_model, prev_lml_per_point=self._prev_lml_pp
+                )
+            self._publish(
+                final_model, health=final_health, round_index=None, final=True
             )
             X = np.vstack(state.measured_X)
         else:

@@ -66,7 +66,7 @@ class _CampaignFactory:
 
     def __init__(self, *, rounds, batch, max_ranks, crash_rate, crash_node,
                  drift_after, drift_factor, guardrails, max_wall_seconds,
-                 breaker):
+                 breaker, registry=None):
         self.rounds = rounds
         self.batch = batch
         self.max_ranks = max_ranks
@@ -77,6 +77,7 @@ class _CampaignFactory:
         self.guardrails = guardrails
         self.max_wall_seconds = max_wall_seconds
         self.breaker = breaker
+        self.registry = registry
 
     @property
     def faulty(self) -> bool:
@@ -121,6 +122,13 @@ class _CampaignFactory:
             rng=rng,
             guardrails=guardrails,
             breaker=self.breaker or None,
+            # Replicates each publish into their own registry subdirectory;
+            # a shared one would interleave fleets' versions meaninglessly.
+            registry=(
+                None
+                if self.registry is None
+                else (f"{self.registry}/r{index:03d}" if index else self.registry)
+            ),
         )
 
 
@@ -198,6 +206,11 @@ def main(argv=None) -> int:
         help="runtime multiplier once drift begins (with --drift-after)",
     )
     parser.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="publish every health-gated refit (and the final model) into "
+        "this model registry for python -m repro serve",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record a telemetry JSONL trace of the campaign",
     )
@@ -235,6 +248,7 @@ def main(argv=None) -> int:
         guardrails=args.guardrails,
         max_wall_seconds=args.max_wall_seconds,
         breaker=args.breaker,
+        registry=args.registry,
     )
     faulty = factory.faulty
 
@@ -274,6 +288,13 @@ def main(argv=None) -> int:
         f"{result.n_quarantined} quarantined, "
         f"{result.wasted_core_seconds:.0f} wasted core-s"
     )
+    if args.registry:
+        reg = campaign.registry
+        print(
+            "registry:           "
+            f"{len(reg.versions())} versions published "
+            f"(latest v{reg.latest_version():05d}) in {args.registry}"
+        )
     if faulty:
         s = executor.stats
         print(

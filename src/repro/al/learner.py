@@ -166,6 +166,15 @@ class ActiveLearner:
         training set — and the next refit runs with escalating remediation
         (:func:`repro.al.guardrails.apply_remediation`).  ``n_rollbacks``
         counts the interventions.
+    registry:
+        Optional :class:`~repro.serve.registry.ModelRegistry` (or a path
+        to one).  Every full refit that survives the health gate is then
+        published as a new registry version (annotated with the gate's
+        report and the iteration number), so a
+        :class:`~repro.serve.service.PredictionService` can hot-roll over
+        to it while the learner keeps iterating.  Rollback iterations
+        publish nothing — the served last-known-good is already in the
+        registry.
     """
 
     def __init__(
@@ -182,6 +191,7 @@ class ActiveLearner:
         refit_every: int = 1,
         warm_start: bool = False,
         guardrails=None,
+        registry=None,
     ):
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
@@ -216,6 +226,13 @@ class ActiveLearner:
         self._prev_lml_pp: float | None = None
         self._remediation_level = 0
         self.n_rollbacks = 0
+        self._last_report = None  # HealthReport of the most recent gate check
+
+        if registry is not None and not hasattr(registry, "publish"):
+            from ..serve.registry import ModelRegistry
+
+            registry = ModelRegistry(registry)
+        self.registry = registry
 
         self._X_train = X[partition.initial].copy()
         self._y_train = y[partition.initial].copy()
@@ -282,8 +299,18 @@ class ActiveLearner:
             model.noise_variance_bounds = (floor, max(bounds[1], floor * 10))
             model.noise_variance = max(model.noise_variance, floor)
         model.fit(self._X_train, self._y_train, warm_start=warm)
+        fresh = model
         if self._health is not None:
-            model = self._health_gate(model, iteration)
+            model = self._health_gate(fresh, iteration)
+        if self.registry is not None and model is fresh:
+            # Healthy (or ungated) full refit: make it the served version.
+            # Rollback iterations publish nothing — the last-known-good
+            # already is the served version.
+            self.registry.publish(
+                model,
+                health=self._last_report,
+                extra={"strategy": self.strategy.name, "iteration": iteration},
+            )
         return model
 
     def _health_gate(
@@ -291,6 +318,7 @@ class ActiveLearner:
     ) -> GaussianProcessRegressor:
         """Accept a healthy fit as last-known-good; roll an unhealthy one back."""
         report = self._health.check(model, prev_lml_per_point=self._prev_lml_pp)
+        self._last_report = report
         if (
             report.healthy
             or not self._lkg.available

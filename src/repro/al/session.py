@@ -182,11 +182,16 @@ def restore(
 def write_json_atomic(payload: dict, path) -> Path:
     """Atomically write ``payload`` as JSON to ``path``.
 
-    The document lands in a temporary file in the target directory and is
-    moved into place with :func:`os.replace` (atomic within one
-    filesystem), so a crash mid-write can never leave a truncated file
-    behind — at worst the previous complete version survives.  Shared by
-    session snapshots and campaign checkpoints.
+    The document lands in a temporary file in the target directory, is
+    flushed and fsynced, and is moved into place with
+    :func:`os.replace` (atomic within one filesystem), so a crash mid-write
+    can never leave a truncated file behind — at worst the previous
+    complete version survives.  Without the fsync the rename could be
+    durable before the data blocks, and a *power loss* (not just a process
+    crash) could surface a zero-length file; the directory itself is also
+    fsynced best-effort so the rename is durable too.  Shared by session
+    snapshots, campaign checkpoints, and the model registry
+    (:mod:`repro.serve`).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -196,6 +201,8 @@ def write_json_atomic(payload: dict, path) -> Path:
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(json.dumps(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -203,6 +210,19 @@ def write_json_atomic(payload: dict, path) -> Path:
         except OSError:
             pass
         raise
+    try:
+        # Durable rename: fsync the directory entry (not supported on every
+        # platform/filesystem, hence best-effort).
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        pass
+    else:
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
     return path
 
 

@@ -18,6 +18,8 @@ from .kernels import (
     RationalQuadratic,
     Sum,
     WhiteKernel,
+    kernel_from_dict,
+    kernel_to_dict,
 )
 from .loocv import (
     LOOResult,
@@ -43,6 +45,8 @@ __all__ = [
     "RationalQuadratic",
     "Sum",
     "Product",
+    "kernel_to_dict",
+    "kernel_from_dict",
     "OptimizeOutcome",
     "minimize_with_restarts",
     "LOOResult",

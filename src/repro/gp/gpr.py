@@ -27,6 +27,7 @@ All hyperparameters are optimized in log space.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import time
 import warnings
@@ -37,13 +38,16 @@ from scipy.linalg import cho_solve, cholesky, solve_triangular
 
 from .. import telemetry as tm
 from .incremental import NotPositiveDefiniteError, cholesky_append
-from .kernels import RBF, ConstantKernel, Kernel
+from .kernels import RBF, ConstantKernel, Kernel, kernel_from_dict, kernel_to_dict
 from .optimize import OptimizeOutcome, minimize_with_restarts
 from .validate import as_1d_array, as_2d_array, check_consistent_rows
 
 __all__ = ["GaussianProcessRegressor", "default_kernel"]
 
 _LOG_2PI = math.log(2.0 * math.pi)
+
+#: Format version of the :meth:`GaussianProcessRegressor.to_dict` payload.
+_SERIAL_VERSION = 1
 
 
 def default_kernel(n_features: int = 1, *, ard: bool = False) -> Kernel:
@@ -400,6 +404,12 @@ class GaussianProcessRegressor:
         fit.L = L
         fit.alpha = alpha
         fit.lml = self._lml_from_cholesky(L, alpha, y_all)
+        # The optimizer diagnostics describe the *previous* training set; an
+        # updated posterior has no optimize run of its own, so clear them
+        # rather than let registry metadata / telemetry attribute the stale
+        # outcome to this posterior.
+        fit.optimize_outcome = None
+        fit.theta_history = []
         return self
 
     def clone_fitted(self) -> "GaussianProcessRegressor":
@@ -436,6 +446,135 @@ class GaussianProcessRegressor:
             lml=fit.lml,
         )
         return clone
+
+    # ------------------------------------------------------------- persistence
+
+    def training_hash(self) -> str:
+        """SHA-256 fingerprint of the training set (and normalization).
+
+        Hashes the exact float64 bytes of the stored design matrix, the
+        normalized targets and the normalization constants, so two models
+        share a hash iff they were fitted on bit-identical data.  The model
+        registry (:mod:`repro.serve`) stores it as version metadata and
+        :meth:`from_dict` re-verifies it on load.
+        """
+        if self._fit is None:
+            raise RuntimeError("training_hash() requires a fitted model")
+        fit = self._fit
+        h = hashlib.sha256()
+        h.update(np.int64(fit.X.shape[0]).tobytes())
+        h.update(np.int64(fit.X.shape[1]).tobytes())
+        h.update(np.ascontiguousarray(fit.X, dtype=np.float64).tobytes())
+        h.update(np.ascontiguousarray(fit.y, dtype=np.float64).tobytes())
+        h.update(np.float64(fit.y_mean).tobytes())
+        h.update(np.float64(fit.y_std).tobytes())
+        return h.hexdigest()
+
+    def to_dict(self) -> dict:
+        """Exact JSON-serializable snapshot of the regressor.
+
+        Captures the constructor template (kernel spec, noise template and
+        bounds, optimizer settings, jitter), the fitted hyperparameters
+        (``kernel_``, ``noise_variance_``) and — when fitted — the full
+        posterior cache: training set, normalization constants, and the
+        Cholesky factor ``L`` and weight vector ``alpha``.  Every float
+        round-trips bit-exactly through JSON (``repr`` shortest-float
+        semantics), so :meth:`from_dict` reconstructs a model whose
+        :meth:`predict` outputs are **bit-identical** without refactorizing
+        anything.  RNG state and ``executor`` are not captured (a restored
+        model predicts; it does not continue a restart search).
+        """
+        bounds = self.noise_variance_bounds
+        payload: dict = {
+            "format_version": _SERIAL_VERSION,
+            "kernel": (
+                kernel_to_dict(self.kernel) if self.kernel is not None else None
+            ),
+            "noise_variance": float(self.noise_variance),
+            "noise_variance_bounds": (
+                bounds if isinstance(bounds, str)
+                else [float(bounds[0]), float(bounds[1])]
+            ),
+            "n_restarts": int(self.n_restarts),
+            "normalize_y": bool(self.normalize_y),
+            "optimizer": self.optimizer,
+            "jitter": float(self.jitter),
+            "noise_variance_": float(self.noise_variance_),
+            "kernel_": (
+                kernel_to_dict(self.kernel_) if self.kernel_ is not None else None
+            ),
+            "fit": None,
+        }
+        if self._fit is not None:
+            fit = self._fit
+            payload["fit"] = {
+                "X": fit.X.tolist(),
+                "y": fit.y.tolist(),
+                "y_mean": float(fit.y_mean),
+                "y_std": float(fit.y_std),
+                "L": fit.L.tolist(),
+                "alpha": fit.alpha.tolist(),
+                "lml": float(fit.lml),
+                "training_hash": self.training_hash(),
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GaussianProcessRegressor":
+        """Reconstruct a regressor serialized by :meth:`to_dict`.
+
+        The restored model's predictions are bit-identical to the source
+        model's: the cached Cholesky factor and ``alpha`` are restored
+        verbatim instead of being recomputed.  The training-set hash stored
+        at save time is re-verified; a mismatch (corrupt or hand-edited
+        payload) raises ``ValueError``.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("model payload must be a dict")
+        version = payload.get("format_version")
+        if version != _SERIAL_VERSION:
+            raise ValueError(
+                f"unsupported model format version {version!r} "
+                f"(expected {_SERIAL_VERSION})"
+            )
+        bounds = payload["noise_variance_bounds"]
+        if not isinstance(bounds, str):
+            bounds = (float(bounds[0]), float(bounds[1]))
+        model = cls(
+            kernel=(
+                kernel_from_dict(payload["kernel"])
+                if payload["kernel"] is not None
+                else None
+            ),
+            noise_variance=float(payload["noise_variance"]),
+            noise_variance_bounds=bounds,
+            n_restarts=int(payload["n_restarts"]),
+            normalize_y=bool(payload["normalize_y"]),
+            optimizer=payload["optimizer"],
+            rng=0,
+            jitter=float(payload["jitter"]),
+        )
+        model.noise_variance_ = float(payload["noise_variance_"])
+        if payload["kernel_"] is not None:
+            model.kernel_ = kernel_from_dict(payload["kernel_"])
+        fit = payload["fit"]
+        if fit is not None:
+            model._fit = _FitState(
+                X=np.asarray(fit["X"], dtype=float),
+                y=np.asarray(fit["y"], dtype=float),
+                y_mean=float(fit["y_mean"]),
+                y_std=float(fit["y_std"]),
+                L=np.asarray(fit["L"], dtype=float),
+                alpha=np.asarray(fit["alpha"], dtype=float),
+                lml=float(fit["lml"]),
+            )
+            stored = fit.get("training_hash")
+            if stored is not None and stored != model.training_hash():
+                raise ValueError(
+                    "training-set hash mismatch: the serialized model is "
+                    "corrupt or was modified after it was saved"
+                )
+        return model
 
     @staticmethod
     def _lml_from_cholesky(L: np.ndarray, alpha: np.ndarray, y: np.ndarray) -> float:
@@ -581,6 +720,18 @@ class GaussianProcessRegressor:
         v = solve_triangular(fit.L, K_star.T, lower=True, check_finite=False)
         if return_cov:
             cov = kernel(X) - v.T @ v
+            # Clamp numerically negative variances on the diagonal exactly
+            # like the return_std path: without it, sqrt(diag(cov))
+            # downstream yields NaN.
+            diag = np.einsum("ii->i", cov)  # writable view
+            if np.any(diag < 0):
+                if np.min(diag) < -1e-6:
+                    warnings.warn(
+                        f"predicted variance clipped from {np.min(diag):.3e}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                np.maximum(diag, 0.0, out=diag)
             if include_noise:
                 cov[np.diag_indices_from(cov)] += self.noise_variance_
             cov = cov * fit.y_std**2

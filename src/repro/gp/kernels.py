@@ -45,6 +45,8 @@ __all__ = [
     "RationalQuadratic",
     "Sum",
     "Product",
+    "kernel_to_dict",
+    "kernel_from_dict",
 ]
 
 
@@ -643,3 +645,121 @@ class Product(_BinaryKernel):
 
     def __repr__(self) -> str:
         return f"{self.k1!r} * {self.k2!r}"
+
+
+# --------------------------------------------------------------- serialization
+#
+# Exact JSON round-trips for kernel objects: every hyperparameter value is
+# stored as a Python float (``repr`` round-trips float64 bit-exactly through
+# JSON), bounds as ``[low, high]`` or ``"fixed"``, composites recursively.
+# The model registry (:mod:`repro.serve`) persists fitted regressors with
+# these helpers so a served model's covariance is *bit-identical* to the
+# in-memory one that was published.
+
+
+def _bounds_to_spec(h: Hyperparameter):
+    return "fixed" if h.fixed else [float(h.bounds[0]), float(h.bounds[1])]
+
+
+def _scalar_or_list(value):
+    if np.ndim(value) == 0:
+        return float(value)
+    return np.asarray(value, dtype=float).tolist()
+
+
+def kernel_to_dict(kernel: Kernel) -> dict:
+    """Serialize a kernel (hyperparameters, bounds, structure) to a dict.
+
+    The result is JSON-safe and :func:`kernel_from_dict` reconstructs an
+    equivalent kernel whose ``theta``/``bounds``/``__call__`` outputs are
+    bit-identical.  ``Matern(nu=inf)`` is supported: Python's ``json``
+    round-trips ``Infinity`` by default.
+    """
+    if isinstance(kernel, (Sum, Product)):
+        return {
+            "type": type(kernel).__name__,
+            "k1": kernel_to_dict(kernel.k1),
+            "k2": kernel_to_dict(kernel.k2),
+        }
+    if isinstance(kernel, ConstantKernel):
+        return {
+            "type": "ConstantKernel",
+            "constant_value": float(kernel.constant_value),
+            "constant_value_bounds": _bounds_to_spec(kernel._hyper[0]),
+        }
+    if isinstance(kernel, WhiteKernel):
+        return {
+            "type": "WhiteKernel",
+            "noise_level": float(kernel.noise_level),
+            "noise_level_bounds": _bounds_to_spec(kernel._hyper[0]),
+        }
+    if isinstance(kernel, Matern):
+        return {
+            "type": "Matern",
+            "length_scale": _scalar_or_list(kernel.length_scale),
+            "length_scale_bounds": _bounds_to_spec(kernel._hyper[0]),
+            "nu": float(kernel.nu),
+        }
+    if isinstance(kernel, RBF):
+        return {
+            "type": "RBF",
+            "length_scale": _scalar_or_list(kernel.length_scale),
+            "length_scale_bounds": _bounds_to_spec(kernel._hyper[0]),
+        }
+    if isinstance(kernel, RationalQuadratic):
+        return {
+            "type": "RationalQuadratic",
+            "length_scale": float(kernel.length_scale),
+            "alpha": float(kernel.alpha),
+            "length_scale_bounds": _bounds_to_spec(kernel._hyper[0]),
+            "alpha_bounds": _bounds_to_spec(kernel._hyper[1]),
+        }
+    raise TypeError(
+        f"cannot serialize kernel of type {type(kernel).__name__}; "
+        "kernel_to_dict supports the built-in kernel classes and their "
+        "Sum/Product compositions"
+    )
+
+
+def _spec_bounds(spec):
+    if isinstance(spec, str):
+        if spec != "fixed":
+            raise ValueError(f"invalid bounds spec {spec!r}")
+        return "fixed"
+    return (float(spec[0]), float(spec[1]))
+
+
+def kernel_from_dict(spec: dict) -> Kernel:
+    """Reconstruct a kernel previously serialized by :func:`kernel_to_dict`."""
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise ValueError("kernel spec must be a dict with a 'type' key")
+    kind = spec["type"]
+    if kind in ("Sum", "Product"):
+        cls = Sum if kind == "Sum" else Product
+        return cls(kernel_from_dict(spec["k1"]), kernel_from_dict(spec["k2"]))
+    if kind == "ConstantKernel":
+        return ConstantKernel(
+            spec["constant_value"], _spec_bounds(spec["constant_value_bounds"])
+        )
+    if kind == "WhiteKernel":
+        return WhiteKernel(
+            spec["noise_level"], _spec_bounds(spec["noise_level_bounds"])
+        )
+    if kind == "RBF":
+        return RBF(
+            spec["length_scale"], _spec_bounds(spec["length_scale_bounds"])
+        )
+    if kind == "Matern":
+        return Matern(
+            spec["length_scale"],
+            _spec_bounds(spec["length_scale_bounds"]),
+            nu=spec["nu"],
+        )
+    if kind == "RationalQuadratic":
+        return RationalQuadratic(
+            spec["length_scale"],
+            spec["alpha"],
+            _spec_bounds(spec["length_scale_bounds"]),
+            _spec_bounds(spec["alpha_bounds"]),
+        )
+    raise ValueError(f"unknown kernel type {kind!r}")

@@ -1,0 +1,18 @@
+"""Model registry and always-on prediction serving.
+
+Training (``repro.al``) produces fitted models; this package stores them
+as immutable versions with rollback pointers (:class:`ModelRegistry`) and
+answers batched queries from the published version with hot rollover
+(:class:`PredictionService`).  ``python -m repro serve`` is the CLI
+front-end.
+"""
+
+from .registry import ModelRegistry, ModelVersion, RegistryError
+from .service import PredictionService
+
+__all__ = [
+    "ModelRegistry",
+    "ModelVersion",
+    "RegistryError",
+    "PredictionService",
+]

@@ -1,0 +1,225 @@
+"""``python -m repro serve`` — query a model registry from the shell.
+
+One subcommand covers the registry lifecycle end to end::
+
+    python -m repro serve REGISTRY --info
+    python -m repro serve REGISTRY --query queries.jsonl --std --out preds.jsonl
+    python -m repro serve REGISTRY --stdin --watch        # JSONL loop
+    python -m repro serve REGISTRY --rollback
+    python -m repro serve REGISTRY --set-latest 2
+
+Query input is JSONL: each line is either a bare JSON array (one point
+``[x1, x2]`` or a block ``[[...], [...]]``) or an object ``{"x": ...}``.
+Each line is answered with one JSON object::
+
+    {"version": 3, "n": 2, "mean": [...], "std": [...]}
+
+In ``--stdin`` mode the objects ``{"cmd": "refresh"}`` and
+``{"cmd": "version"}`` trigger a manifest re-read (hot rollover) and a
+served-version report; ``--watch`` refreshes automatically before every
+query, so a campaign publishing into the same registry rolls the loop
+over mid-stream.  ``--trace`` records the ``serve.predict.seconds`` /
+``serve.rollover.total`` telemetry of the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .registry import ModelRegistry, RegistryError
+from .service import PredictionService
+
+__all__ = ["main"]
+
+
+def _parse_query(line: str):
+    doc = json.loads(line)
+    if isinstance(doc, dict):
+        if "cmd" in doc:
+            return doc["cmd"], None
+        doc = doc.get("x")
+    if doc is None:
+        raise ValueError("query must be an array or an object with 'x'/'cmd'")
+    X = np.asarray(doc, dtype=float)
+    if X.ndim == 1:
+        X = X[np.newaxis, :]
+    if X.ndim != 2:
+        raise ValueError(f"query must be 1-D or 2-D, got ndim={X.ndim}")
+    return None, X
+
+
+def _answer(service: PredictionService, X: np.ndarray, *, std: bool) -> dict:
+    out = {"version": service.version, "n": int(X.shape[0])}
+    if std:
+        mean, sd = service.predict_std(X)
+        out["mean"] = mean.tolist()
+        out["std"] = sd.tolist()
+    else:
+        out["mean"] = service.predict(X).tolist()
+    return out
+
+
+def _serve_lines(service: PredictionService, lines, out, *, std: bool) -> int:
+    """Answer queries line by line; returns the number answered."""
+    n_answered = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            cmd, X = _parse_query(line)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(json.dumps({"error": str(exc)}), file=out, flush=True)
+            continue
+        if cmd == "refresh":
+            rolled = service.refresh()
+            print(
+                json.dumps({"rolled_over": rolled, "version": service.version}),
+                file=out,
+                flush=True,
+            )
+            continue
+        if cmd == "version":
+            meta = service.meta
+            print(
+                json.dumps(
+                    {
+                        "version": meta.version,
+                        "n_train": meta.n_train,
+                        "training_hash": meta.training_hash,
+                        "healthy": meta.healthy,
+                    }
+                ),
+                file=out,
+                flush=True,
+            )
+            continue
+        if cmd is not None:
+            print(json.dumps({"error": f"unknown cmd {cmd!r}"}), file=out, flush=True)
+            continue
+        print(json.dumps(_answer(service, X, std=std)), file=out, flush=True)
+        n_answered += 1
+    return n_answered
+
+
+def _print_info(registry: ModelRegistry) -> None:
+    latest = registry.latest_version()
+    versions = registry.versions()
+    print(f"registry: {registry.root}")
+    print(f"latest:   {latest if latest is not None else '(empty)'}")
+    for meta in versions:
+        marker = "*" if meta.version == latest else " "
+        health = (
+            "-" if meta.healthy is None else ("ok" if meta.healthy else "UNHEALTHY")
+        )
+        print(
+            f" {marker} v{meta.version:05d}  n_train={meta.n_train:<5d} "
+            f"lml={meta.lml:<12.4f} health={health:<9s} "
+            f"hash={meta.training_hash[:12]}"
+        )
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``serve`` subcommand; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve predictions from (or administer) a model registry.",
+    )
+    parser.add_argument("registry", help="registry directory")
+    parser.add_argument(
+        "--version", type=int, default=None,
+        help="pin a specific version instead of tracking latest",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=2048,
+        help="query rows predicted per vectorized block",
+    )
+    parser.add_argument(
+        "--std", action="store_true",
+        help="also return predictive standard deviations",
+    )
+    parser.add_argument(
+        "--watch", action="store_true",
+        help="re-check the manifest before every query (hot rollover)",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--info", action="store_true", help="list versions and exit")
+    group.add_argument(
+        "--rollback", action="store_true",
+        help="move the latest pointer back one published version",
+    )
+    group.add_argument(
+        "--set-latest", type=int, default=None, metavar="N",
+        help="point latest at an existing version",
+    )
+    group.add_argument(
+        "--query", default=None, metavar="PATH",
+        help="answer the JSONL queries in PATH and exit",
+    )
+    group.add_argument(
+        "--stdin", action="store_true",
+        help="answer JSONL queries from stdin until EOF",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write JSONL answers here instead of stdout",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a telemetry JSONL trace of the serving run",
+    )
+    args = parser.parse_args(argv)
+
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.info:
+            _print_info(registry)
+            return 0
+        if args.rollback:
+            meta = registry.rollback()
+            print(f"latest -> v{meta.version:05d} (hash {meta.training_hash[:12]})")
+            return 0
+        if args.set_latest is not None:
+            meta = registry.set_latest(args.set_latest)
+            print(f"latest -> v{meta.version:05d} (hash {meta.training_hash[:12]})")
+            return 0
+
+        def run_queries() -> int:
+            service = PredictionService(
+                registry,
+                version=args.version,
+                chunk_size=args.chunk_size,
+                auto_refresh=args.watch,
+            )
+            out = open(args.out, "w") if args.out else sys.stdout
+            try:
+                if args.stdin:
+                    n = _serve_lines(service, sys.stdin, out, std=args.std)
+                else:
+                    with open(args.query) as fh:
+                        n = _serve_lines(service, fh, out, std=args.std)
+            finally:
+                if args.out:
+                    out.close()
+            print(
+                f"[served {n} queries on v{service.version:05d}, "
+                f"{service.n_rollovers} rollovers]",
+                file=sys.stderr,
+            )
+            return 0
+
+        if args.trace:
+            from .. import telemetry
+
+            with telemetry.session(args.trace):
+                code = run_queries()
+            print(f"[telemetry trace written to {args.trace}]", file=sys.stderr)
+            return code
+        return run_queries()
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

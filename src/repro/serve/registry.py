@@ -1,0 +1,314 @@
+"""Versioned model store: persisted fitted GPRs with rollback pointers.
+
+A :class:`ModelRegistry` is a directory of immutable, numbered version
+files plus one mutable ``MANIFEST.json`` naming the *published* (latest)
+version::
+
+    registry/
+        MANIFEST.json     {"latest": 3, "history": [1, 2, 3], ...}
+        v00001.json       one GaussianProcessRegressor.to_dict() + metadata
+        v00002.json
+        v00003.json
+
+Every write goes through :func:`repro.al.session.write_json_atomic`
+(temp file + fsync + atomic rename), and a publish writes the version
+file *before* repointing the manifest, so concurrent readers always see
+either the previous complete version or the new complete version — never
+a torn state.  That ordering is what makes hot rollover safe: a
+:class:`~repro.serve.service.PredictionService` that re-reads the
+manifest mid-traffic either keeps answering on the old model or switches
+to a fully durable new one.
+
+Version numbers are monotonically increasing and never reused.
+:meth:`ModelRegistry.rollback` moves the ``latest`` pointer back along
+the publish history without deleting anything, so a rollback is itself
+reversible (``set_latest``) and auditable.
+
+Metadata per version: creation time, training-set hash and size, LML,
+noise variance, and the guardrails' health verdict
+(:class:`repro.al.guardrails.HealthReport`) when one gated the publish —
+the registry-level complement of ``LastKnownGood``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .. import telemetry as tm
+from ..al.session import read_json_checked, write_json_atomic
+from ..gp.gpr import GaussianProcessRegressor
+
+__all__ = ["ModelVersion", "ModelRegistry", "RegistryError"]
+
+_MANIFEST_VERSION = 1
+_ENTRY_VERSION = 1
+_MANIFEST_NAME = "MANIFEST.json"
+
+
+class RegistryError(RuntimeError):
+    """A registry operation could not be performed (empty, missing version...)."""
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """Metadata of one published model version (the model itself lives on disk)."""
+
+    version: int
+    created_at: float
+    training_hash: str
+    n_train: int
+    lml: float
+    noise_variance: float
+    healthy: bool | None = None
+    issues: tuple = ()
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "created_at": self.created_at,
+            "training_hash": self.training_hash,
+            "n_train": self.n_train,
+            "lml": self.lml,
+            "noise_variance": self.noise_variance,
+            "healthy": self.healthy,
+            "issues": list(self.issues),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelVersion":
+        return cls(
+            version=int(data["version"]),
+            created_at=float(data["created_at"]),
+            training_hash=str(data["training_hash"]),
+            n_train=int(data["n_train"]),
+            lml=float(data["lml"]),
+            noise_variance=float(data["noise_variance"]),
+            healthy=data.get("healthy"),
+            issues=tuple(data.get("issues") or ()),
+            extra=dict(data.get("extra") or {}),
+        )
+
+
+def _health_fields(health) -> tuple[bool | None, tuple]:
+    """Extract (healthy, issues) from a HealthReport, dict, bool, or None."""
+    if health is None:
+        return None, ()
+    if isinstance(health, bool):
+        return health, ()
+    if isinstance(health, dict):
+        return (
+            None if health.get("healthy") is None else bool(health["healthy"]),
+            tuple(health.get("issues") or ()),
+        )
+    # Duck-typed HealthReport.
+    return bool(health.healthy), tuple(getattr(health, "issues", ()))
+
+
+class ModelRegistry:
+    """Directory-backed store of published model versions.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created on first :meth:`publish`.  Opening a
+        non-existent directory is allowed (it reads as empty), so readers
+        and writers can start in either order.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # ----------------------------------------------------------------- reads
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_NAME
+
+    def _read_manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            return {
+                "version": _MANIFEST_VERSION,
+                "latest": None,
+                "history": [],
+                "entries": {},
+            }
+        payload = read_json_checked(self.manifest_path, kind="registry manifest")
+        if payload.get("version") != _MANIFEST_VERSION:
+            raise RegistryError(
+                f"unsupported registry manifest version {payload.get('version')} "
+                f"(expected {_MANIFEST_VERSION})"
+            )
+        return payload
+
+    @property
+    def empty(self) -> bool:
+        """Whether no version has ever been published."""
+        return not self._read_manifest()["history"]
+
+    def latest_version(self) -> int | None:
+        """The currently published version number, or ``None`` when empty."""
+        latest = self._read_manifest()["latest"]
+        return None if latest is None else int(latest)
+
+    def versions(self) -> list[ModelVersion]:
+        """All published versions' metadata, in publish order."""
+        manifest = self._read_manifest()
+        entries = manifest["entries"]
+        return [
+            ModelVersion.from_dict(entries[str(v)]) for v in manifest["history"]
+        ]
+
+    def describe(self, version: int | None = None) -> ModelVersion:
+        """Metadata of ``version`` (default: the published latest)."""
+        manifest = self._read_manifest()
+        if version is None:
+            if manifest["latest"] is None:
+                raise RegistryError(f"registry {self.root} is empty")
+            version = int(manifest["latest"])
+        entry = manifest["entries"].get(str(int(version)))
+        if entry is None:
+            raise RegistryError(
+                f"registry {self.root} has no version {version}"
+            )
+        return ModelVersion.from_dict(entry)
+
+    def _version_path(self, version: int) -> Path:
+        return self.root / f"v{int(version):05d}.json"
+
+    def load(
+        self, version: int | None = None
+    ) -> tuple[GaussianProcessRegressor, ModelVersion]:
+        """Load a version's model (default: the published latest).
+
+        Returns ``(model, metadata)``; the model's predictions are
+        bit-identical to the model that was published
+        (:meth:`repro.gp.GaussianProcessRegressor.from_dict`).
+        """
+        meta = self.describe(version)
+        payload = read_json_checked(
+            self._version_path(meta.version), kind="registry model"
+        )
+        if payload.get("version") != _ENTRY_VERSION:
+            raise RegistryError(
+                f"unsupported registry entry version {payload.get('version')}"
+            )
+        model = GaussianProcessRegressor.from_dict(payload["model"])
+        return model, meta
+
+    # ---------------------------------------------------------------- writes
+
+    def publish(
+        self,
+        model: GaussianProcessRegressor,
+        *,
+        health=None,
+        extra: dict | None = None,
+        created_at: float | None = None,
+    ) -> ModelVersion:
+        """Persist a fitted model as the next version and point latest at it.
+
+        The version file is written (atomically, fsynced) before the
+        manifest is repointed, so a reader can never observe a latest
+        pointer naming a missing or torn file.  ``health`` may be a
+        :class:`~repro.al.guardrails.HealthReport`, a bool, or a dict with
+        ``healthy``/``issues``; ``extra`` is free-form JSON-safe metadata
+        (campaign round, strategy name, ...).
+        """
+        if not model.fitted:
+            raise RegistryError("cannot publish an unfitted model")
+        t0 = time.perf_counter()
+        manifest = self._read_manifest()
+        history = list(manifest["history"])
+        next_version = (max(history) + 1) if history else 1
+        healthy, issues = _health_fields(health)
+        meta = ModelVersion(
+            version=next_version,
+            created_at=time.time() if created_at is None else float(created_at),
+            training_hash=model.training_hash(),
+            n_train=model.X_train_.shape[0],
+            lml=float(model.lml_),
+            noise_variance=float(model.noise_variance_),
+            healthy=healthy,
+            issues=issues,
+            extra=dict(extra or {}),
+        )
+        write_json_atomic(
+            {
+                "version": _ENTRY_VERSION,
+                "meta": meta.as_dict(),
+                "model": model.to_dict(),
+            },
+            self._version_path(next_version),
+        )
+        history.append(next_version)
+        entries = dict(manifest["entries"])
+        entries[str(next_version)] = meta.as_dict()
+        self._write_manifest(latest=next_version, history=history, entries=entries)
+        tm.count("registry.publish.total")
+        tm.observe("registry.publish.seconds", time.perf_counter() - t0)
+        tm.event(
+            "registry.publish",
+            registry=str(self.root),
+            version=next_version,
+            n_train=meta.n_train,
+            training_hash=meta.training_hash,
+            healthy=healthy,
+        )
+        return meta
+
+    def _write_manifest(self, *, latest, history, entries) -> None:
+        write_json_atomic(
+            {
+                "version": _MANIFEST_VERSION,
+                "latest": latest,
+                "history": history,
+                "entries": entries,
+            },
+            self.manifest_path,
+        )
+
+    def set_latest(self, version: int) -> ModelVersion:
+        """Repoint ``latest`` at an existing version (used by rollback)."""
+        manifest = self._read_manifest()
+        version = int(version)
+        if version not in manifest["history"]:
+            raise RegistryError(
+                f"registry {self.root} has no version {version}"
+            )
+        self._write_manifest(
+            latest=version,
+            history=manifest["history"],
+            entries=manifest["entries"],
+        )
+        tm.count("registry.set_latest.total")
+        tm.event("registry.set_latest", registry=str(self.root), version=version)
+        return self.describe(version)
+
+    def rollback(self) -> ModelVersion:
+        """Repoint ``latest`` at the version published before the current one.
+
+        Nothing is deleted: the rolled-back version stays on disk and in
+        the history, and a later :meth:`set_latest` (or a fresh publish)
+        can move past it again.  Raises :class:`RegistryError` when there
+        is no earlier version to roll back to.
+        """
+        manifest = self._read_manifest()
+        if manifest["latest"] is None:
+            raise RegistryError(f"registry {self.root} is empty")
+        history = manifest["history"]
+        idx = history.index(int(manifest["latest"]))
+        if idx == 0:
+            raise RegistryError(
+                f"version {manifest['latest']} is the oldest published "
+                "version; nothing to roll back to"
+            )
+        meta = self.set_latest(history[idx - 1])
+        tm.count("registry.rollback.total")
+        tm.event(
+            "registry.rollback", registry=str(self.root), version=meta.version
+        )
+        return meta

@@ -161,3 +161,74 @@ def test_truncated_file_reports_corruption(tmp_path):
     path.write_text(text[: len(text) // 2])
     with pytest.raises(ValueError, match="truncated or corrupt"):
         load_session(path)
+
+
+class TestWriteDurability:
+    """write_json_atomic must fsync data before the rename (power-loss
+    safety), and best-effort fsync the directory after it."""
+
+    def test_fsyncs_file_before_replace_and_directory_after(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.al.session import write_json_atomic
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            # Classify: directory fds stat as directories.
+            kind = "dir" if os.fstat(fd).st_mode & 0o40000 else "file"
+            events.append(("fsync", kind))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", None))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        path = write_json_atomic({"version": 1, "v": 7}, tmp_path / "doc.json")
+        assert path.exists()
+        assert events == [
+            ("fsync", "file"),
+            ("replace", None),
+            ("fsync", "dir"),
+        ]
+
+    def test_directory_fsync_failure_is_tolerated(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.al.session import write_json_atomic
+
+        real_fsync = os.fsync
+
+        def flaky_fsync(fd):
+            if os.fstat(fd).st_mode & 0o40000:
+                raise OSError("fsync not supported on directories here")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", flaky_fsync)
+        path = write_json_atomic({"version": 1}, tmp_path / "doc.json")
+        assert path.read_text() == '{"version": 1}'
+
+    def test_file_fsync_failure_keeps_previous_version(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.al.session import write_json_atomic
+
+        target = tmp_path / "doc.json"
+        write_json_atomic({"version": 1, "generation": 1}, target)
+        good = target.read_text()
+
+        def exploding_fsync(fd):
+            raise OSError("I/O error")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError):
+            write_json_atomic({"version": 1, "generation": 2}, target)
+        assert target.read_text() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]

@@ -1,5 +1,7 @@
 """Tests for the Gaussian Process regressor (paper Eqs. 3-13)."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -334,3 +336,48 @@ def test_parallel_restart_fit_matches_serial(backend, small_1d_problem):
     np.testing.assert_array_equal(serial.kernel_.theta, fanned.kernel_.theta)
     assert serial.noise_variance_ == fanned.noise_variance_
     assert serial.lml_ == fanned.lml_
+
+
+def _ill_conditioned_fit(shrink):
+    """A fitted model whose cached L is shrunk so the posterior variance
+    cancellation lands negative — the deterministic trigger for the clamp."""
+    X = np.linspace(0, 1, 25)[:, np.newaxis]
+    y = np.sin(4 * X[:, 0])
+    model = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0, "fixed") * RBF(0.5, "fixed"),
+        noise_variance=1e-10,
+        noise_variance_bounds="fixed",
+        optimizer=None,
+    ).fit(X, y)
+    model._fit.L = model._fit.L * (1.0 - shrink)
+    return model, X
+
+
+def test_return_cov_clamps_tiny_negative_diagonal():
+    """Regression: return_cov silently returned negative diagonal variances
+    (NaN after sqrt) where return_std already clamped them."""
+    model, X = _ill_conditioned_fit(1e-9)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # tiny negatives must NOT warn
+        mean, cov = model.predict(X, return_cov=True, include_noise=False)
+        _, sd = model.predict(X, return_std=True, include_noise=False)
+    diag = np.diag(cov)
+    assert np.all(diag >= 0)
+    assert not np.any(np.isnan(np.sqrt(diag)))
+    np.testing.assert_allclose(np.sqrt(diag), sd, atol=1e-12)
+
+
+def test_return_cov_warns_on_sizable_negative_diagonal():
+    model, X = _ill_conditioned_fit(1e-3)
+    with pytest.warns(RuntimeWarning, match="variance clipped"):
+        _, cov = model.predict(X, return_cov=True, include_noise=False)
+    assert np.all(np.diag(cov) >= 0)
+    with pytest.warns(RuntimeWarning, match="variance clipped"):
+        model.predict(X, return_std=True, include_noise=False)
+
+
+def test_return_cov_clamp_keeps_noise_floor():
+    """With include_noise, the clamped diagonal still carries sigma_n^2."""
+    model, X = _ill_conditioned_fit(1e-9)
+    _, cov = model.predict(X, return_cov=True)
+    assert np.all(np.diag(cov) >= model.noise_variance_ * model._fit.y_std**2)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the registry/serving tests."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcessRegressor
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    """Three successively larger fits on the same underlying function."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(40, 3))
+    y = np.sin(X @ np.array([1.0, 2.0, 0.5]))
+    models = []
+    for n in (20, 30, 40):
+        models.append(
+            GaussianProcessRegressor(rng=0, n_restarts=1, normalize_y=True).fit(
+                X[:n], y[:n]
+            )
+        )
+    return models
+
+
+@pytest.fixture()
+def query_block():
+    return np.random.default_rng(99).uniform(size=(10_000, 3))

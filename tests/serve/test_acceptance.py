@@ -1,0 +1,130 @@
+"""End-to-end acceptance: campaign publishes, the service serves.
+
+The ISSUE's acceptance criterion, verbatim: a campaign run with publishing
+enabled yields a registry from which a ``PredictionService`` answers a
+10k-point query block bit-identically to the in-memory model, before and
+after a hot rollover, and ``rollback()`` restores the prior version's
+exact outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.al.campaign import CampaignConfig, OnlineCampaign
+from repro.datasets.generate import ModelExecutor
+from repro.serve import ModelRegistry, PredictionService
+
+
+def _candidates():
+    sizes = [48**3, 96**3, 192**3, 384**3]
+    nps = [1, 8, 32, 128]
+    freqs = [1.2, 2.4]
+    return np.array(
+        [(s, p, f) for s in sizes for p in nps for f in freqs], dtype=float
+    )
+
+
+def _campaign(registry, n_rounds=3, guardrails=False, rng=0):
+    config = CampaignConfig(
+        operator="poisson1",
+        candidates=_candidates(),
+        batch_size=2,
+        n_rounds=n_rounds,
+    )
+    return OnlineCampaign(
+        config,
+        ModelExecutor(),
+        rng=rng,
+        guardrails=guardrails,
+        registry=registry,
+    )
+
+
+@pytest.fixture(scope="module")
+def query_block_features():
+    """10k query points in the campaign's (log size, log np, freq) space."""
+    rng = np.random.default_rng(1234)
+    Q = np.empty((10_000, 3))
+    Q[:, 0] = rng.uniform(np.log10(48**3), np.log10(384**3), size=len(Q))
+    Q[:, 1] = rng.uniform(0, 7, size=len(Q))
+    Q[:, 2] = rng.uniform(1.2, 2.4, size=len(Q))
+    return Q
+
+
+def test_campaign_to_service_bit_identical_with_rollover_and_rollback(
+    tmp_path, query_block_features
+):
+    registry = ModelRegistry(tmp_path / "reg")
+    Q = query_block_features
+
+    # Round 1 of serving: a first campaign populates the registry.
+    result1 = _campaign(registry, n_rounds=2, rng=0).run()
+    service = PredictionService(registry)
+    v_before = service.version
+    meta_before = service.meta
+    assert meta_before.extra.get("final") is True
+    assert meta_before.training_hash == result1.model.training_hash()
+
+    mu_mem, sd_mem = result1.model.predict(Q, return_std=True)
+    mu_srv, sd_srv = service.predict_std(Q)
+    assert np.array_equal(mu_srv, mu_mem)
+    assert np.array_equal(sd_srv, sd_mem)
+
+    # A second campaign publishes newer versions while the service is
+    # attached; a refresh hot-rolls it over.
+    result2 = _campaign(registry, n_rounds=2, rng=1).run()
+    assert service.version == v_before  # nothing rolled yet
+    assert service.refresh() is True
+    assert service.version > v_before
+    mu_mem2 = result2.model.predict(Q)
+    assert np.array_equal(service.predict(Q), mu_mem2)
+
+    # Roll the published pointer back: the service answers with the prior
+    # version's exact outputs again.
+    while registry.latest_version() != v_before:
+        registry.rollback()
+    assert service.refresh() is True
+    assert service.version == v_before
+    mu_back, sd_back = service.predict_std(Q)
+    assert np.array_equal(mu_back, mu_mem)
+    assert np.array_equal(sd_back, sd_mem)
+
+
+def test_guarded_campaign_annotates_health(tmp_path):
+    registry = ModelRegistry(tmp_path / "reg")
+    _campaign(registry, n_rounds=2, guardrails=True, rng=2).run()
+    versions = registry.versions()
+    assert versions, "guarded campaign published nothing"
+    # Every published version carries a health verdict (the gate ran).
+    assert all(m.healthy is not None for m in versions)
+    rounds = [m.extra.get("round") for m in versions if not m.extra.get("final")]
+    assert rounds == sorted(rounds)
+    assert versions[-1].extra.get("final") is True
+
+
+def test_learner_publishes_gated_refits(tmp_path, fig6_data):
+    from repro.al.learner import ActiveLearner
+    from repro.al.partition import random_partition
+    from repro.al.strategies import VarianceReduction
+
+    X, y, costs = fig6_data
+    registry = ModelRegistry(tmp_path / "reg")
+    learner = ActiveLearner(
+        X,
+        y,
+        costs,
+        random_partition(len(y), rng=0),
+        VarianceReduction(),
+        guardrails=True,
+        registry=registry,
+    )
+    for _ in range(3):
+        learner.step()
+    versions = registry.versions()
+    assert len(versions) == 3
+    assert [m.extra["iteration"] for m in versions] == [0, 1, 2]
+    assert versions[-1].training_hash == learner.model.training_hash()
+    # The served latest equals the learner's current model bitwise.
+    service = PredictionService(registry)
+    Q = X[:256]
+    assert np.array_equal(service.predict(Q), learner.model.predict(Q))

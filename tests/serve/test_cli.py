@@ -1,0 +1,118 @@
+"""Tests for the ``python -m repro serve`` CLI."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry
+from repro.serve.cli import main
+
+
+@pytest.fixture()
+def registry(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.publish(fitted_models[0], health=True)
+    reg.publish(fitted_models[1], health=True)
+    return reg
+
+
+def _jsonl(text):
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def test_info_lists_versions(registry, capsys):
+    assert main([str(registry.root), "--info"]) == 0
+    out = capsys.readouterr().out
+    assert "v00001" in out and "v00002" in out
+    assert "latest:   2" in out
+    assert out.count("health=ok") == 2
+
+
+def test_query_file_answers_match_model(
+    registry, fitted_models, tmp_path, capsys
+):
+    Q = np.random.default_rng(0).uniform(size=(5, 3)).tolist()
+    qfile = tmp_path / "q.jsonl"
+    qfile.write_text(
+        json.dumps(Q) + "\n" + json.dumps({"x": Q[0]}) + "\n"
+    )
+    out_file = tmp_path / "answers.jsonl"
+    assert main(
+        [str(registry.root), "--query", str(qfile), "--std", "--out", str(out_file)]
+    ) == 0
+    answers = _jsonl(out_file.read_text())
+    assert [a["n"] for a in answers] == [5, 1]
+    assert all(a["version"] == 2 for a in answers)
+    mu, sd = fitted_models[1].predict(np.asarray(Q), return_std=True)
+    assert answers[0]["mean"] == mu.tolist()
+    assert answers[0]["std"] == sd.tolist()
+    assert "served 2 queries on v00002" in capsys.readouterr().err
+
+
+def test_stdin_loop_with_commands(registry, capsys, monkeypatch):
+    lines = "\n".join(
+        [
+            json.dumps([[0.1, 0.2, 0.3]]),
+            json.dumps({"cmd": "version"}),
+            json.dumps({"cmd": "refresh"}),
+            json.dumps({"cmd": "bogus"}),
+            "not json",
+            json.dumps({"y": 1}),
+        ]
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    assert main([str(registry.root), "--stdin"]) == 0
+    answers = _jsonl(capsys.readouterr().out)
+    assert answers[0]["version"] == 2 and answers[0]["n"] == 1
+    assert answers[1]["n_train"] == 30 and answers[1]["healthy"] is True
+    assert answers[2] == {"rolled_over": False, "version": 2}
+    assert "unknown cmd" in answers[3]["error"]
+    assert "error" in answers[4]
+    assert "error" in answers[5]
+
+
+def test_pinned_version_query(registry, fitted_models, tmp_path, capsys):
+    Q = [[0.4, 0.4, 0.4]]
+    qfile = tmp_path / "q.jsonl"
+    qfile.write_text(json.dumps(Q) + "\n")
+    assert main([str(registry.root), "--query", str(qfile), "--version", "1"]) == 0
+    answer = _jsonl(capsys.readouterr().out)[0]
+    assert answer["version"] == 1
+    assert answer["mean"] == fitted_models[0].predict(np.asarray(Q)).tolist()
+
+
+def test_rollback_and_set_latest(registry, capsys):
+    assert main([str(registry.root), "--rollback"]) == 0
+    assert "latest -> v00001" in capsys.readouterr().out
+    assert registry.latest_version() == 1
+    assert main([str(registry.root), "--set-latest", "2"]) == 0
+    assert registry.latest_version() == 2
+
+
+def test_rollback_at_oldest_is_an_error(registry, capsys):
+    registry.rollback()
+    assert main([str(registry.root), "--rollback"]) == 1
+    assert "nothing to roll back" in capsys.readouterr().err
+
+
+def test_empty_registry_query_is_an_error(tmp_path, capsys):
+    qfile = tmp_path / "q.jsonl"
+    qfile.write_text("[[0.0, 0.0, 0.0]]\n")
+    assert main([str(tmp_path / "empty"), "--query", str(qfile)]) == 1
+    assert "empty" in capsys.readouterr().err
+
+
+def test_trace_writes_serving_telemetry(registry, tmp_path, capsys):
+    qfile = tmp_path / "q.jsonl"
+    qfile.write_text("[[0.1, 0.1, 0.1]]\n")
+    trace = tmp_path / "trace.jsonl"
+    assert main(
+        [str(registry.root), "--query", str(qfile), "--trace", str(trace)]
+    ) == 0
+    events = _jsonl(trace.read_text())
+    metrics = [e for e in events if e.get("ev") == "metrics"]
+    counters = metrics[-1]["metrics"]["counters"]
+    assert counters["serve.predict.requests"] == 1
+    assert "serve.predict.seconds" in metrics[-1]["metrics"]["histograms"]

@@ -1,0 +1,195 @@
+"""Tests for the versioned model registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.al.guardrails import ModelHealth
+from repro.gp import GaussianProcessRegressor
+from repro.serve import ModelRegistry, ModelVersion, RegistryError
+
+
+def test_empty_registry_reads_as_empty(tmp_path):
+    reg = ModelRegistry(tmp_path / "reg")
+    assert reg.empty
+    assert reg.latest_version() is None
+    assert reg.versions() == []
+    with pytest.raises(RegistryError, match="empty"):
+        reg.describe()
+    with pytest.raises(RegistryError, match="empty"):
+        reg.load()
+
+
+def test_publish_load_bit_identical(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    model = fitted_models[0]
+    meta = reg.publish(model)
+    assert meta.version == 1
+    assert meta.training_hash == model.training_hash()
+    assert meta.n_train == model.X_train_.shape[0]
+    loaded, loaded_meta = reg.load()
+    assert loaded_meta == meta
+    Q = np.random.default_rng(1).uniform(size=(50, 3))
+    mu_a, sd_a = model.predict(Q, return_std=True)
+    mu_b, sd_b = loaded.predict(Q, return_std=True)
+    assert np.array_equal(mu_a, mu_b)
+    assert np.array_equal(sd_a, sd_b)
+
+
+def test_versions_are_monotonic_and_latest_tracks(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    for i, model in enumerate(fitted_models, start=1):
+        assert reg.publish(model).version == i
+        assert reg.latest_version() == i
+    assert [m.version for m in reg.versions()] == [1, 2, 3]
+
+
+def test_rollback_and_set_latest(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    for model in fitted_models:
+        reg.publish(model)
+    assert reg.rollback().version == 2
+    assert reg.latest_version() == 2
+    assert reg.rollback().version == 1
+    with pytest.raises(RegistryError, match="oldest"):
+        reg.rollback()
+    # Nothing was deleted; latest can move forward again.
+    assert reg.set_latest(3).version == 3
+    with pytest.raises(RegistryError, match="no version 7"):
+        reg.set_latest(7)
+
+
+def test_rollback_restores_exact_predictions(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.publish(fitted_models[0])
+    reg.publish(fitted_models[1])
+    Q = np.random.default_rng(2).uniform(size=(64, 3))
+    expected = fitted_models[0].predict(Q)
+    reg.rollback()
+    restored, meta = reg.load()
+    assert meta.version == 1
+    assert np.array_equal(restored.predict(Q), expected)
+
+
+def test_health_metadata_from_report(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    report = ModelHealth().check(fitted_models[2])
+    meta = reg.publish(fitted_models[2], health=report)
+    reread = reg.describe(meta.version)
+    assert reread.healthy == report.healthy
+    assert reread.issues == tuple(report.issues)
+
+
+@pytest.mark.parametrize(
+    "health, expect",
+    [
+        (None, (None, ())),
+        (True, (True, ())),
+        (False, (False, ())),
+        ({"healthy": False, "issues": ["lml_regression"]},
+         (False, ("lml_regression",))),
+    ],
+)
+def test_health_metadata_variants(tmp_path, fitted_models, health, expect):
+    reg = ModelRegistry(tmp_path / "reg")
+    meta = reg.publish(fitted_models[0], health=health)
+    assert (meta.healthy, meta.issues) == expect
+
+
+def test_extra_metadata_roundtrips(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    meta = reg.publish(
+        fitted_models[0], extra={"round": 4, "strategy": "variance_reduction"}
+    )
+    assert reg.describe(meta.version).extra == {
+        "round": 4,
+        "strategy": "variance_reduction",
+    }
+
+
+def test_unfitted_model_rejected(tmp_path):
+    reg = ModelRegistry(tmp_path / "reg")
+    with pytest.raises(RegistryError, match="unfitted"):
+        reg.publish(GaussianProcessRegressor())
+
+
+def test_corrupt_version_file_detected(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    meta = reg.publish(fitted_models[0])
+    path = reg._version_path(meta.version)
+    path.write_text(path.read_text()[:100])
+    with pytest.raises(ValueError, match="corrupt"):
+        reg.load()
+
+
+def test_tampered_model_payload_detected(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    meta = reg.publish(fitted_models[0])
+    path = reg._version_path(meta.version)
+    doc = json.loads(path.read_text())
+    doc["model"]["fit"]["alpha"][0] = 0.0
+    doc["model"]["fit"]["y"][0] += 0.25
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="hash mismatch"):
+        reg.load()
+
+
+def test_unsupported_manifest_version_rejected(tmp_path, fitted_models):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.publish(fitted_models[0])
+    doc = json.loads(reg.manifest_path.read_text())
+    doc["version"] = 99
+    reg.manifest_path.write_text(json.dumps(doc))
+    with pytest.raises(RegistryError, match="manifest version"):
+        reg.latest_version()
+
+
+def test_version_file_lands_before_manifest(tmp_path, fitted_models, monkeypatch):
+    """Publish ordering: a crash between the two writes must leave the
+    manifest still pointing at the previous complete version."""
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.publish(fitted_models[0])
+
+    import repro.serve.registry as registry_mod
+
+    real_write = registry_mod.write_json_atomic
+    calls = []
+
+    def tracking_write(payload, path):
+        calls.append(str(path))
+        if len(calls) == 1:
+            # First write of this publish = the version file; crash after.
+            real_write(payload, path)
+            raise RuntimeError("simulated crash before manifest repoint")
+        return real_write(payload, path)
+
+    monkeypatch.setattr(registry_mod, "write_json_atomic", tracking_write)
+    with pytest.raises(RuntimeError, match="simulated crash"):
+        reg.publish(fitted_models[1])
+    monkeypatch.setattr(registry_mod, "write_json_atomic", real_write)
+    # The orphaned v2 file exists but the registry still serves v1.
+    assert reg._version_path(2).exists()
+    assert reg.latest_version() == 1
+    model, meta = reg.load()
+    assert meta.version == 1
+    # A later publish does not reuse the orphaned number's slot silently:
+    # it writes the next number after the recorded history.
+    meta3 = reg.publish(fitted_models[2])
+    assert meta3.version == 2  # history only knew v1
+    assert reg.latest_version() == 2
+
+
+def test_model_version_as_dict_roundtrip():
+    meta = ModelVersion(
+        version=3,
+        created_at=1723100000.0,
+        training_hash="ab" * 32,
+        n_train=17,
+        lml=-4.25,
+        noise_variance=1e-3,
+        healthy=True,
+        issues=("x",),
+        extra={"round": 2},
+    )
+    assert ModelVersion.from_dict(meta.as_dict()) == meta
