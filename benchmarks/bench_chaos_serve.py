@@ -1,0 +1,232 @@
+"""Chaos soak: publish -> serve -> rollover -> fsck under filesystem faults.
+
+The acceptance scenario for the robustness layer: a publisher pushes
+versions into a registry whose disk corrupts ~10% of the writes (torn
+write / truncation / bit flip / slow read, via
+:class:`repro.cluster.faults.FilesystemFaultInjector`), while an
+auto-refreshing :class:`~repro.serve.PredictionService` answers query
+blocks throughout and ``fsck`` runs periodically like a cron job.
+
+Reported and asserted:
+
+* **availability** — fraction of query blocks answered (>= 99%);
+* **corrupt answers** — query blocks whose served mean differs from the
+  in-memory model of the version the service *claims* it served (must be
+  exactly 0: checksums + last-known-good fallback, not luck);
+* **fsck** — the final pass leaves a servable registry with every
+  corrupted version quarantined into ``corrupt/``;
+* **worker kills** — a process-backend map whose worker is SIGKILL'd
+  mid-sweep finishes bit-identical to the fault-free serial run.
+
+Runs standalone for CI (``python benchmarks/bench_chaos_serve.py
+--quick``; exit 0 iff every acceptance bar holds) or under
+pytest-benchmark like the other benches.
+"""
+
+import argparse
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.faults import FilesystemFaultInjector, FsFaultConfig
+from repro.gp import GaussianProcessRegressor
+from repro.parallel import ParallelMap
+from repro.serve import ModelRegistry, PredictionService
+
+
+def _fitted(n_train, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n_train, 3))
+    y = np.sin(X @ np.array([1.0, 2.0, 0.5])) + 0.02 * rng.standard_normal(n_train)
+    return GaussianProcessRegressor(rng=0, n_restarts=1, normalize_y=True).fit(X, y)
+
+
+def chaos_serve(workdir, *, n_publishes=40, queries_per_cycle=3, seed=0):
+    """Drive the publish/serve/corrupt/fsck loop; return the scoreboard."""
+    workdir = Path(workdir)
+    registry = ModelRegistry(workdir / "reg")
+    injector = FilesystemFaultInjector(
+        FsFaultConfig(
+            torn_write_rate=0.04,
+            truncation_rate=0.03,
+            bit_flip_rate=0.02,
+            slow_read_rate=0.01,
+            slow_read_seconds=0.002,
+        ),
+        rng=seed,
+    )
+    # A small pool of distinct fitted models, published round-robin; the
+    # in-memory object for each version is the ground truth a served
+    # answer is bit-compared against.
+    pool = [_fitted(40 + 10 * i, seed=i) for i in range(4)]
+    by_version = {}
+
+    meta = registry.publish(pool[0])
+    by_version[meta.version] = pool[0]
+    service = PredictionService(registry, auto_refresh=True)
+    Q = np.random.default_rng(99).uniform(size=(200, 3))
+
+    answered = corrupt_answers = failed = 0
+    for cycle in range(n_publishes):
+        meta = registry.publish(pool[cycle % len(pool)])
+        by_version[meta.version] = pool[cycle % len(pool)]
+        kind = injector.inject(registry._version_path(meta.version))
+        if kind == "slow_read":
+            time.sleep(injector.config.slow_read_seconds)
+        for _ in range(queries_per_cycle):
+            try:
+                mean = service.predict(Q)
+            except Exception:
+                failed += 1
+                continue
+            answered += 1
+            reference = by_version[service.version].predict(Q)
+            if not np.array_equal(mean, reference):
+                corrupt_answers += 1
+        if cycle % 10 == 9:
+            registry.fsck()
+    report = registry.fsck()
+    total = answered + failed
+    return {
+        "queries": total,
+        "answered": answered,
+        "availability": answered / total,
+        "corrupt_answers": corrupt_answers,
+        "injected": injector.stats.n_corruptions,
+        "slow_reads": injector.stats.n_slow_reads,
+        "quarantined": len(registry.quarantined()),
+        "served_versions": len(by_version),
+        "servable": report.servable,
+        "rollovers": service.n_rollovers,
+        "degraded": service.degraded,
+    }
+
+
+class _KillWorkerOnce:
+    """SIGKILL the worker on the first attempt at one item (marker-gated)."""
+
+    def __init__(self, marker, victim):
+        self.marker = marker
+        self.victim = victim
+
+    def __call__(self, x):
+        if x == self.victim and not Path(self.marker).exists():
+            Path(self.marker).write_text("killed")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return float(np.sin(x) * x)
+
+
+def _square_chaos_free(x):
+    return float(np.sin(x) * x)
+
+
+def worker_kill_sweep(workdir, *, n_tasks=8):
+    """Process map with a SIGKILL'd worker vs the fault-free serial run."""
+    task = _KillWorkerOnce(str(Path(workdir) / "killed"), victim=n_tasks // 2)
+    pm = ParallelMap("process", n_workers=2, max_task_retries=3)
+    t0 = time.perf_counter()
+    chaotic = pm.map(task, list(range(n_tasks)))
+    elapsed = time.perf_counter() - t0
+    clean = [_square_chaos_free(x) for x in range(n_tasks)]
+    return {
+        "n_tasks": n_tasks,
+        "kill_happened": (Path(workdir) / "killed").exists(),
+        "bit_identical": chaotic == clean,
+        "seconds": elapsed,
+    }
+
+
+def _check(scoreboard, kills) -> list:
+    problems = []
+    if scoreboard["availability"] < 0.99:
+        problems.append(f"availability {scoreboard['availability']:.4f} < 0.99")
+    if scoreboard["corrupt_answers"]:
+        problems.append(f"{scoreboard['corrupt_answers']} corrupt answers")
+    if not scoreboard["servable"]:
+        problems.append("registry not servable after fsck")
+    if not kills["kill_happened"]:
+        problems.append("worker kill never fired")
+    if not kills["bit_identical"]:
+        problems.append("worker-kill sweep diverged from fault-free run")
+    return problems
+
+
+def _print_report(scoreboard, kills, banner_fn=None) -> None:
+    if banner_fn:
+        banner_fn("chaos soak: serving under filesystem faults + worker kills")
+    print(
+        f"queries answered:   {scoreboard['answered']}/{scoreboard['queries']} "
+        f"({scoreboard['availability']:.2%} availability)"
+    )
+    print(f"corrupt answers:    {scoreboard['corrupt_answers']}")
+    print(
+        f"faults injected:    {scoreboard['injected']} corruptions, "
+        f"{scoreboard['slow_reads']} slow reads"
+    )
+    print(
+        f"fsck:               {scoreboard['quarantined']} quarantined, "
+        f"servable={scoreboard['servable']}"
+    )
+    print(
+        f"rollovers:          {scoreboard['rollovers']} across "
+        f"{scoreboard['served_versions']} published versions"
+    )
+    print(
+        f"worker-kill sweep:  {kills['n_tasks']} tasks, kill fired, "
+        f"bit-identical={kills['bit_identical']} ({kills['seconds']:.1f}s)"
+    )
+
+
+# ------------------------------------------------------------- pytest benches
+
+
+def test_chaos_serve_soak(once, tmp_path):
+    scoreboard = once(chaos_serve, tmp_path, n_publishes=20)
+    kills = worker_kill_sweep(tmp_path)
+    from conftest import banner
+
+    _print_report(scoreboard, kills, banner_fn=banner)
+    assert _check(scoreboard, kills) == []
+
+
+# ---------------------------------------------------------------- script mode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized soak (20 publish cycles)")
+    parser.add_argument("--publishes", type=int, default=None,
+                        help="override the number of publish cycles")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    args = parser.parse_args(argv)
+
+    n_publishes = args.publishes or (20 if args.quick else 60)
+    if args.workdir:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        scoreboard = chaos_serve(workdir, n_publishes=n_publishes, seed=args.seed)
+        kills = worker_kill_sweep(workdir)
+    else:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            scoreboard = chaos_serve(tmp, n_publishes=n_publishes, seed=args.seed)
+            kills = worker_kill_sweep(tmp)
+    _print_report(scoreboard, kills)
+    problems = _check(scoreboard, kills)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("chaos soak: all acceptance bars hold")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

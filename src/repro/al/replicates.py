@@ -186,6 +186,8 @@ def run_replicates(
     n_workers: int = 1,
     backend: str | None = None,
     checkpoint_dir=None,
+    task_timeout: float | None = None,
+    max_task_retries: int = 2,
 ) -> SweepResult:
     """Run ``n_replicates`` independent campaigns, optionally in parallel.
 
@@ -210,6 +212,13 @@ def run_replicates(
     checkpoint_dir:
         Directory for per-replicate round checkpoints and result files;
         enables crash-safe, exactly-once resumption of the whole sweep.
+    task_timeout / max_task_retries:
+        Fault-tolerance knobs forwarded to
+        :class:`repro.parallel.ParallelMap` — a replicate whose process
+        worker is killed is retried (with its same spawned seed, so
+        results stay bit-identical to a fault-free run), and with a
+        ``checkpoint_dir`` the retry resumes from the last completed
+        round instead of restarting.
 
     Returns a :class:`SweepResult` with outcomes in replicate order,
     bit-identical for every backend and worker count.
@@ -220,6 +229,11 @@ def run_replicates(
         Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
     seeds = spawn_seeds(seed, n_replicates)
     task = _ReplicateTask(campaign_factory, checkpoint_dir)
-    pm = ParallelMap(backend, n_workers)
+    pm = ParallelMap(
+        backend,
+        n_workers,
+        task_timeout=task_timeout,
+        max_task_retries=max_task_retries,
+    )
     outcomes = pm.map(task, list(enumerate(seeds)))
     return SweepResult(replicates=outcomes)

@@ -17,7 +17,15 @@ from .energy import (
     records_per_minute,
     trace_is_usable,
 )
-from .faults import FaultConfig, FaultStats, FaultyExecutor
+from .faults import (
+    FS_FAULT_KINDS,
+    FaultConfig,
+    FaultStats,
+    FaultyExecutor,
+    FilesystemFaultInjector,
+    FsFaultConfig,
+    FsFaultStats,
+)
 from .jobs import JOB_RECORD_FIELDS, JobRecord, JobSpec
 from .machine import DVFS_LEVELS_GHZ, ClusterSpec, CPUSpec, NodeSpec, wisconsin_cluster
 from .power import IPMISampler, PowerModel, PowerTrace
@@ -45,6 +53,10 @@ __all__ = [
     "FaultConfig",
     "FaultStats",
     "FaultyExecutor",
+    "FS_FAULT_KINDS",
+    "FsFaultConfig",
+    "FsFaultStats",
+    "FilesystemFaultInjector",
     "BreakerConfig",
     "NodeCircuitBreaker",
     "AllNodesOpenError",

@@ -40,6 +40,7 @@ of the campaign seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Mapping
 
 import numpy as np
@@ -47,7 +48,15 @@ import numpy as np
 from .jobs import JobSpec
 from .scheduler import ExecutionOutcome, Executor
 
-__all__ = ["FaultConfig", "FaultStats", "FaultyExecutor"]
+__all__ = [
+    "FaultConfig",
+    "FaultStats",
+    "FaultyExecutor",
+    "FS_FAULT_KINDS",
+    "FsFaultConfig",
+    "FsFaultStats",
+    "FilesystemFaultInjector",
+]
 
 
 @dataclass(frozen=True)
@@ -296,3 +305,178 @@ class FaultyExecutor:
                 verification_passed=False,
             )
         return outcome
+
+
+# ------------------------------------------------------------ storage faults
+#
+# The per-job fault classes above poison *measurements*; the classes below
+# poison *files*.  They model what an unreliable filesystem (or a crash at
+# the wrong instant) does to the serving layer's on-disk artifacts — the
+# model registry's version files and manifest — and are what
+# ``ModelRegistry.fsck`` / checksum verification exist to survive.
+
+#: Recognized filesystem fault kinds, in cascade order.
+FS_FAULT_KINDS = ("torn_write", "truncation", "bit_flip", "slow_read")
+
+
+@dataclass(frozen=True)
+class FsFaultConfig:
+    """Per-file fault probabilities for :class:`FilesystemFaultInjector`.
+
+    Rates are independent probabilities of one fault class per
+    :meth:`~FilesystemFaultInjector.inject` call; at most one fault is
+    injected per call (the classes partition a single uniform draw), so
+    their sum must not exceed 1.
+
+    Attributes
+    ----------
+    torn_write_rate:
+        A prefix of the file survives, the tail is replaced with garbage
+        bytes — the signature of a non-atomic write interrupted mid-flush.
+    truncation_rate:
+        The file is cut to a random prefix (possibly empty) — a crash
+        after the metadata landed but before the data blocks.
+    bit_flip_rate:
+        One random bit of one random byte is flipped — silent media or
+        memory corruption that leaves the file length intact.
+    slow_read_rate:
+        The file is untouched, but the caller should delay reads of it by
+        ``slow_read_seconds`` — a degraded disk or overloaded NFS server.
+    slow_read_seconds:
+        Read delay applied by the caller when a slow read is drawn.
+    """
+
+    torn_write_rate: float = 0.0
+    truncation_rate: float = 0.0
+    bit_flip_rate: float = 0.0
+    slow_read_rate: float = 0.0
+    slow_read_seconds: float = 0.05
+
+    def __post_init__(self):
+        rates = (
+            self.torn_write_rate,
+            self.truncation_rate,
+            self.bit_flip_rate,
+            self.slow_read_rate,
+        )
+        for r in rates:
+            if not 0.0 <= r <= 1.0:
+                raise ValueError(f"fs fault rates must be in [0, 1], got {r}")
+        if sum(rates) > 1.0 + 1e-12:
+            raise ValueError(f"fs fault rates sum to {sum(rates)} > 1")
+        if self.slow_read_seconds < 0:
+            raise ValueError("slow_read_seconds must be >= 0")
+
+    @property
+    def total_rate(self) -> float:
+        """Probability that any fault is injected on one call."""
+        return (
+            self.torn_write_rate
+            + self.truncation_rate
+            + self.bit_flip_rate
+            + self.slow_read_rate
+        )
+
+
+@dataclass
+class FsFaultStats:
+    """Counts of injected filesystem faults (ground truth for soak tests)."""
+
+    n_calls: int = 0
+    n_torn_writes: int = 0
+    n_truncations: int = 0
+    n_bit_flips: int = 0
+    n_slow_reads: int = 0
+
+    @property
+    def n_corruptions(self) -> int:
+        """Faults that mutated file content (slow reads leave it intact)."""
+        return self.n_torn_writes + self.n_truncations + self.n_bit_flips
+
+
+class FilesystemFaultInjector:
+    """Seeded, deterministic corruption of on-disk artifacts.
+
+    Used by the chaos-serve soak (``benchmarks/bench_chaos_serve.py``) and
+    the registry integrity tests: after a publish, :meth:`inject` is
+    pointed at the freshly written version file and, with the configured
+    probability, tears/truncates/bit-flips it the way a faulty filesystem
+    would — directly, *not* atomically, because the whole point is to
+    produce the states atomic writes rule out.
+
+    Parameters
+    ----------
+    config:
+        Fault probabilities; defaults to no faults.
+    rng:
+        Seed or :class:`numpy.random.Generator` for the fault draws; the
+        injection sequence is a pure function of it.
+    """
+
+    def __init__(self, config: FsFaultConfig | None = None, *, rng=0):
+        self.config = config or FsFaultConfig()
+        self.rng = np.random.default_rng(rng)
+        self.stats = FsFaultStats()
+
+    def inject(self, path) -> str | None:
+        """Maybe corrupt the file at ``path``; returns the fault kind or ``None``.
+
+        One uniform is drawn per call regardless of outcome, so the fault
+        sequence over a run depends only on the injector seed and the call
+        count — never on which files happened to exist.
+        """
+        self.stats.n_calls += 1
+        c = self.config
+        u = float(self.rng.uniform())
+        edge = c.torn_write_rate
+        if u < edge:
+            return self.corrupt(path, "torn_write")
+        edge += c.truncation_rate
+        if u < edge:
+            return self.corrupt(path, "truncation")
+        edge += c.bit_flip_rate
+        if u < edge:
+            return self.corrupt(path, "bit_flip")
+        edge += c.slow_read_rate
+        if u < edge:
+            self.stats.n_slow_reads += 1
+            return "slow_read"
+        return None
+
+    def corrupt(self, path, kind: str) -> str:
+        """Apply one specific fault ``kind`` to the file at ``path``.
+
+        ``slow_read`` touches nothing (the delay is the *caller's* job, via
+        ``config.slow_read_seconds``); the other kinds rewrite the file in
+        place.  Returns ``kind`` so callers can tally what they asked for.
+        """
+        if kind not in FS_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fs fault kind {kind!r}; expected one of {FS_FAULT_KINDS}"
+            )
+        if kind == "slow_read":
+            return kind
+        path = Path(path)
+        data = path.read_bytes()
+        if kind == "torn_write":
+            keep = int(self.rng.integers(1, max(2, len(data))))
+            tail = self.rng.integers(
+                0, 256, size=len(data) - keep, dtype=np.uint8
+            ).tobytes()
+            out = data[:keep] + tail
+            self.stats.n_torn_writes += 1
+        elif kind == "truncation":
+            keep = int(self.rng.integers(0, max(1, len(data))))
+            out = data[:keep]
+            self.stats.n_truncations += 1
+        else:  # bit_flip
+            out = bytearray(data)
+            if out:
+                i = int(self.rng.integers(len(out)))
+                out[i] ^= 1 << int(self.rng.integers(8))
+            out = bytes(out)
+            self.stats.n_bit_flips += 1
+        # Deliberately a plain, non-atomic write: we are *simulating* the
+        # torn states that write_json_atomic exists to prevent.
+        path.write_bytes(out)
+        return kind

@@ -14,6 +14,8 @@ from .pmap import (
     BACKENDS,
     ENV_BACKEND,
     ParallelMap,
+    TaskTimeout,
+    WorkerCrashed,
     resolve_backend,
     spawn_generators,
     spawn_seeds,
@@ -23,6 +25,8 @@ __all__ = [
     "BACKENDS",
     "ENV_BACKEND",
     "ParallelMap",
+    "TaskTimeout",
+    "WorkerCrashed",
     "resolve_backend",
     "spawn_generators",
     "spawn_seeds",

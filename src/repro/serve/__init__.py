@@ -7,12 +7,24 @@ answers batched queries from the published version with hot rollover
 front-end.
 """
 
-from .registry import ModelRegistry, ModelVersion, RegistryError
-from .service import PredictionService
+from .registry import (
+    FsckReport,
+    ModelRegistry,
+    ModelVersion,
+    RegistryError,
+    RegistryIntegrityError,
+    model_checksum,
+)
+from .service import DeadlineExceeded, PredictionService, ServiceOverloaded
 
 __all__ = [
+    "FsckReport",
     "ModelRegistry",
     "ModelVersion",
     "RegistryError",
+    "RegistryIntegrityError",
+    "model_checksum",
     "PredictionService",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
 ]

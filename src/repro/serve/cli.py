@@ -20,6 +20,13 @@ served-version report; ``--watch`` refreshes automatically before every
 query, so a campaign publishing into the same registry rolls the loop
 over mid-stream.  ``--trace`` records the ``serve.predict.seconds`` /
 ``serve.rollover.total`` telemetry of the run.
+
+Failure handling: ``--fsck`` audits every version's checksum, moves
+corrupt files to the ``corrupt/`` sidecar, and repoints ``latest`` at
+the newest healthy version (exit 0 iff the registry is servable
+afterwards).  In ``--watch`` mode a transient refresh failure is logged
+to stderr and the loop keeps serving the held snapshot; the process only
+exits nonzero after ``--max-refresh-failures`` *consecutive* failures.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ import sys
 import numpy as np
 
 from .registry import ModelRegistry, RegistryError
-from .service import PredictionService
+from .service import DeadlineExceeded, PredictionService, ServiceOverloaded
 
 __all__ = ["main"]
 
@@ -63,9 +70,21 @@ def _answer(service: PredictionService, X: np.ndarray, *, std: bool) -> dict:
     return out
 
 
-def _serve_lines(service: PredictionService, lines, out, *, std: bool) -> int:
-    """Answer queries line by line; returns the number answered."""
+def _serve_lines(
+    service: PredictionService,
+    lines,
+    out,
+    *,
+    std: bool,
+    max_refresh_failures: int | None = None,
+) -> tuple[int, bool]:
+    """Answer queries line by line.
+
+    Returns ``(n_answered, gave_up)`` where ``gave_up`` is True when the
+    refresh-failure limit was hit and the loop stopped early.
+    """
     n_answered = 0
+    was_degraded = service.degraded
     for line in lines:
         line = line.strip()
         if not line:
@@ -76,12 +95,16 @@ def _serve_lines(service: PredictionService, lines, out, *, std: bool) -> int:
             print(json.dumps({"error": str(exc)}), file=out, flush=True)
             continue
         if cmd == "refresh":
-            rolled = service.refresh()
-            print(
-                json.dumps({"rolled_over": rolled, "version": service.version}),
-                file=out,
-                flush=True,
-            )
+            try:
+                rolled = service.refresh()
+            except (RegistryError, OSError, ValueError) as exc:
+                print(json.dumps({"error": str(exc)}), file=out, flush=True)
+            else:
+                print(
+                    json.dumps({"rolled_over": rolled, "version": service.version}),
+                    file=out,
+                    flush=True,
+                )
             continue
         if cmd == "version":
             meta = service.meta
@@ -101,9 +124,32 @@ def _serve_lines(service: PredictionService, lines, out, *, std: bool) -> int:
         if cmd is not None:
             print(json.dumps({"error": f"unknown cmd {cmd!r}"}), file=out, flush=True)
             continue
-        print(json.dumps(_answer(service, X, std=std)), file=out, flush=True)
+        try:
+            print(json.dumps(_answer(service, X, std=std)), file=out, flush=True)
+        except (ServiceOverloaded, DeadlineExceeded) as exc:
+            print(json.dumps({"error": str(exc)}), file=out, flush=True)
+            continue
         n_answered += 1
-    return n_answered
+        if service.degraded and not was_degraded:
+            print(
+                "[degraded: refresh failing, serving stale snapshot "
+                f"v{service.version:05d}]",
+                file=sys.stderr,
+            )
+        elif was_degraded and not service.degraded:
+            print(f"[recovered: serving v{service.version:05d}]", file=sys.stderr)
+        was_degraded = service.degraded
+        if (
+            max_refresh_failures is not None
+            and service.consecutive_refresh_failures >= max_refresh_failures
+        ):
+            print(
+                f"error: {service.consecutive_refresh_failures} consecutive "
+                "refresh failures; giving up",
+                file=sys.stderr,
+            )
+            return n_answered, True
+    return n_answered, False
 
 
 def _print_info(registry: ModelRegistry) -> None:
@@ -121,6 +167,37 @@ def _print_info(registry: ModelRegistry) -> None:
             f"lml={meta.lml:<12.4f} health={health:<9s} "
             f"hash={meta.training_hash[:12]}"
         )
+    if latest is None:
+        return
+    report = registry.fsck(repair=False)
+    quarantined = registry.quarantined()
+    status = "ok" if not report.corrupt else "CORRUPT"
+    print(
+        f"integrity: {status} ({len(report.healthy)}/{report.checked} verified, "
+        f"{len(quarantined)} quarantined)"
+    )
+    for v, reason in report.corrupt:
+        print(f"   corrupt v{v:05d} (run --fsck to quarantine): {reason}")
+    for v, reason in sorted(quarantined.items()):
+        print(f"   quarantined v{v:05d}: {reason}")
+
+
+def _print_fsck(report) -> None:
+    print(f"fsck: {report.root}")
+    print(f"checked:     {report.checked}")
+    print(f"healthy:     {len(report.healthy)}")
+    print(f"corrupt:     {len(report.corrupt)}")
+    print(f"quarantined: {len(report.already_quarantined)} (previously)")
+    for v, reason in report.corrupt:
+        print(f"   quarantining v{v:05d}: {reason}")
+    before = report.latest_before
+    after = report.latest_after
+    print(f"latest:      {'(none)' if before is None else f'v{before:05d}'}", end="")
+    if after != before:
+        print(f" -> {'(none)' if after is None else f'v{after:05d}'}")
+    else:
+        print()
+    print(f"servable:    {'yes' if report.servable else 'NO'}")
 
 
 def main(argv=None) -> int:
@@ -146,8 +223,17 @@ def main(argv=None) -> int:
         "--watch", action="store_true",
         help="re-check the manifest before every query (hot rollover)",
     )
+    parser.add_argument(
+        "--max-refresh-failures", type=int, default=5, metavar="N",
+        help="in --watch mode, exit nonzero after N consecutive refresh failures",
+    )
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument("--info", action="store_true", help="list versions and exit")
+    group.add_argument(
+        "--fsck", action="store_true",
+        help="verify all version checksums, quarantine corrupt files, "
+        "repoint latest at the newest healthy version",
+    )
     group.add_argument(
         "--rollback", action="store_true",
         help="move the latest pointer back one published version",
@@ -179,6 +265,10 @@ def main(argv=None) -> int:
         if args.info:
             _print_info(registry)
             return 0
+        if args.fsck:
+            report = registry.fsck(repair=True)
+            _print_fsck(report)
+            return 0 if report.servable else 1
         if args.rollback:
             meta = registry.rollback()
             print(f"latest -> v{meta.version:05d} (hash {meta.training_hash[:12]})")
@@ -195,13 +285,20 @@ def main(argv=None) -> int:
                 chunk_size=args.chunk_size,
                 auto_refresh=args.watch,
             )
+            limit = args.max_refresh_failures if args.watch else None
             out = open(args.out, "w") if args.out else sys.stdout
             try:
                 if args.stdin:
-                    n = _serve_lines(service, sys.stdin, out, std=args.std)
+                    n, gave_up = _serve_lines(
+                        service, sys.stdin, out,
+                        std=args.std, max_refresh_failures=limit,
+                    )
                 else:
                     with open(args.query) as fh:
-                        n = _serve_lines(service, fh, out, std=args.std)
+                        n, gave_up = _serve_lines(
+                            service, fh, out,
+                            std=args.std, max_refresh_failures=limit,
+                        )
             finally:
                 if args.out:
                     out.close()
@@ -210,7 +307,7 @@ def main(argv=None) -> int:
                 f"{service.n_rollovers} rollovers]",
                 file=sys.stderr,
             )
-            return 0
+            return 2 if gave_up else 0
 
         if args.trace:
             from .. import telemetry

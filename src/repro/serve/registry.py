@@ -25,13 +25,31 @@ the publish history without deleting anything, so a rollback is itself
 reversible (``set_latest``) and auditable.
 
 Metadata per version: creation time, training-set hash and size, LML,
-noise variance, and the guardrails' health verdict
-(:class:`repro.al.guardrails.HealthReport`) when one gated the publish —
-the registry-level complement of ``LastKnownGood``.
+noise variance, a SHA-256 content checksum of the model payload, and the
+guardrails' health verdict (:class:`repro.al.guardrails.HealthReport`)
+when one gated the publish — the registry-level complement of
+``LastKnownGood``.
+
+Integrity
+---------
+Atomic writes prevent the registry from *producing* torn files, but a
+faulty filesystem (or anything else with write access) can still corrupt
+one after the fact.  Every publish therefore records a SHA-256 checksum
+of the canonical model JSON in both the version file and the manifest
+entry; :meth:`ModelRegistry.load` re-verifies it and — when tracking
+``latest`` — transparently falls back along the publish history to the
+newest version that still verifies, so a bit-flipped latest never fails
+a query mid-flight.  :meth:`ModelRegistry.fsck` audits the whole store,
+moves corrupt version files into a ``corrupt/`` sidecar directory,
+annotates the manifest (``quarantined``), and repoints ``latest`` at the
+newest healthy version (``python -m repro serve REG --fsck``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -40,15 +58,43 @@ from .. import telemetry as tm
 from ..al.session import read_json_checked, write_json_atomic
 from ..gp.gpr import GaussianProcessRegressor
 
-__all__ = ["ModelVersion", "ModelRegistry", "RegistryError"]
+__all__ = [
+    "ModelVersion",
+    "ModelRegistry",
+    "RegistryError",
+    "RegistryIntegrityError",
+    "FsckReport",
+    "model_checksum",
+]
 
 _MANIFEST_VERSION = 1
 _ENTRY_VERSION = 1
 _MANIFEST_NAME = "MANIFEST.json"
+_CORRUPT_DIR = "corrupt"
 
 
 class RegistryError(RuntimeError):
     """A registry operation could not be performed (empty, missing version...)."""
+
+
+class RegistryIntegrityError(RegistryError, ValueError):
+    """A version file failed checksum/structure verification.
+
+    Also a ``ValueError`` so callers that historically caught the
+    corruption errors of :func:`read_json_checked` keep working.
+    """
+
+
+def model_checksum(model_dict: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of a model payload.
+
+    Canonical = sorted keys, no whitespace — so the digest is stable
+    across a JSON parse/re-dump round trip (Python floats re-dump to the
+    same shortest repr) and therefore verifiable from a *parsed* version
+    file, not just the original bytes.
+    """
+    blob = json.dumps(model_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -64,6 +110,7 @@ class ModelVersion:
     healthy: bool | None = None
     issues: tuple = ()
     extra: dict = field(default_factory=dict)
+    checksum: str | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -76,6 +123,7 @@ class ModelVersion:
             "healthy": self.healthy,
             "issues": list(self.issues),
             "extra": dict(self.extra),
+            "checksum": self.checksum,
         }
 
     @classmethod
@@ -90,6 +138,7 @@ class ModelVersion:
             healthy=data.get("healthy"),
             issues=tuple(data.get("issues") or ()),
             extra=dict(data.get("extra") or {}),
+            checksum=data.get("checksum"),
         )
 
 
@@ -106,6 +155,32 @@ def _health_fields(health) -> tuple[bool | None, tuple]:
         )
     # Duck-typed HealthReport.
     return bool(health.healthy), tuple(getattr(health, "issues", ()))
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one :meth:`ModelRegistry.fsck` pass.
+
+    ``corrupt`` lists ``(version, reason)`` pairs found *this* pass;
+    ``already_quarantined`` lists versions quarantined by earlier passes.
+    In repair mode the corrupt versions have been moved to the
+    ``corrupt/`` sidecar and annotated in the manifest, and
+    ``latest_after`` is the repointed publish pointer.
+    """
+
+    root: str
+    checked: int
+    healthy: list
+    corrupt: list
+    already_quarantined: list
+    latest_before: int | None
+    latest_after: int | None
+    repaired: bool
+
+    @property
+    def servable(self) -> bool:
+        """Whether a healthy published version remains to serve from."""
+        return self.latest_after is not None
 
 
 class ModelRegistry:
@@ -135,6 +210,7 @@ class ModelRegistry:
                 "latest": None,
                 "history": [],
                 "entries": {},
+                "quarantined": {},
             }
         payload = read_json_checked(self.manifest_path, kind="registry manifest")
         if payload.get("version") != _MANIFEST_VERSION:
@@ -142,6 +218,8 @@ class ModelRegistry:
                 f"unsupported registry manifest version {payload.get('version')} "
                 f"(expected {_MANIFEST_VERSION})"
             )
+        # Manifests written before the integrity pass lack the key.
+        payload.setdefault("quarantined", {})
         return payload
 
     @property
@@ -179,6 +257,47 @@ class ModelRegistry:
     def _version_path(self, version: int) -> Path:
         return self.root / f"v{int(version):05d}.json"
 
+    def quarantined(self) -> dict:
+        """Mapping ``version -> reason`` of quarantined versions (see fsck)."""
+        return {
+            int(v): str(info.get("reason", "unknown"))
+            for v, info in self._read_manifest()["quarantined"].items()
+        }
+
+    def _read_verified(self, meta: ModelVersion) -> dict:
+        """Read a version file, verifying structure + content checksum.
+
+        Raises :class:`RegistryIntegrityError` on any mismatch (and
+        ``ValueError`` via :func:`read_json_checked` on unparseable JSON,
+        i.e. truncated/torn files).
+        """
+        path = self._version_path(meta.version)
+        if not path.exists():
+            raise RegistryIntegrityError(
+                f"version file {path.name} is missing from {self.root}"
+            )
+        payload = read_json_checked(path, kind="registry model")
+        if payload.get("version") != _ENTRY_VERSION:
+            raise RegistryError(
+                f"unsupported registry entry version {payload.get('version')}"
+            )
+        expected = meta.checksum or payload.get("checksum")
+        if expected is not None:
+            actual = model_checksum(payload["model"])
+            if actual != expected:
+                raise RegistryIntegrityError(
+                    f"content hash mismatch for {path.name}: expected checksum "
+                    f"{expected[:12]}..., content hashes to {actual[:12]}..."
+                )
+        return payload
+
+    def _load_version(
+        self, meta: ModelVersion
+    ) -> tuple[GaussianProcessRegressor, ModelVersion]:
+        payload = self._read_verified(meta)
+        model = GaussianProcessRegressor.from_dict(payload["model"])
+        return model, meta
+
     def load(
         self, version: int | None = None
     ) -> tuple[GaussianProcessRegressor, ModelVersion]:
@@ -187,17 +306,59 @@ class ModelRegistry:
         Returns ``(model, metadata)``; the model's predictions are
         bit-identical to the model that was published
         (:meth:`repro.gp.GaussianProcessRegressor.from_dict`).
+
+        Every load re-verifies the version file's SHA-256 content
+        checksum.  Loading an *explicit* version raises
+        :class:`RegistryIntegrityError` on corruption (and
+        :class:`RegistryError` for quarantined versions).  Loading the
+        published latest (``version=None``) instead **falls back**: if the
+        latest fails verification, the publish history is walked backwards
+        and the newest version that still verifies is returned — a corrupt
+        file degrades the answer to last-known-good instead of failing the
+        query (``registry.load.fallback`` telemetry records the swap).
         """
-        meta = self.describe(version)
-        payload = read_json_checked(
-            self._version_path(meta.version), kind="registry model"
+        manifest = self._read_manifest()
+        quarantined = manifest["quarantined"]
+        if version is not None:
+            meta = self.describe(int(version))
+            if str(meta.version) in quarantined:
+                reason = quarantined[str(meta.version)].get("reason", "unknown")
+                raise RegistryError(
+                    f"version {meta.version} is quarantined ({reason}); "
+                    "run fsck or pick another version"
+                )
+            return self._load_version(meta)
+
+        latest = manifest["latest"]
+        if latest is None:
+            raise RegistryError(f"registry {self.root} is empty")
+        history = [int(v) for v in manifest["history"]]
+        start = history.index(int(latest))
+        entries = manifest["entries"]
+        errors: list[str] = []
+        for candidate in reversed(history[: start + 1]):
+            if str(candidate) in quarantined:
+                continue
+            meta = ModelVersion.from_dict(entries[str(candidate)])
+            try:
+                model, meta = self._load_version(meta)
+            except (RegistryError, ValueError, OSError) as exc:
+                errors.append(f"v{candidate:05d}: {exc}")
+                tm.count("registry.load.corrupt")
+                continue
+            if candidate != int(latest):
+                tm.count("registry.load.fallback")
+                tm.event(
+                    "registry.load.fallback",
+                    registry=str(self.root),
+                    wanted=int(latest),
+                    served=candidate,
+                    errors=errors,
+                )
+            return model, meta
+        raise RegistryIntegrityError(
+            f"registry {self.root} has no loadable version: " + "; ".join(errors)
         )
-        if payload.get("version") != _ENTRY_VERSION:
-            raise RegistryError(
-                f"unsupported registry entry version {payload.get('version')}"
-            )
-        model = GaussianProcessRegressor.from_dict(payload["model"])
-        return model, meta
 
     # ---------------------------------------------------------------- writes
 
@@ -225,6 +386,7 @@ class ModelRegistry:
         history = list(manifest["history"])
         next_version = (max(history) + 1) if history else 1
         healthy, issues = _health_fields(health)
+        model_dict = model.to_dict()
         meta = ModelVersion(
             version=next_version,
             created_at=time.time() if created_at is None else float(created_at),
@@ -235,19 +397,26 @@ class ModelRegistry:
             healthy=healthy,
             issues=issues,
             extra=dict(extra or {}),
+            checksum=model_checksum(model_dict),
         )
         write_json_atomic(
             {
                 "version": _ENTRY_VERSION,
+                "checksum": meta.checksum,
                 "meta": meta.as_dict(),
-                "model": model.to_dict(),
+                "model": model_dict,
             },
             self._version_path(next_version),
         )
         history.append(next_version)
         entries = dict(manifest["entries"])
         entries[str(next_version)] = meta.as_dict()
-        self._write_manifest(latest=next_version, history=history, entries=entries)
+        self._write_manifest(
+            latest=next_version,
+            history=history,
+            entries=entries,
+            quarantined=manifest["quarantined"],
+        )
         tm.count("registry.publish.total")
         tm.observe("registry.publish.seconds", time.perf_counter() - t0)
         tm.event(
@@ -260,13 +429,14 @@ class ModelRegistry:
         )
         return meta
 
-    def _write_manifest(self, *, latest, history, entries) -> None:
+    def _write_manifest(self, *, latest, history, entries, quarantined=None) -> None:
         write_json_atomic(
             {
                 "version": _MANIFEST_VERSION,
                 "latest": latest,
                 "history": history,
                 "entries": entries,
+                "quarantined": dict(quarantined or {}),
             },
             self.manifest_path,
         )
@@ -279,10 +449,15 @@ class ModelRegistry:
             raise RegistryError(
                 f"registry {self.root} has no version {version}"
             )
+        if str(version) in manifest["quarantined"]:
+            raise RegistryError(
+                f"version {version} is quarantined; cannot publish it as latest"
+            )
         self._write_manifest(
             latest=version,
             history=manifest["history"],
             entries=manifest["entries"],
+            quarantined=manifest["quarantined"],
         )
         tm.count("registry.set_latest.total")
         tm.event("registry.set_latest", registry=str(self.root), version=version)
@@ -301,14 +476,120 @@ class ModelRegistry:
             raise RegistryError(f"registry {self.root} is empty")
         history = manifest["history"]
         idx = history.index(int(manifest["latest"]))
-        if idx == 0:
+        targets = [
+            v
+            for v in history[:idx]
+            if str(v) not in manifest["quarantined"]
+        ]
+        if not targets:
             raise RegistryError(
                 f"version {manifest['latest']} is the oldest published "
                 "version; nothing to roll back to"
             )
-        meta = self.set_latest(history[idx - 1])
+        meta = self.set_latest(targets[-1])
         tm.count("registry.rollback.total")
         tm.event(
             "registry.rollback", registry=str(self.root), version=meta.version
         )
         return meta
+
+    # ----------------------------------------------------------------- fsck
+
+    def fsck(self, *, repair: bool = True, deep: bool = False) -> FsckReport:
+        """Audit every published version; optionally quarantine and repoint.
+
+        For each version in the publish history the file is checked for
+        existence, parseability (truncated/torn files fail here), entry
+        structure, and SHA-256 content checksum against the manifest;
+        ``deep=True`` additionally deserializes the model, which re-verifies
+        the embedded training-set hash.
+
+        With ``repair=True`` (the default) each corrupt version file is
+        moved into the ``corrupt/`` sidecar directory, the manifest is
+        annotated (``quarantined: {version: {reason, at}}``), and — if the
+        current ``latest`` was among the casualties — ``latest`` is
+        repointed at the newest remaining healthy version (or ``None``
+        when none survives).  Nothing is ever deleted: quarantined files
+        stay inspectable in ``corrupt/`` and their history entries remain.
+
+        ``repair=False`` is a read-only audit: the report says what
+        *would* be quarantined, and the store is left untouched.
+        """
+        manifest = self._read_manifest()
+        history = [int(v) for v in manifest["history"]]
+        quarantined = dict(manifest["quarantined"])
+        entries = manifest["entries"]
+        healthy: list[int] = []
+        corrupt: list[tuple[int, str]] = []
+        already = sorted(int(v) for v in quarantined)
+        for version in history:
+            if str(version) in quarantined:
+                continue
+            meta = ModelVersion.from_dict(entries[str(version)])
+            try:
+                payload = self._read_verified(meta)
+                if deep:
+                    GaussianProcessRegressor.from_dict(payload["model"])
+            except (RegistryError, ValueError, OSError) as exc:
+                corrupt.append((version, str(exc)))
+                continue
+            healthy.append(version)
+
+        latest_before = (
+            None if manifest["latest"] is None else int(manifest["latest"])
+        )
+        latest_after = latest_before
+        if latest_before is not None and latest_before not in healthy:
+            surviving = [v for v in history[: history.index(latest_before) + 1]
+                         if v in healthy]
+            # Prefer versions at or before the published pointer (respects
+            # an intentional rollback); fall beyond it only if none remain.
+            latest_after = (
+                surviving[-1] if surviving else (healthy[-1] if healthy else None)
+            )
+
+        if repair and corrupt:
+            corrupt_dir = self.root / _CORRUPT_DIR
+            corrupt_dir.mkdir(parents=True, exist_ok=True)
+            now = time.time()
+            for version, reason in corrupt:
+                path = self._version_path(version)
+                if path.exists():
+                    os.replace(path, corrupt_dir / path.name)
+                quarantined[str(version)] = {"reason": reason, "at": now}
+                tm.count("registry.fsck.quarantined")
+                tm.event(
+                    "registry.quarantine",
+                    registry=str(self.root),
+                    version=version,
+                    reason=reason,
+                )
+            self._write_manifest(
+                latest=latest_after,
+                history=history,
+                entries=entries,
+                quarantined=quarantined,
+            )
+        tm.count("registry.fsck.total")
+        tm.event(
+            "registry.fsck",
+            registry=str(self.root),
+            checked=len(history),
+            n_healthy=len(healthy),
+            n_corrupt=len(corrupt),
+            repaired=bool(repair and corrupt),
+            latest_before=latest_before,
+            latest_after=latest_after if repair else latest_before,
+        )
+        # latest_after reports the healthy pointer: applied in repair mode,
+        # advisory ("would repoint to") in audit mode.
+        return FsckReport(
+            root=str(self.root),
+            checked=len(history),
+            healthy=healthy,
+            corrupt=corrupt,
+            already_quarantined=already,
+            latest_before=latest_before,
+            latest_after=latest_after,
+            repaired=bool(repair and corrupt),
+        )

@@ -204,3 +204,76 @@ def test_invalid_replicate_count():
 def test_factory_must_return_campaign():
     with pytest.raises(TypeError, match="OnlineCampaign"):
         run_replicates(lambda i, rng: object(), 1)
+
+
+class _WorkerKillSwitch:
+    """Executor wrapper that SIGKILLs its own process once, marker-gated.
+
+    Unlike :class:`_KillSwitch` (a clean exception) this models the
+    OOM-killer: the process worker vanishes mid-replicate with no
+    traceback, and only the ParallelMap retry path can recover.
+    """
+
+    def __init__(self, inner, marker, kill_after):
+        self.inner = inner
+        self.marker = marker
+        self.kill_after = kill_after
+        self.n_calls = 0
+
+    def estimate(self, spec):
+        return self.inner.estimate(spec)
+
+    def execute(self, spec, rng):
+        import os as _os
+        import signal as _signal
+        from pathlib import Path as _Path
+
+        self.n_calls += 1
+        if self.n_calls > self.kill_after and not _Path(self.marker).exists():
+            _Path(self.marker).write_text("killed")
+            _os.kill(_os.getpid(), _signal.SIGKILL)
+        return self.inner.execute(spec, rng)
+
+
+class _WorkerKillFactory(_SweepFactory):
+    """Sweep factory arming a one-shot SIGKILL on one replicate."""
+
+    def __init__(self, marker, *, kill_index, kill_after, **kwargs):
+        super().__init__(**kwargs)
+        self.marker = marker
+        self.worker_kill_index = kill_index
+        self.worker_kill_after = kill_after
+
+    def __call__(self, index, rng):
+        campaign = super().__call__(index, rng)
+        if index == self.worker_kill_index:
+            campaign.executor = _WorkerKillSwitch(
+                campaign.executor, self.marker, self.worker_kill_after
+            )
+        return campaign
+
+
+def test_worker_kill_mid_sweep_retried_bit_identical(tmp_path):
+    """Acceptance: a SIGKILL'd process worker mid-sweep is retried and the
+    sweep finishes bit-identical to the fault-free run, resuming the
+    victim from its round checkpoint."""
+    reference = run_replicates(_SweepFactory(), 3, seed=23)
+
+    ckpt = tmp_path / "sweep"
+    factory = _WorkerKillFactory(
+        str(tmp_path / "killed"), kill_index=1, kill_after=3
+    )
+    sweep = run_replicates(
+        factory, 3, seed=23, n_workers=2, backend="process",
+        checkpoint_dir=ckpt, max_task_retries=3,
+    )
+    assert (tmp_path / "killed").exists()  # the kill really happened
+    assert _y_by_index(sweep) == _y_by_index(reference)
+    np.testing.assert_array_equal(
+        sweep.series("simulated_seconds"),
+        reference.series("simulated_seconds"),
+    )
+    # The victim came back through the checkpoint resume path (round 1
+    # completed before execution 4 triggered the kill in round 2).
+    victim = sweep.replicates[1]
+    assert victim.resumed or victim.loaded is False

@@ -1,0 +1,148 @@
+"""Fault tolerance of the process backend: worker death, timeouts, degradation."""
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry as tm
+from repro.parallel import ParallelMap, TaskTimeout, WorkerCrashed
+from repro.parallel import pmap as pmap_mod
+
+
+def _square(x):
+    return x * x
+
+
+class _KillWorkerOnce:
+    """SIGKILL the worker process on the first attempt at one item.
+
+    The marker file makes the kill one-shot, so the retry succeeds —
+    the OOM-killed-once scenario.  Module-level and stateless across
+    pickling, hence process-safe.
+    """
+
+    def __init__(self, marker: str, victim):
+        self.marker = marker
+        self.victim = victim
+
+    def __call__(self, x):
+        if x == self.victim and not Path(self.marker).exists():
+            Path(self.marker).write_text("killed")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return x * x
+
+
+class _PoisonTask:
+    """SIGKILL the worker on *every* attempt at one item."""
+
+    def __init__(self, victim):
+        self.victim = victim
+
+    def __call__(self, x):
+        if x == self.victim:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return x * x
+
+
+class _SlowOnce:
+    """Sleep far past the timeout on the first attempt at one item."""
+
+    def __init__(self, marker: str, victim, delay=30.0):
+        self.marker = marker
+        self.victim = victim
+        self.delay = delay
+
+    def __call__(self, x):
+        if x == self.victim and not Path(self.marker).exists():
+            Path(self.marker).write_text("slept")
+            time.sleep(self.delay)
+        return x * x
+
+
+def test_worker_death_is_retried_not_hung(tmp_path):
+    """Satellite: a SIGKILL'd worker's task is retried, the pool recovers."""
+    task = _KillWorkerOnce(str(tmp_path / "killed"), victim=3)
+    pm = ParallelMap("process", n_workers=2, max_task_retries=3)
+    results = pm.map(task, list(range(6)))
+    assert results == [x * x for x in range(6)]
+    assert (tmp_path / "killed").exists()
+
+
+def test_poison_task_reported_not_hung():
+    pm = ParallelMap("process", n_workers=2, max_task_retries=1,
+                     max_pool_failures=20)
+    with pytest.raises(WorkerCrashed):
+        pm.map(_PoisonTask(victim=2), list(range(4)))
+
+
+def test_pool_break_cap_bounds_total_damage():
+    pm = ParallelMap("process", n_workers=2, max_task_retries=50,
+                     max_pool_failures=2)
+    with pytest.raises(WorkerCrashed, match="broke 2 times"):
+        pm.map(_PoisonTask(victim=0), list(range(4)))
+
+
+def test_task_timeout_retried_then_succeeds(tmp_path):
+    task = _SlowOnce(str(tmp_path / "slept"), victim=1)
+    pm = ParallelMap("process", n_workers=2, task_timeout=5.0,
+                     max_task_retries=2)
+    results = pm.map(task, list(range(4)))
+    assert results == [x * x for x in range(4)]
+
+
+def _always_slow(x):
+    if x == 0:
+        time.sleep(30.0)
+    return x * x
+
+
+def test_task_timeout_exhausted_raises():
+    task = _always_slow
+    pm = ParallelMap("process", n_workers=2, task_timeout=0.5,
+                     max_task_retries=1)
+    t0 = time.monotonic()
+    with pytest.raises(TaskTimeout, match="task 0"):
+        pm.map(task, [0, 1])
+    # Two attempts at ~0.5 s each, not the 30 s sleep.
+    assert time.monotonic() - t0 < 20.0
+
+
+def test_construction_failure_degrades_to_thread(monkeypatch):
+    """An infra failure (pool cannot even start) degrades the backend."""
+
+    def broken_pool(*args, **kwargs):
+        raise OSError("fork: resource temporarily unavailable")
+
+    monkeypatch.setattr(pmap_mod, "ProcessPoolExecutor", broken_pool)
+    pm = ParallelMap("process", n_workers=2, degrade_after=1)
+    results = pm.map(_square, list(range(8)))
+    assert results == [x * x for x in range(8)]
+
+
+def test_degraded_run_counts_telemetry(monkeypatch, tmp_path):
+    monkeypatch.setattr(
+        pmap_mod, "ProcessPoolExecutor",
+        lambda *a, **k: (_ for _ in ()).throw(OSError("no forks left")),
+    )
+    pm = ParallelMap("process", n_workers=2, degrade_after=2)
+    with tm.session(tmp_path / "trace.jsonl"):
+        results = pm.map(_square, [1, 2, 3])
+        counters = tm.get_registry().dump()["counters"]
+    assert results == [1, 4, 9]
+    assert counters["parallel.pool.failures"] == 2
+    assert counters["parallel.backend.degraded"] == 1
+
+
+def test_retry_preserves_determinism_and_telemetry(tmp_path):
+    """Retried sweeps return bit-identical results and count the retry."""
+    task = _KillWorkerOnce(str(tmp_path / "killed"), victim=2)
+    pm = ParallelMap("process", n_workers=2, max_task_retries=3)
+    with tm.session(tmp_path / "trace.jsonl"):
+        chaotic = pm.map(task, list(range(5)))
+        counters = tm.get_registry().dump()["counters"]
+    clean = ParallelMap("serial").map(_square, list(range(5)))
+    assert chaotic == clean
+    assert counters["parallel.worker.deaths"] >= 1

@@ -116,3 +116,102 @@ def test_trace_writes_serving_telemetry(registry, tmp_path, capsys):
     counters = metrics[-1]["metrics"]["counters"]
     assert counters["serve.predict.requests"] == 1
     assert "serve.predict.seconds" in metrics[-1]["metrics"]["histograms"]
+
+
+def _corrupt(registry, version, keep=40):
+    path = registry.root / f"v{version:05d}.json"
+    path.write_bytes(path.read_bytes()[:keep])
+
+
+def test_info_reports_integrity(registry, capsys):
+    assert main([str(registry.root), "--info"]) == 0
+    out = capsys.readouterr().out
+    assert "integrity: ok (2/2 verified, 0 quarantined)" in out
+
+
+def test_info_flags_corruption(registry, capsys):
+    _corrupt(registry, 2)
+    assert main([str(registry.root), "--info"]) == 0
+    out = capsys.readouterr().out
+    assert "integrity: CORRUPT" in out
+    assert "corrupt v00002" in out
+
+
+def test_fsck_repairs_and_exits_zero(registry, capsys):
+    _corrupt(registry, 2)
+    assert main([str(registry.root), "--fsck"]) == 0
+    out = capsys.readouterr().out
+    assert "quarantining v00002" in out
+    assert "latest:      v00002 -> v00001" in out
+    assert "servable:    yes" in out
+    assert registry.latest_version() == 1
+    assert registry.quarantined().keys() == {2}
+
+
+def test_fsck_unservable_registry_exits_nonzero(registry, capsys):
+    _corrupt(registry, 1)
+    _corrupt(registry, 2)
+    assert main([str(registry.root), "--fsck"]) == 1
+    assert "servable:    NO" in capsys.readouterr().out
+
+
+def test_fsck_clean_registry_is_a_noop(registry, capsys):
+    assert main([str(registry.root), "--fsck"]) == 0
+    out = capsys.readouterr().out
+    assert "corrupt:     0" in out
+    assert registry.latest_version() == 2
+
+
+def test_watch_survives_transient_refresh_failure(
+    registry, capsys, monkeypatch
+):
+    """Satellite fix: --watch keeps serving through refresh failures."""
+    from repro.serve import cli as cli_mod
+
+    real_refresh = cli_mod.PredictionService.refresh
+    fail_twice = {"n": 0}
+
+    def flaky_refresh(self):
+        fail_twice["n"] += 1
+        if fail_twice["n"] <= 2:
+            self._degraded = True
+            self.consecutive_refresh_failures += 1
+            raise OSError("transient manifest glitch")
+        return real_refresh(self)
+
+    monkeypatch.setattr(cli_mod.PredictionService, "refresh", flaky_refresh)
+    lines = "\n".join(json.dumps([[0.1, 0.2, 0.3]]) for _ in range(4))
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    assert main([str(registry.root), "--stdin", "--watch"]) == 0
+    captured = capsys.readouterr()
+    answers = _jsonl(captured.out)
+    assert len(answers) == 4
+    assert all("mean" in a for a in answers)
+    assert "degraded" in captured.err
+    assert "recovered" in captured.err
+
+
+def test_watch_gives_up_after_consecutive_failures(
+    registry, capsys, monkeypatch
+):
+    from repro.serve import cli as cli_mod
+
+    def always_fail(self):
+        self._degraded = True
+        self.consecutive_refresh_failures += 1
+        raise OSError("manifest gone")
+
+    monkeypatch.setattr(cli_mod.PredictionService, "refresh", always_fail)
+    lines = "\n".join(json.dumps([[0.1, 0.2, 0.3]]) for _ in range(10))
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    assert (
+        main(
+            [str(registry.root), "--stdin", "--watch",
+             "--max-refresh-failures", "3"]
+        )
+        == 2
+    )
+    captured = capsys.readouterr()
+    # Served from the held snapshot until the limit, then stopped.
+    assert len(_jsonl(captured.out)) == 3
+    assert "giving up" in captured.err

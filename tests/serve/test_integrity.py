@@ -1,0 +1,224 @@
+"""Registry integrity: checksums, last-known-good fallback, fsck, quarantine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ModelRegistry,
+    RegistryError,
+    RegistryIntegrityError,
+    model_checksum,
+)
+
+
+def _version_path(reg, version):
+    return reg.root / f"v{version:05d}.json"
+
+
+def _bit_flip(path, offset=-40):
+    data = bytearray(path.read_bytes())
+    # Flip a bit inside the model payload tail (past the header fields).
+    data[offset] ^= 0x01
+    path.write_bytes(bytes(data))
+
+
+def _truncate(path, keep=30):
+    path.write_bytes(path.read_bytes()[:keep])
+
+
+def _published(tmp_path, fitted_models, n=3):
+    reg = ModelRegistry(tmp_path / "reg")
+    for model in fitted_models[:n]:
+        reg.publish(model)
+    return reg
+
+
+# ------------------------------------------------------------------ checksums
+
+
+def test_publish_records_matching_checksums(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models, n=1)
+    meta = reg.describe(1)
+    payload = json.loads(_version_path(reg, 1).read_text())
+    assert meta.checksum is not None
+    assert payload["checksum"] == meta.checksum
+    assert model_checksum(payload["model"]) == meta.checksum
+
+
+def test_checksum_survives_parse_redump_roundtrip(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models, n=1)
+    path = _version_path(reg, 1)
+    payload = json.loads(path.read_text())
+    # Re-serialize with different whitespace: content checksum must hold
+    # (it covers the canonical JSON of the model dict, not file bytes).
+    path.write_text(json.dumps(payload, indent=2))
+    model, meta = reg.load(1)
+    assert meta.version == 1
+
+
+def test_bit_flip_in_model_detected_on_explicit_load(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models, n=1)
+    _bit_flip(_version_path(reg, 1))
+    with pytest.raises((RegistryIntegrityError, ValueError)):
+        reg.load(1)
+
+
+def test_missing_version_file_detected(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models, n=1)
+    _version_path(reg, 1).unlink()
+    with pytest.raises(RegistryIntegrityError, match="missing"):
+        reg.load(1)
+
+
+def test_legacy_entry_without_checksum_still_loads(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models, n=1)
+    # Simulate a pre-checksum registry: strip the checksum everywhere.
+    path = _version_path(reg, 1)
+    payload = json.loads(path.read_text())
+    payload.pop("checksum", None)
+    path.write_text(json.dumps(payload))
+    manifest = json.loads(reg.manifest_path.read_text())
+    manifest["entries"]["1"].pop("checksum", None)
+    reg.manifest_path.write_text(json.dumps(manifest))
+    model, meta = reg.load()
+    assert meta.version == 1
+    assert meta.checksum is None
+
+
+# ------------------------------------------------------------------- fallback
+
+
+def test_load_latest_falls_back_to_last_known_good(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    _bit_flip(_version_path(reg, 3))
+    model, meta = reg.load()
+    assert meta.version == 2
+    # The served model really is v2, bit for bit.
+    Q = np.random.default_rng(5).uniform(size=(20, 3))
+    assert np.array_equal(model.predict(Q), fitted_models[1].predict(Q))
+
+
+def test_fallback_walks_past_multiple_corrupt_versions(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    _truncate(_version_path(reg, 3))
+    _bit_flip(_version_path(reg, 2))
+    _, meta = reg.load()
+    assert meta.version == 1
+
+
+def test_all_versions_corrupt_raises_integrity_error(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    for v in (1, 2, 3):
+        _truncate(_version_path(reg, v))
+    with pytest.raises(RegistryIntegrityError, match="no loadable version"):
+        reg.load()
+
+
+def test_fallback_respects_rollback_pointer(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    reg.rollback()  # latest -> 2
+    _truncate(_version_path(reg, 2))
+    _, meta = reg.load()
+    # Falls back below the pointer, never forward past it.
+    assert meta.version == 1
+
+
+# ----------------------------------------------------------------------- fsck
+
+
+def test_fsck_clean_registry_reports_all_healthy(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    report = reg.fsck()
+    assert report.checked == 3
+    assert report.healthy == [1, 2, 3]
+    assert report.corrupt == []
+    assert not report.repaired
+    assert report.servable
+    assert report.latest_after == 3
+
+
+def test_fsck_quarantines_and_repoints_latest(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    _bit_flip(_version_path(reg, 3))
+    report = reg.fsck()
+    assert [v for v, _ in report.corrupt] == [3]
+    assert report.repaired
+    assert report.servable
+    assert report.latest_before == 3
+    assert report.latest_after == 2
+    assert reg.latest_version() == 2
+    # The file moved to the sidecar, nothing deleted.
+    assert not _version_path(reg, 3).exists()
+    assert (reg.root / "corrupt" / "v00003.json").exists()
+    assert reg.quarantined().keys() == {3}
+    # The registry serves cleanly afterwards (no fallback path needed).
+    _, meta = reg.load()
+    assert meta.version == 2
+
+
+def test_fsck_audit_mode_touches_nothing(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    _bit_flip(_version_path(reg, 3))
+    report = reg.fsck(repair=False)
+    assert [v for v, _ in report.corrupt] == [3]
+    assert not report.repaired
+    assert report.latest_after == 2  # advisory
+    assert reg.latest_version() == 3  # untouched
+    assert _version_path(reg, 3).exists()
+    assert reg.quarantined() == {}
+
+
+def test_fsck_idempotent(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    _truncate(_version_path(reg, 2))
+    first = reg.fsck()
+    second = reg.fsck()
+    assert [v for v, _ in first.corrupt] == [2]
+    assert second.corrupt == []
+    assert second.already_quarantined == [2]
+    assert second.healthy == [1, 3]
+
+
+def test_fsck_total_loss_leaves_unservable_registry(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models, n=2)
+    _truncate(_version_path(reg, 1))
+    _truncate(_version_path(reg, 2))
+    report = reg.fsck()
+    assert not report.servable
+    assert report.latest_after is None
+    with pytest.raises(RegistryError):
+        reg.load()
+
+
+# ----------------------------------------------------------------- quarantine
+
+
+def test_quarantined_version_refused_everywhere(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    _bit_flip(_version_path(reg, 2))
+    reg.fsck()
+    with pytest.raises(RegistryError, match="quarantined"):
+        reg.load(2)
+    with pytest.raises(RegistryError, match="quarantined"):
+        reg.set_latest(2)
+
+
+def test_rollback_skips_quarantined_versions(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models)
+    _bit_flip(_version_path(reg, 2))
+    reg.fsck()
+    assert reg.latest_version() == 3
+    # Rolling back from 3 must land on 1, skipping quarantined 2.
+    assert reg.rollback().version == 1
+
+
+def test_publish_after_quarantine_resumes_serving(tmp_path, fitted_models):
+    reg = _published(tmp_path, fitted_models, n=2)
+    _truncate(_version_path(reg, 2))
+    reg.fsck()
+    meta = reg.publish(fitted_models[2])
+    assert meta.version == 3
+    _, served = reg.load()
+    assert served.version == 3

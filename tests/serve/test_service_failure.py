@@ -1,0 +1,241 @@
+"""PredictionService under failure: retries, degraded mode, shedding, deadlines."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DeadlineExceeded,
+    ModelRegistry,
+    PredictionService,
+    ServiceOverloaded,
+)
+
+
+def _registry(tmp_path, fitted_models, n=1):
+    reg = ModelRegistry(tmp_path / "reg")
+    for model in fitted_models[:n]:
+        reg.publish(model)
+    return reg
+
+
+class _FailThenSucceed:
+    """Stand-in for registry.latest_version that fails n times first."""
+
+    def __init__(self, reg, n_failures, exc=OSError("disk glitch")):
+        self._real = type(reg).latest_version.__get__(reg)
+        self.n_failures = n_failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise self.exc
+        return self._real()
+
+
+# -------------------------------------------------------------------- retries
+
+
+def test_refresh_retries_transient_errors_with_backoff(tmp_path, fitted_models):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(reg, refresh_retries=2, retry_backoff_s=0.05)
+    sleeps = []
+    service._sleep = sleeps.append
+    reg.latest_version = _FailThenSucceed(reg, n_failures=2)
+    assert service.refresh() is False  # no newer version, but no error either
+    assert not service.degraded
+    assert len(sleeps) == 2
+    # Exponential base with jitter in [0.5, 1.5).
+    assert 0.025 <= sleeps[0] < 0.075
+    assert 0.05 <= sleeps[1] < 0.15
+
+
+def test_refresh_exhausted_retries_marks_degraded_and_raises(
+    tmp_path, fitted_models
+):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(reg, refresh_retries=1, retry_backoff_s=0.001)
+    service._sleep = lambda s: None
+    reg.latest_version = _FailThenSucceed(reg, n_failures=99)
+    with pytest.raises(OSError, match="disk glitch"):
+        service.refresh()
+    assert service.degraded
+    assert service.consecutive_refresh_failures == 1
+    with pytest.raises(OSError):
+        service.refresh()
+    assert service.consecutive_refresh_failures == 2
+
+
+def test_refresh_success_clears_degraded(tmp_path, fitted_models):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(reg, refresh_retries=0)
+    reg.latest_version = _FailThenSucceed(reg, n_failures=1)
+    with pytest.raises(OSError):
+        service.refresh()
+    assert service.degraded
+    service.refresh()
+    assert not service.degraded
+    assert service.consecutive_refresh_failures == 0
+
+
+# ------------------------------------------------- stale-while-revalidate fix
+
+
+def test_auto_refresh_query_survives_registry_error(
+    tmp_path, fitted_models, query_block
+):
+    """Satellite fix: a refresh failure must never fail the query."""
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(
+        reg, auto_refresh=True, refresh_retries=0
+    )
+    reg.latest_version = _FailThenSucceed(reg, n_failures=99)
+    mean = service.predict(query_block[:100])
+    assert mean.shape == (100,)
+    assert service.degraded
+    assert np.array_equal(mean, fitted_models[0].predict(query_block[:100]))
+
+
+def test_auto_refresh_recovers_and_rolls_over(tmp_path, fitted_models):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(reg, auto_refresh=True, refresh_retries=0)
+    flaky = _FailThenSucceed(reg, n_failures=2)
+    reg.latest_version = flaky
+    Q = np.random.default_rng(7).uniform(size=(10, 3))
+    service.predict(Q)
+    assert service.degraded
+    # Publish a new version through the real API, then let the flaky
+    # manifest reads heal: the next query must roll over.
+    del reg.latest_version
+    reg.publish(fitted_models[1])
+    reg.latest_version = _FailThenSucceed(reg, n_failures=0)
+    service.predict(Q)
+    assert not service.degraded
+    assert service.version == 2
+    assert service.n_rollovers == 1
+
+
+def test_corrupt_latest_served_from_fallback_not_corrupt_model(
+    tmp_path, fitted_models
+):
+    """A torn publish never produces corrupt answers: load() falls back."""
+    reg = _registry(tmp_path, fitted_models, n=2)
+    service = PredictionService(reg, auto_refresh=True)
+    # Corrupt v2 on disk after it was published.
+    path = reg.root / "v00002.json"
+    path.write_bytes(path.read_bytes()[:50])
+    fresh = PredictionService(ModelRegistry(reg.root))
+    Q = np.random.default_rng(11).uniform(size=(25, 3))
+    assert fresh.version == 1
+    assert np.array_equal(fresh.predict(Q), fitted_models[0].predict(Q))
+
+
+# ------------------------------------------------------------------ admission
+
+
+class _GatedModel:
+    """Wraps a fitted model; predict blocks until the gate opens."""
+
+    def __init__(self, model, gate):
+        self._model = model
+        self._gate = gate
+
+    def predict(self, X, **kwargs):
+        self._gate.wait(timeout=10)
+        return self._model.predict(X, **kwargs)
+
+
+def test_overload_sheds_instead_of_queueing(tmp_path, fitted_models):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(reg, max_inflight=1, max_queue=0)
+    gate = threading.Event()
+    model, meta = service._snapshot
+    service._snapshot = (_GatedModel(model, gate), meta)
+    Q = np.random.default_rng(3).uniform(size=(8, 3))
+    started = threading.Event()
+    results = []
+
+    def blocked_query():
+        started.set()
+        results.append(service.predict(Q))
+
+    t = threading.Thread(target=blocked_query)
+    t.start()
+    started.wait(timeout=5)
+    time.sleep(0.05)  # let the thread take the inflight slot
+    with pytest.raises(ServiceOverloaded):
+        service.predict(Q)
+    assert service.n_shed == 1
+    gate.set()
+    t.join(timeout=10)
+    assert len(results) == 1
+    # The slot was released; new queries are admitted again.
+    assert np.array_equal(service.predict(Q), results[0])
+
+
+def test_admission_wait_is_bounded(tmp_path, fitted_models):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(
+        reg, max_inflight=1, max_queue=4, queue_timeout_s=0.05
+    )
+    gate = threading.Event()
+    model, meta = service._snapshot
+    service._snapshot = (_GatedModel(model, gate), meta)
+    Q = np.random.default_rng(3).uniform(size=(4, 3))
+    t = threading.Thread(target=lambda: service.predict(Q))
+    t.start()
+    time.sleep(0.05)
+    t0 = time.monotonic()
+    with pytest.raises(ServiceOverloaded):
+        service.predict(Q)  # queued, then times out after queue_timeout_s
+    assert time.monotonic() - t0 < 5.0
+    gate.set()
+    t.join(timeout=10)
+
+
+# ------------------------------------------------------------------ deadlines
+
+
+class _SlowModel:
+    def __init__(self, model, delay):
+        self._model = model
+        self._delay = delay
+
+    def predict(self, X, **kwargs):
+        time.sleep(self._delay)
+        return self._model.predict(X, **kwargs)
+
+
+def test_deadline_exceeded_between_chunks(tmp_path, fitted_models):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(reg, chunk_size=10, deadline_s=0.05)
+    model, meta = service._snapshot
+    service._snapshot = (_SlowModel(model, 0.1), meta)
+    Q = np.random.default_rng(3).uniform(size=(30, 3))  # 3 chunks
+    with pytest.raises(DeadlineExceeded):
+        service.predict(Q)
+
+
+def test_per_query_deadline_overrides_service_default(tmp_path, fitted_models):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(reg, chunk_size=10, deadline_s=0.01)
+    model, meta = service._snapshot
+    service._snapshot = (_SlowModel(model, 0.02), meta)
+    Q = np.random.default_rng(3).uniform(size=(30, 3))
+    # A generous per-query deadline lets the same query finish.
+    mean = service.predict(Q, deadline_s=30.0)
+    assert mean.shape == (30,)
+
+
+def test_health_snapshot(tmp_path, fitted_models):
+    reg = _registry(tmp_path, fitted_models)
+    service = PredictionService(reg, max_inflight=2)
+    h = service.health()
+    assert h["version"] == 1
+    assert h["degraded"] is False
+    assert h["n_shed"] == 0
+    assert h["inflight"] == 0
