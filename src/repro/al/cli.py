@@ -66,7 +66,7 @@ class _CampaignFactory:
 
     def __init__(self, *, rounds, batch, max_ranks, crash_rate, crash_node,
                  drift_after, drift_factor, guardrails, max_wall_seconds,
-                 breaker, registry=None):
+                 breaker, registry=None, solver="exact"):
         self.rounds = rounds
         self.batch = batch
         self.max_ranks = max_ranks
@@ -78,6 +78,7 @@ class _CampaignFactory:
         self.max_wall_seconds = max_wall_seconds
         self.breaker = breaker
         self.registry = registry
+        self.solver = solver
 
     @property
     def faulty(self) -> bool:
@@ -92,6 +93,7 @@ class _CampaignFactory:
         from ..datasets.generate import ModelExecutor
         from .campaign import CampaignConfig, OnlineCampaign
         from .guardrails import GuardrailConfig
+        from .learner import default_model_factory
 
         executor = ModelExecutor()
         if self.faulty:
@@ -120,6 +122,9 @@ class _CampaignFactory:
             ),
             executor,
             rng=rng,
+            # Mirror OnlineCampaign's default floor (1e-2) — only the solver
+            # backend is CLI-selectable here.
+            model_factory=default_model_factory(1e-2, solver=self.solver),
             guardrails=guardrails,
             breaker=self.breaker or None,
             # Replicates each publish into their own registry subdirectory;
@@ -211,6 +216,13 @@ def main(argv=None) -> int:
         "this model registry for python -m repro serve",
     )
     parser.add_argument(
+        "--solver", choices=("exact", "nystrom", "rff", "auto"),
+        default="exact",
+        help="GP solver backend for campaign refits (auto switches to an "
+        "approximate backend once the training set outgrows the exact "
+        "crossover; see docs/API.md)",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record a telemetry JSONL trace of the campaign",
     )
@@ -249,6 +261,7 @@ def main(argv=None) -> int:
         max_wall_seconds=args.max_wall_seconds,
         breaker=args.breaker,
         registry=args.registry,
+        solver=args.solver,
     )
     faulty = factory.faulty
 

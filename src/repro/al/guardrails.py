@@ -140,10 +140,21 @@ class HealthReport:
     lml_per_point: float
     outlier_rate: float | None
     n_train: int = 0
+    #: ``GaussianProcessRegressor.solver_info`` of the checked model:
+    #: solver name plus, for approximate backends, the approximation size
+    #: and the exact-vs-approximate error-budget record.
+    solver: dict | None = None
 
     @property
     def healthy(self) -> bool:
         return not self.issues
+
+
+#: Conditioning headroom for approximate-solver fits (see
+#: ModelHealth._check_approx): their small systems aggregate
+#: ``sigma^-2 n`` kernel rows, so a healthy fit's condition number sits
+#: ~n/sigma^2 above the exact ``K_y``'s.
+_APPROX_COND_HEADROOM = 1e4
 
 
 class ModelHealth:
@@ -158,6 +169,28 @@ class ModelHealth:
     def __init__(self, config: HealthConfig | None = None):
         self.config = config or HealthConfig()
 
+    @staticmethod
+    def _pinned_hyperparameters(
+        model: GaussianProcessRegressor, cfg: HealthConfig
+    ) -> tuple[list, bool]:
+        """Hyperparameters sitting at their bounds (log space)."""
+        theta = model._theta()
+        bounds = model._theta_bounds()
+        pinned: list[str] = []
+        noise_at_floor = False
+        nk = model.kernel_.n_dims
+        for i, (val, (lo, hi)) in enumerate(zip(theta, bounds)):
+            at_low = val <= lo + cfg.pin_log_tol
+            at_high = val >= hi - cfg.pin_log_tol
+            if not (at_low or at_high):
+                continue
+            if i >= nk:  # the noise entry is last when not _noise_free
+                pinned.append("noise_variance")
+                noise_at_floor = at_low
+            else:
+                pinned.append(f"kernel.theta[{i}]")
+        return pinned, noise_at_floor
+
     def check(
         self,
         model: GaussianProcessRegressor,
@@ -166,6 +199,8 @@ class ModelHealth:
     ) -> HealthReport:
         if not model.fitted:
             raise RuntimeError("health check requires a fitted model")
+        if getattr(model, "_afit", None) is not None:
+            return self._check_approx(model, prev_lml_per_point)
         cfg = self.config
         issues: list[str] = []
         n = model.X_train_.shape[0]
@@ -185,20 +220,7 @@ class ModelHealth:
 
         # Hyperparameters pinned at bounds (log space).
         theta = model._theta()
-        bounds = model._theta_bounds()
-        pinned: list[str] = []
-        noise_at_floor = False
-        nk = model.kernel_.n_dims
-        for i, (val, (lo, hi)) in enumerate(zip(theta, bounds)):
-            at_low = val <= lo + cfg.pin_log_tol
-            at_high = val >= hi - cfg.pin_log_tol
-            if not (at_low or at_high):
-                continue
-            if i >= nk:  # the noise entry is last when not _noise_free
-                pinned.append("noise_variance")
-                noise_at_floor = at_low
-            else:
-                pinned.append(f"kernel.theta[{i}]")
+        pinned, noise_at_floor = self._pinned_hyperparameters(model, cfg)
         if enough_data and noise_at_floor and cfg.noise_floor_pin_is_unhealthy:
             issues.append(
                 "noise variance pinned at its floor "
@@ -249,6 +271,7 @@ class ModelHealth:
             lml_per_point=lml_pp,
             outlier_rate=outlier_rate,
             n_train=n,
+            solver=model.solver_info,
         )
         if not report.healthy:
             tm.count("guardrail.unhealthy")
@@ -259,6 +282,108 @@ class ModelHealth:
                 condition_number=cond,
                 lml_per_point=lml_pp,
                 outlier_rate=outlier_rate,
+            )
+        return report
+
+    def _check_approx(
+        self,
+        model: GaussianProcessRegressor,
+        prev_lml_per_point: float | None,
+    ) -> HealthReport:
+        """Reduced health check for approximate (Nystrom/RFF) fits.
+
+        The full n-by-n Cholesky factor does not exist, so conditioning is
+        judged from the backend's small factor (``Lc`` for Nystrom, ``La``
+        for RFF), LOOCV is skipped (``outlier_rate=None``), and a blown
+        exact-vs-approximate error budget becomes a health issue.
+        """
+        cfg = self.config
+        afit = model._afit
+        issues: list[str] = []
+        n = afit.n_train
+        enough_data = n >= cfg.min_points
+
+        factor = afit.arrays.get("Lc")
+        if factor is None:
+            factor = afit.arrays.get("La")
+        if factor is None:  # pragma: no cover - new backends must add a key
+            cond = float("nan")
+        else:
+            sv = np.linalg.svd(np.asarray(factor), compute_uv=False)
+            cond = float("inf") if sv[-1] == 0 else float((sv[0] / sv[-1]) ** 2)
+        # The approximate systems (C = K_mm + sigma^-2 K_mn K_nm, or
+        # A = Phi^T Phi + sigma^2 I) aggregate sigma^-2 n kernel rows, so
+        # their conditioning legitimately runs orders of magnitude above
+        # the exact K_y's; the exact threshold would flag healthy
+        # large-pool fits.  The headroom keeps the check meaningful for
+        # genuinely degenerate fits (noise collapsed to its floor pushes
+        # cond past even this).
+        threshold = cfg.max_condition_number * _APPROX_COND_HEADROOM
+        if not np.isfinite(cond) or cond > threshold:
+            issues.append(
+                f"approximate-solver system ill-conditioned: "
+                f"cond={cond:.3g} > {threshold:.3g}"
+            )
+
+        theta = model._theta()
+        pinned, noise_at_floor = self._pinned_hyperparameters(model, cfg)
+        if enough_data and noise_at_floor and cfg.noise_floor_pin_is_unhealthy:
+            issues.append(
+                "noise variance pinned at its floor "
+                f"({model.noise_variance_:.3g}): the fit is absorbing noise "
+                "into the kernel (overfitting signature)"
+            )
+        elif enough_data and len(pinned) == len(theta) and len(theta) > 0:
+            issues.append(
+                f"all hyperparameters pinned at bounds: {', '.join(pinned)}"
+            )
+
+        # DTC / feature-space marginal likelihood: comparable only across
+        # fits of the same backend, so the regression check still applies.
+        lml = float(afit.lml)
+        lml_pp = lml / max(n, 1)
+        if (
+            enough_data
+            and prev_lml_per_point is not None
+            and lml_pp < prev_lml_per_point - cfg.max_lml_drop_per_point
+        ):
+            issues.append(
+                f"per-point LML regressed: {lml_pp:.3f} vs previous "
+                f"{prev_lml_per_point:.3f} (tolerance "
+                f"{cfg.max_lml_drop_per_point})"
+            )
+
+        budget = afit.error_budget or {}
+        if budget.get("within_budget") is False:
+            issues.append(
+                "exact-vs-approximate error budget exceeded: "
+                f"max mean err {budget.get('max_mean_err'):.3g} "
+                f"(budget {budget.get('budget_mean'):.3g}), "
+                f"max std err {budget.get('max_std_err'):.3g} "
+                f"(budget {budget.get('budget_std'):.3g})"
+            )
+
+        report = HealthReport(
+            issues=tuple(issues),
+            condition_number=cond,
+            pinned=tuple(pinned),
+            noise_at_floor=noise_at_floor,
+            lml=lml,
+            lml_per_point=lml_pp,
+            outlier_rate=None,
+            n_train=n,
+            solver=model.solver_info,
+        )
+        if not report.healthy:
+            tm.count("guardrail.unhealthy")
+            tm.event(
+                "guardrail.health",
+                healthy=False,
+                issues=list(report.issues),
+                condition_number=cond,
+                lml_per_point=lml_pp,
+                outlier_rate=None,
+                solver=afit.backend,
             )
         return report
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from .. import telemetry as tm
 from ..gp.gpr import GaussianProcessRegressor
+from ..gp.solvers import resolve_solver
 from .metrics import evaluate_model
 from .partition import Partition
 from .pool import CandidatePool
@@ -31,11 +32,12 @@ class _DefaultModelFactory:
     :func:`repro.al.runner.run_batch` ships the factory to pool workers.
     """
 
-    __slots__ = ("noise_floor", "upper")
+    __slots__ = ("noise_floor", "upper", "solver")
 
-    def __init__(self, noise_floor: float, upper: float):
+    def __init__(self, noise_floor: float, upper: float, solver="exact"):
         self.noise_floor = noise_floor
         self.upper = upper
+        self.solver = solver
 
     def __call__(self) -> GaussianProcessRegressor:
         return GaussianProcessRegressor(
@@ -43,25 +45,32 @@ class _DefaultModelFactory:
             noise_variance_bounds=(self.noise_floor, self.upper),
             n_restarts=2,
             rng=0,
+            solver=self.solver,
         )
 
 
-def default_model_factory(noise_floor: float = 1e-1) -> Callable[[], GaussianProcessRegressor]:
+def default_model_factory(
+    noise_floor: float = 1e-1, solver="exact"
+) -> Callable[[], GaussianProcessRegressor]:
     """Model factory with the paper's robust settings.
 
     ``noise_floor`` is the lower bound on the GPR noise variance — the
     paper's fix for early-iteration overfitting (Fig. 7b uses ``1e-1``).
     The upper bound widens with the floor (``max(1e3, 10 * noise_floor)``)
-    so a large floor can never produce an inverted bounds interval.  The
-    returned factory is picklable, so it works with every
+    so a large floor can never produce an inverted bounds interval.
+    ``solver`` selects the GP solver backend (``"exact"``, ``"nystrom"``,
+    ``"rff"``, ``"auto"``, or a :class:`repro.gp.SolverConfig` / dict) and
+    is passed through to every model the factory builds.  The returned
+    factory is picklable, so it works with every
     :class:`repro.parallel.ParallelMap` backend.
     """
     if not np.isfinite(noise_floor) or noise_floor <= 0:
         raise ValueError(
             f"noise_floor must be positive and finite, got {noise_floor}"
         )
+    resolve_solver(solver)  # fail fast on typos, before workers spawn
     upper = max(1e3, 10.0 * noise_floor)
-    return _DefaultModelFactory(noise_floor, upper)
+    return _DefaultModelFactory(noise_floor, upper, solver)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,14 @@ class CandidatePool:
             raise ValueError("X must be 2-D")
         if y.shape != (X.shape[0],) or costs.shape != (X.shape[0],):
             raise ValueError("X, y and costs must agree on record count")
+        if not np.all(np.isfinite(costs)):
+            # NaN slips past a plain `< 0` check (NaN < 0 is False) and
+            # then poisons every cumulative-cost curve downstream.
+            bad = np.flatnonzero(~np.isfinite(costs))
+            raise ValueError(
+                f"costs must be finite: {bad.size} non-finite entr"
+                f"{'y' if bad.size == 1 else 'ies'} at indices {bad[:5].tolist()}"
+            )
         if np.any(costs < 0):
             raise ValueError("costs must be non-negative")
         self._X = X

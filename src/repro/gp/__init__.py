@@ -29,11 +29,15 @@ from .loocv import (
     loo_standardized_residuals,
 )
 from .optimize import OptimizeOutcome, minimize_with_restarts
+from .solvers import AUTO_EXACT_MAX, SolverConfig, resolve_solver
 from .trend import TrendGPR, polynomial_basis
 
 __all__ = [
     "GaussianProcessRegressor",
     "default_kernel",
+    "SolverConfig",
+    "resolve_solver",
+    "AUTO_EXACT_MAX",
     "NotPositiveDefiniteError",
     "cholesky_append",
     "Kernel",

@@ -27,7 +27,6 @@ All hyperparameters are optimized in log space.
 
 from __future__ import annotations
 
-import hashlib
 import math
 import time
 import warnings
@@ -40,9 +39,11 @@ from .. import telemetry as tm
 from .incremental import NotPositiveDefiniteError, cholesky_append
 from .kernels import RBF, ConstantKernel, Kernel, kernel_from_dict, kernel_to_dict
 from .optimize import OptimizeOutcome, minimize_with_restarts
+from .solvers import ApproxFitState, SolverConfig, resolve_solver
+from . import solvers as _solvers
 from .validate import as_1d_array, as_2d_array, check_consistent_rows
 
-__all__ = ["GaussianProcessRegressor", "default_kernel"]
+__all__ = ["GaussianProcessRegressor", "SolverConfig", "default_kernel"]
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -148,6 +149,14 @@ class GaussianProcessRegressor:
         worker count.  Worth it for restart-heavy fits
         (``benchmarks/bench_parallel.py``); the per-fit pool spin-up
         dominates for small ``n_restarts``.
+    solver:
+        Solver backend: ``"exact"`` (default; the O(n^3) Cholesky path,
+        bit-identical to previous releases), ``"nystrom"`` (inducing
+        points, O(n m^2)), ``"rff"`` (random Fourier features, O(n D^2)),
+        ``"auto"`` (exact below the measured crossover size, Nystrom
+        beyond), or a :class:`repro.gp.solvers.SolverConfig` for full
+        control over approximation sizes and the error budget.  See
+        :mod:`repro.gp.solvers`.
     """
 
     def __init__(
@@ -162,6 +171,7 @@ class GaussianProcessRegressor:
         rng=None,
         jitter: float = 1e-10,
         executor=None,
+        solver="exact",
     ):
         if noise_variance <= 0:
             raise ValueError("noise_variance must be positive")
@@ -190,15 +200,39 @@ class GaussianProcessRegressor:
         self.rng = np.random.default_rng(rng)
         self.jitter = float(jitter)
         self.executor = executor
+        self.solver = resolve_solver(solver)
         self.kernel_: Kernel | None = None
         self._fit: _FitState | None = None
+        self._afit: ApproxFitState | None = None
 
     # ------------------------------------------------------------------ fitting
 
     @property
     def fitted(self) -> bool:
         """Whether :meth:`fit` has been called."""
-        return self._fit is not None
+        return self._fit is not None or self._afit is not None
+
+    @property
+    def solver_info(self) -> dict | None:
+        """JSON-safe description of the solver behind the current fit.
+
+        ``None`` before any fit.  Exact fits report ``{"name": "exact"}``;
+        approximate fits add the approximation size and the error-budget
+        record (see :func:`repro.gp.solvers.check_error_budget`).  The
+        model registry folds this into version metadata and
+        :class:`repro.al.guardrails.ModelHealth` flags blown budgets.
+        """
+        if self._afit is not None:
+            info = {"name": self._afit.backend}
+            if self._afit.backend == "nystrom":
+                info["n_inducing"] = int(self._afit.arrays["Z"].shape[0])
+            elif self._afit.backend == "rff":
+                info["n_features"] = int(self._afit.arrays["W"].shape[0])
+            info["error_budget"] = dict(self._afit.error_budget)
+            return info
+        if self._fit is not None:
+            return {"name": "exact"}
+        return None
 
     @property
     def _noise_free(self) -> bool:
@@ -244,8 +278,17 @@ class GaussianProcessRegressor:
         y = as_1d_array(y)
         check_consistent_rows(X, y)
 
-        with tm.span("fit", n=X.shape[0], warm_start=bool(warm_start)) as sp:
-            self._fit_impl(X, y, warm_start=warm_start, sp=sp)
+        backend = self.solver.effective_backend(X.shape[0])
+        if backend == "exact":
+            with tm.span("fit", n=X.shape[0], warm_start=bool(warm_start)) as sp:
+                self._fit_impl(X, y, warm_start=warm_start, sp=sp)
+            self._afit = None
+        else:
+            with tm.span(
+                "fit", n=X.shape[0], warm_start=bool(warm_start), solver=backend
+            ) as sp:
+                self._fit_approx_impl(X, y, backend, warm_start=warm_start, sp=sp)
+            self._fit = None
         return self
 
     def _fit_impl(self, X, y, *, warm_start: bool, sp) -> None:
@@ -326,6 +369,124 @@ class GaussianProcessRegressor:
                 if outcome.fallback:
                     tm.count("gp.fit.optimizer_fallback")
 
+    def _fit_approx_impl(self, X, y, backend: str, *, warm_start: bool, sp) -> None:
+        """Approximate-backend fit: subsample-opt hyperparameters, then build.
+
+        Hyperparameters are optimized by *exact* marginal likelihood on a
+        deterministic subsample of at most ``solver.opt_subset`` rows (the
+        full-set exact LML is the very O(n^3) this backend avoids); the
+        approximate posterior is then assembled on the full training set
+        at the optimum, and the error budget is checked
+        (:func:`repro.gp.solvers.check_error_budget`).
+        """
+        tel = tm.enabled()
+        t0 = time.perf_counter() if tel else 0.0
+        cfg = self.solver
+        # Private, seeded RNG: subsample choice, inducing selection /
+        # feature frequencies, and probe points are reproducible per
+        # config and never consume the restart RNG.
+        solver_rng = np.random.default_rng(cfg.seed)
+
+        if warm_start and self.kernel_ is not None:
+            pass  # keep the current kernel_/noise_variance_ as the start
+        elif self.kernel is None:
+            self.kernel_ = default_kernel(X.shape[1])
+            self.noise_variance_ = self.noise_variance
+        else:
+            self.kernel_ = self.kernel.clone_with_theta(self.kernel.theta)
+            self.noise_variance_ = self.noise_variance
+
+        if backend == "rff":
+            # Fail before the (possibly long) optimization, not after.
+            _solvers.rbf_spectral_params(self.kernel_, X.shape[1])
+
+        if self.normalize_y:
+            y_mean = float(np.mean(y))
+            y_std = float(np.std(y))
+            if y_std == 0.0:
+                y_std = 1.0
+        else:
+            y_mean, y_std = 0.0, 1.0
+        y_norm = (y - y_mean) / y_std
+
+        n = X.shape[0]
+        if n > cfg.opt_subset:
+            sub = np.sort(solver_rng.choice(n, size=cfg.opt_subset, replace=False))
+            X_opt, y_opt = X[sub], y_norm[sub]
+        else:
+            X_opt, y_opt = X, y_norm
+
+        outcome = None
+        theta0 = self._theta()
+        if self.optimizer is not None and theta0.size > 0:
+            objective = _FitObjective(
+                self.kernel_.clone_with_theta(self.kernel_.theta),
+                self.noise_variance_,
+                self.noise_variance_bounds,
+                self.jitter,
+                X_opt,
+                y_opt,
+            )
+            outcome = minimize_with_restarts(
+                objective,
+                theta0,
+                self._theta_bounds(),
+                n_restarts=self.n_restarts,
+                rng=self.rng,
+                executor=self.executor,
+            )
+            self._set_theta(outcome.theta)
+
+        arrays = _solvers.fit_backend(
+            backend,
+            self.kernel_,
+            self.noise_variance_,
+            self.jitter,
+            X,
+            y_norm,
+            cfg,
+            solver_rng,
+        )
+        lml = float(arrays.pop("lml")[0])
+        state = ApproxFitState(
+            backend=backend,
+            arrays=arrays,
+            y_mean=y_mean,
+            y_std=y_std,
+            n_train=n,
+            training_hash=_solvers.training_hash(X, y_norm, y_mean, y_std),
+            lml=lml,
+            X=X,
+            y=y_norm,
+        )
+        state.error_budget = _solvers.check_error_budget(
+            state,
+            self.kernel_,
+            self.noise_variance_,
+            self.jitter,
+            X,
+            y_norm,
+            cfg,
+            solver_rng,
+        )
+        self._afit = state
+        if tel:
+            tm.count("gp.fit.total")
+            tm.count(f"gp.fit.{backend}")
+            tm.observe("gp.fit.seconds", time.perf_counter() - t0)
+            sp.set(lml=lml, noise_variance=self.noise_variance_)
+            budget = state.error_budget
+            if budget.get("checked"):
+                sp.set(
+                    budget_mean_err=budget["max_mean_err"],
+                    budget_std_err=budget["max_std_err"],
+                    within_budget=budget["within_budget"],
+                )
+                if budget["within_budget"] is False:
+                    tm.count("gp.fit.budget_exceeded")
+            if outcome is not None and outcome.fallback:
+                tm.count("gp.fit.optimizer_fallback")
+
     def update(self, x, y) -> "GaussianProcessRegressor":
         """Fold new observations into the posterior at *fixed* hyperparameters.
 
@@ -353,24 +514,14 @@ class GaussianProcessRegressor:
         y:
             Corresponding target(s), scalar or ``(m,)``.
         """
-        if self._fit is None:
+        if self._fit is None and self._afit is None:
             raise RuntimeError("update() requires a fitted model; call fit() first")
+        if self._afit is not None:
+            return self._update_approx(x, y)
         fit = self._fit
         kernel = self.kernel_
         assert kernel is not None
-        d = fit.X.shape[1]
-        X_new = np.asarray(x, dtype=float)
-        if X_new.ndim == 1:
-            # (d,) is one point when the model is multivariate; (m,) is m
-            # points for the 1-D studies.
-            X_new = X_new[np.newaxis, :] if d > 1 else X_new[:, np.newaxis]
-        X_new = as_2d_array(X_new)
-        y_new = as_1d_array(np.atleast_1d(np.asarray(y, dtype=float)))
-        check_consistent_rows(X_new, y_new)
-        if X_new.shape[1] != d:
-            raise ValueError(
-                f"x has {X_new.shape[1]} features, model was fit with {d}"
-            )
+        X_new, y_new = self._coerce_update_rows(x, y, fit.X.shape[1])
         y_norm_new = (y_new - fit.y_mean) / fit.y_std
 
         X_all = fit.X
@@ -412,6 +563,91 @@ class GaussianProcessRegressor:
         fit.theta_history = []
         return self
 
+    @staticmethod
+    def _coerce_update_rows(x, y, d: int) -> tuple[np.ndarray, np.ndarray]:
+        """Validate/reshape one :meth:`update` batch against dimensionality ``d``."""
+        X_new = np.asarray(x, dtype=float)
+        if X_new.ndim == 1:
+            # (d,) is one point when the model is multivariate; (m,) is m
+            # points for the 1-D studies.
+            X_new = X_new[np.newaxis, :] if d > 1 else X_new[:, np.newaxis]
+        X_new = as_2d_array(X_new)
+        y_new = as_1d_array(np.atleast_1d(np.asarray(y, dtype=float)))
+        check_consistent_rows(X_new, y_new)
+        if X_new.shape[1] != d:
+            raise ValueError(
+                f"x has {X_new.shape[1]} features, model was fit with {d}"
+            )
+        return X_new, y_new
+
+    def _update_approx(self, x, y) -> "GaussianProcessRegressor":
+        """Fold new rows into an approximate posterior at fixed hyperparameters.
+
+        Rebuilds the backend factors on the extended training set — an
+        O(n m^2) / O(n D^2) pass, not the exact path's O(n^2) rank-1
+        border — with the same solver seed, so the inducing set / feature
+        frequencies are re-drawn deterministically.  Requires the
+        training set, which a model restored by :meth:`from_dict` no
+        longer carries.
+        """
+        afit = self._afit
+        assert afit is not None
+        if afit.X is None or afit.y is None:
+            raise RuntimeError(
+                "cannot update an approximate model restored from a "
+                "serialized payload: the training set is not persisted; "
+                "refit from the source data instead"
+            )
+        kernel = self.kernel_
+        assert kernel is not None
+        X_new, y_new = self._coerce_update_rows(x, y, afit.X.shape[1])
+        y_norm_new = (y_new - afit.y_mean) / afit.y_std
+        X_all = np.vstack([afit.X, X_new])
+        y_all = np.append(afit.y, y_norm_new)
+        cfg = self.solver
+        with tm.span(
+            "update", n=afit.n_train, n_new=X_new.shape[0], solver=afit.backend
+        ):
+            solver_rng = np.random.default_rng(cfg.seed)
+            arrays = _solvers.fit_backend(
+                afit.backend,
+                kernel,
+                self.noise_variance_,
+                self.jitter,
+                X_all,
+                y_all,
+                cfg,
+                solver_rng,
+            )
+            lml = float(arrays.pop("lml")[0])
+            state = ApproxFitState(
+                backend=afit.backend,
+                arrays=arrays,
+                y_mean=afit.y_mean,
+                y_std=afit.y_std,
+                n_train=X_all.shape[0],
+                training_hash=_solvers.training_hash(
+                    X_all, y_all, afit.y_mean, afit.y_std
+                ),
+                lml=lml,
+                X=X_all,
+                y=y_all,
+            )
+            state.error_budget = _solvers.check_error_budget(
+                state,
+                kernel,
+                self.noise_variance_,
+                self.jitter,
+                X_all,
+                y_all,
+                cfg,
+                solver_rng,
+            )
+            self._afit = state
+            tm.count("gp.update.total")
+            tm.count("gp.update.points", X_new.shape[0])
+        return self
+
     def clone_fitted(self) -> "GaussianProcessRegressor":
         """Independent copy of a fitted model with hyperparameters frozen.
 
@@ -421,7 +657,7 @@ class GaussianProcessRegressor:
         source model.  Its optimizer is disabled and its noise is fixed, so
         a subsequent :meth:`fit` would also keep the current hyperparameters.
         """
-        if self._fit is None:
+        if self._fit is None and self._afit is None:
             raise RuntimeError("clone_fitted() requires a fitted model")
         assert self.kernel_ is not None
         clone = GaussianProcessRegressor(
@@ -432,9 +668,13 @@ class GaussianProcessRegressor:
             optimizer=None,
             rng=0,
             jitter=self.jitter,
+            solver=self.solver,
         )
         clone.kernel_ = self.kernel_.clone_with_theta(self.kernel_.theta)
         clone.noise_variance_ = self.noise_variance_
+        if self._afit is not None:
+            clone._afit = self._afit.clone()
+            return clone
         fit = self._fit
         clone._fit = _FitState(
             X=fit.X.copy(),
@@ -458,17 +698,14 @@ class GaussianProcessRegressor:
         registry (:mod:`repro.serve`) stores it as version metadata and
         :meth:`from_dict` re-verifies it on load.
         """
+        if self._afit is not None:
+            # Computed at fit time: a deserialized approximate model no
+            # longer carries the training set to re-hash.
+            return self._afit.training_hash
         if self._fit is None:
             raise RuntimeError("training_hash() requires a fitted model")
         fit = self._fit
-        h = hashlib.sha256()
-        h.update(np.int64(fit.X.shape[0]).tobytes())
-        h.update(np.int64(fit.X.shape[1]).tobytes())
-        h.update(np.ascontiguousarray(fit.X, dtype=np.float64).tobytes())
-        h.update(np.ascontiguousarray(fit.y, dtype=np.float64).tobytes())
-        h.update(np.float64(fit.y_mean).tobytes())
-        h.update(np.float64(fit.y_std).tobytes())
-        return h.hexdigest()
+        return _solvers.training_hash(fit.X, fit.y, fit.y_mean, fit.y_std)
 
     def to_dict(self) -> dict:
         """Exact JSON-serializable snapshot of the regressor.
@@ -503,7 +740,11 @@ class GaussianProcessRegressor:
             "kernel_": (
                 kernel_to_dict(self.kernel_) if self.kernel_ is not None else None
             ),
+            "solver": self.solver.to_dict(),
             "fit": None,
+            "afit": (
+                self._afit.to_dict() if self._afit is not None else None
+            ),
         }
         if self._fit is not None:
             fit = self._fit
@@ -553,6 +794,7 @@ class GaussianProcessRegressor:
             optimizer=payload["optimizer"],
             rng=0,
             jitter=float(payload["jitter"]),
+            solver=payload.get("solver", "exact"),
         )
         model.noise_variance_ = float(payload["noise_variance_"])
         if payload["kernel_"] is not None:
@@ -574,6 +816,9 @@ class GaussianProcessRegressor:
                     "training-set hash mismatch: the serialized model is "
                     "corrupt or was modified after it was saved"
                 )
+        afit = payload.get("afit")
+        if afit is not None:
+            model._afit = ApproxFitState.from_dict(afit)
         return model
 
     @staticmethod
@@ -609,6 +854,14 @@ class GaussianProcessRegressor:
         the Fig. 4/5 experiments scan LML landscapes without refitting.
         """
         if X is None or y is None:
+            if self._afit is not None:
+                raise RuntimeError(
+                    "exact log_marginal_likelihood over the full training "
+                    "set is unavailable for approximate solver fits (that "
+                    "O(n^3) cost is what the solver avoids); use lml_ for "
+                    "the approximate marginal likelihood, or pass (X, y) "
+                    "explicitly to evaluate on a subset"
+                )
             if self._fit is None:
                 raise RuntimeError("model is not fitted and no (X, y) supplied")
             X, y = self._fit.X, self._fit.y
@@ -688,6 +941,13 @@ class GaussianProcessRegressor:
         if return_std and return_cov:
             raise ValueError("return_std and return_cov are mutually exclusive")
         X = as_2d_array(X)
+        if self._afit is not None:
+            return self._predict_approx(
+                X,
+                return_std=return_std,
+                return_cov=return_cov,
+                include_noise=include_noise,
+            )
         if self._fit is None:
             # Prior prediction.
             kernel = self.kernel_ or (
@@ -750,6 +1010,54 @@ class GaussianProcessRegressor:
             var = var + self.noise_variance_
         return mean, np.sqrt(var) * fit.y_std
 
+    def _predict_approx(
+        self, X, *, return_std: bool, return_cov: bool, include_noise: bool
+    ):
+        """Approximate-backend prediction with the exact path's post-processing.
+
+        The solver returns the latent mean and variance in normalized
+        units; clamping, the observation-noise term, and target
+        un-normalization are applied here with the same rules as the
+        exact path, so ``return_std`` and ``sqrt(diag(return_cov))``
+        agree across backends.
+        """
+        afit = self._afit
+        kernel = self.kernel_
+        assert afit is not None and kernel is not None
+        want = "cov" if return_cov else ("var" if return_std else None)
+        mean_n, second = _solvers.predict_backend(
+            afit, kernel, self.noise_variance_, self.jitter, X, want=want
+        )
+        mean = mean_n * afit.y_std + afit.y_mean
+        if want is None:
+            return mean
+        if return_cov:
+            cov = second
+            diag = np.einsum("ii->i", cov)  # writable view
+            if np.any(diag < 0):
+                if np.min(diag) < -1e-6:
+                    warnings.warn(
+                        f"predicted variance clipped from {np.min(diag):.3e}",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                np.maximum(diag, 0.0, out=diag)
+            if include_noise:
+                cov[np.diag_indices_from(cov)] += self.noise_variance_
+            return mean, cov * afit.y_std**2
+        var = second
+        if np.any(var < 0):
+            if np.min(var) < -1e-6:
+                warnings.warn(
+                    f"predicted variance clipped from {np.min(var):.3e}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            var = np.maximum(var, 0.0)
+        if include_noise:
+            var = var + self.noise_variance_
+        return mean, np.sqrt(var) * afit.y_std
+
     def predict_gradient(self, x) -> tuple[np.ndarray, np.ndarray]:
         """Analytic gradients of the predictive mean and std at one point.
 
@@ -766,6 +1074,12 @@ class GaussianProcessRegressor:
         NotImplementedError
             If the kernel lacks input-space gradients.
         """
+        if self._afit is not None:
+            raise NotImplementedError(
+                "predict_gradient requires the exact solver; approximate "
+                f"backend {self._afit.backend!r} does not expose posterior "
+                "input-space gradients"
+            )
         if self._fit is None:
             raise RuntimeError("model is not fitted")
         fit = self._fit
@@ -796,26 +1110,70 @@ class GaussianProcessRegressor:
 
         Returns an array of shape ``(len(X), n_samples)``.  Uses the latent
         covariance plus noise on the diagonal (observation samples).
+
+        The Cholesky regularizer is *relative* to the covariance's own
+        scale: with ``normalize_y`` the covariance carries a ``y_std**2``
+        factor, and a fixed absolute jitter (the old ``1e-12``) is
+        rounded away entirely for large-magnitude targets
+        (``y_std ~ 1e6`` means ``cov + 1e-12`` == ``cov`` in float64).
+        The jitter escalates by 10x up to a bounded cap before the
+        factorization error propagates.
         """
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
         rng = np.random.default_rng(rng if rng is not None else self.rng)
         mean, cov = self.predict(X, return_cov=True)
-        cov = cov + 1e-12 * np.eye(cov.shape[0])
-        return rng.multivariate_normal(mean, cov, size=n_samples, method="cholesky").T
+        # Relative scale: mean diagonal magnitude, floored so an all-zero
+        # covariance (interpolating noise-free fit) still gets a nudge.
+        scale = max(float(np.mean(np.diag(cov))), np.finfo(float).tiny)
+        eye = np.eye(cov.shape[0])
+        jitter = 1e-12 * scale
+        for attempt in range(7):
+            try:
+                return rng.multivariate_normal(
+                    mean, cov + jitter * eye, size=n_samples, method="cholesky"
+                ).T
+            except np.linalg.LinAlgError:
+                if attempt == 6:
+                    raise
+                jitter *= 10.0
+        raise AssertionError("unreachable")
 
     # ------------------------------------------------------------------- misc
 
     @property
     def lml_(self) -> float:
-        """LML of the fitted model at its optimized hyperparameters."""
+        """LML of the fitted model at its optimized hyperparameters.
+
+        For approximate solver fits this is the backend's approximate
+        marginal likelihood (DTC / feature-space), not the exact one.
+        """
+        if self._afit is not None:
+            return self._afit.lml
         if self._fit is None:
             raise RuntimeError("model is not fitted")
         return self._fit.lml
 
     @property
+    def n_train_(self) -> int:
+        """Training-set size, available for every backend (even restored)."""
+        if self._afit is not None:
+            return self._afit.n_train
+        if self._fit is None:
+            raise RuntimeError("model is not fitted")
+        return self._fit.X.shape[0]
+
+    @property
     def X_train_(self) -> np.ndarray:
         """Training design matrix (after coercion to 2-D float64)."""
+        if self._afit is not None:
+            if self._afit.X is None:
+                raise RuntimeError(
+                    "training set unavailable: approximate models restored "
+                    "from a serialized payload keep only the posterior "
+                    "factors (use n_train_ for the size)"
+                )
+            return self._afit.X
         if self._fit is None:
             raise RuntimeError("model is not fitted")
         return self._fit.X
@@ -823,14 +1181,23 @@ class GaussianProcessRegressor:
     @property
     def y_train_(self) -> np.ndarray:
         """Training targets in original (unnormalized) units."""
+        if self._afit is not None:
+            if self._afit.y is None:
+                raise RuntimeError(
+                    "training targets unavailable: approximate models "
+                    "restored from a serialized payload keep only the "
+                    "posterior factors"
+                )
+            return self._afit.y * self._afit.y_std + self._afit.y_mean
         if self._fit is None:
             raise RuntimeError("model is not fitted")
         return self._fit.y * self._fit.y_std + self._fit.y_mean
 
     def __repr__(self) -> str:
         kern = self.kernel_ if self.kernel_ is not None else self.kernel
+        solver = "" if self.solver.name == "exact" else f", solver={self.solver.name!r}"
         return (
             f"GaussianProcessRegressor(kernel={kern!r}, "
             f"noise_variance={self.noise_variance_:.3g}, "
-            f"bounds={self.noise_variance_bounds})"
+            f"bounds={self.noise_variance_bounds}{solver})"
         )

@@ -162,9 +162,11 @@ def _print_info(registry: ModelRegistry) -> None:
         health = (
             "-" if meta.healthy is None else ("ok" if meta.healthy else "UNHEALTHY")
         )
+        solver = (meta.extra or {}).get("solver") or {}
         print(
             f" {marker} v{meta.version:05d}  n_train={meta.n_train:<5d} "
             f"lml={meta.lml:<12.4f} health={health:<9s} "
+            f"solver={solver.get('name', 'exact'):<8s}"
             f"hash={meta.training_hash[:12]}"
         )
     if latest is None:

@@ -387,16 +387,24 @@ class ModelRegistry:
         next_version = (max(history) + 1) if history else 1
         healthy, issues = _health_fields(health)
         model_dict = model.to_dict()
+        extra = dict(extra or {})
+        # Record which solver produced the posterior (and, for approximate
+        # backends, the error-budget report) alongside the health verdict.
+        # Exact fits are left unmarked (absence implies "exact"), keeping
+        # their version files byte-identical to pre-solver-layer ones.
+        solver_info = getattr(model, "solver_info", None)
+        if solver_info is not None and solver_info.get("name") != "exact":
+            extra.setdefault("solver", solver_info)
         meta = ModelVersion(
             version=next_version,
             created_at=time.time() if created_at is None else float(created_at),
             training_hash=model.training_hash(),
-            n_train=model.X_train_.shape[0],
+            n_train=int(getattr(model, "n_train_", None) or model.X_train_.shape[0]),
             lml=float(model.lml_),
             noise_variance=float(model.noise_variance_),
             healthy=healthy,
             issues=issues,
-            extra=dict(extra or {}),
+            extra=extra,
             checksum=model_checksum(model_dict),
         )
         write_json_atomic(

@@ -78,3 +78,20 @@ def test_validation():
         CandidatePool(np.zeros((3, 1)), np.zeros(2), np.zeros(3))
     with pytest.raises(ValueError):
         CandidatePool(np.zeros((3, 1)), np.zeros(3), -np.ones(3))
+
+
+def test_non_finite_costs_rejected():
+    # Regression: NaN slipped past the `< 0` check (NaN < 0 is False) and
+    # poisoned every cumulative-cost curve downstream.
+    X = np.zeros((3, 1))
+    y = np.zeros(3)
+    for bad in (np.nan, np.inf, -np.inf):
+        costs = np.array([1.0, bad, 2.0])
+        with pytest.raises(ValueError, match="finite"):
+            CandidatePool(X, y, costs)
+
+
+def test_non_finite_cost_error_names_indices():
+    costs = np.array([1.0, np.nan, np.inf])
+    with pytest.raises(ValueError, match=r"2 non-finite entries at indices \[1, 2\]"):
+        CandidatePool(np.zeros((3, 1)), np.zeros(3), costs)

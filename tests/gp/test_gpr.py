@@ -381,3 +381,24 @@ def test_return_cov_clamp_keeps_noise_floor():
     model, X = _ill_conditioned_fit(1e-9)
     _, cov = model.predict(X, return_cov=True)
     assert np.all(np.diag(cov) >= model.noise_variance_ * model._fit.y_std**2)
+
+
+def test_sample_y_large_magnitude_targets():
+    # Regression: sample_y used a fixed absolute 1e-12 Cholesky jitter.
+    # With normalize_y the predictive covariance carries y_std**2 ~ 1e11,
+    # so the nudge was pure roundoff and near-singular covariances
+    # (duplicated extrapolation points, vanishing noise) raised
+    # LinAlgError.  The jitter is now relative to the covariance scale
+    # with bounded 10x escalation.
+    X = np.linspace(0, 10, 30)[:, np.newaxis]
+    y = 1e6 * np.sin(X[:, 0])
+    model = GaussianProcessRegressor(
+        rng=0, n_restarts=1, normalize_y=True,
+        noise_variance=1e-16, noise_variance_bounds="fixed",
+    ).fit(X, y)
+    Xq = np.repeat(np.linspace(12, 20, 6), 3)[:, np.newaxis]
+    samples = model.sample_y(Xq, n_samples=16, rng=2)
+    assert samples.shape == (18, 16)
+    assert np.all(np.isfinite(samples))
+    # Samples live at the data's magnitude, not the normalized one.
+    assert np.max(np.abs(samples)) > 1e4
