@@ -1,0 +1,164 @@
+"""Robustness: global GP vs sharded campaigns, fault-free and under chaos.
+
+Runs the same mixed-operator acquisition campaign (poisson1 + poisson2,
+the heterogeneous regime sharding is built for) four ways per shard
+count — ``n_shards in (1, 2, 4, 8)``, where 1 shard *is* the global GP —
+fault-free and with a 20% per-(shard, round) kill rate injected via
+:class:`~repro.cluster.faults.ShardFaultConfig`.
+
+Reported per (shards, mode): wall-clock seconds of the whole campaign,
+test RMSE of the final (possibly degraded) model, and mean shard
+availability.  Two claims are asserted: chaos never prevents completion
+(degraded mode, not death), and chaos RMSE stays within 1.5x of the same
+shard count's fault-free RMSE.
+
+Usable standalone (``python benchmarks/bench_sharded.py [--quick]``;
+exit 0 iff every acceptance bar holds) or under
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.al.metrics import rmse as rmse_metric
+from repro.al.partition import random_partition
+from repro.al.sharding import ShardedLearner, ShardingConfig, mixed_operator_pool
+from repro.al.strategies import CostEfficiency
+from repro.cluster.faults import ShardFaultConfig
+
+SHARD_COUNTS = (1, 2, 4, 8)
+KILL_RATE = 0.2
+
+
+def _problem(n_points):
+    X, y, costs = mixed_operator_pool(n_points, seed=5)
+    part = random_partition(
+        n_points, rng=9, n_initial=max(24, n_points // 8), test_fraction=0.25
+    )
+    return X, y, costs, part
+
+
+def _run_one(n_shards, chaos, *, n_points, n_rounds):
+    X, y, costs, part = _problem(n_points)
+    fault_config = (
+        ShardFaultConfig(crash_rate=KILL_RATE / 2, hang_rate=KILL_RATE / 2)
+        if chaos
+        else None
+    )
+    learner = ShardedLearner(
+        X, y, costs, part,
+        config=ShardingConfig(
+            n_shards=n_shards, n_rounds=n_rounds, batch_size=2, seed=13
+        ),
+        strategy=CostEfficiency(),
+        backend="process",
+        n_workers=min(n_shards, 4),
+        fault_config=fault_config,
+    )
+    start = time.perf_counter()
+    result = learner.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "shards": n_shards,
+        "mode": "chaos" if chaos else "clean",
+        "seconds": elapsed,
+        "stop_reason": result.stop_reason,
+        "rmse": (
+            rmse_metric(result.model, X[part.test], y[part.test])
+            if result.model is not None
+            else float("nan")
+        ),
+        "availability": result.shard_availability["mean_availability"],
+    }
+
+
+def sharded_sweep(*, n_points=160, n_rounds=8):
+    return [
+        _run_one(s, chaos, n_points=n_points, n_rounds=n_rounds)
+        for s in SHARD_COUNTS
+        for chaos in (False, True)
+    ]
+
+
+def _print_report(rows, banner_fn=None):
+    if banner_fn is None:
+        print()
+        print("=" * 72)
+        print("SHARDING — global GP vs sharded, fault-free and chaos")
+        print("=" * 72)
+    else:
+        banner_fn("SHARDING — global GP vs sharded, fault-free and chaos")
+    print(f"{'shards':>6} {'mode':>6} {'wall s':>8} {'test RMSE':>10} "
+          f"{'avail':>6} {'stop':>12}")
+    for r in rows:
+        print(f"{r['shards']:>6} {r['mode']:>6} {r['seconds']:>8.1f} "
+              f"{r['rmse']:>10.4f} {r['availability']:>6.2f} "
+              f"{r['stop_reason']:>12}")
+    by = {(r["shards"], r["mode"]): r for r in rows}
+    clean = [by[(s, "clean")]["rmse"] for s in SHARD_COUNTS]
+    best = SHARD_COUNTS[int(np.argmin(clean))]
+    print(f"fault-free RMSE crossover: best at {best} shard(s) "
+          f"({dict(zip(SHARD_COUNTS, [round(c, 4) for c in clean]))})")
+
+
+def _check(rows):
+    problems = []
+    by = {(r["shards"], r["mode"]): r for r in rows}
+    for s in SHARD_COUNTS:
+        clean, chaos = by[(s, "clean")], by[(s, "chaos")]
+        for r in (clean, chaos):
+            if r["stop_reason"] != "completed":
+                problems.append(
+                    f"{s} shards {r['mode']}: stop_reason={r['stop_reason']}"
+                )
+        if not np.isfinite(chaos["rmse"]):
+            problems.append(f"{s} shards chaos: no final model")
+        elif chaos["rmse"] > 1.5 * clean["rmse"]:
+            problems.append(
+                f"{s} shards: chaos RMSE {chaos['rmse']:.4f} exceeds "
+                f"1.5x fault-free {clean['rmse']:.4f}"
+            )
+        if not 0.0 < chaos["availability"] <= 1.0:
+            problems.append(f"{s} shards chaos: bad availability")
+    return problems
+
+
+# ------------------------------------------------------------- pytest benches
+
+
+def test_sharded_vs_global(once):
+    rows = once(sharded_sweep, n_points=120, n_rounds=6)
+    from conftest import banner
+
+    _print_report(rows, banner_fn=banner)
+    assert _check(rows) == []
+
+
+# ---------------------------------------------------------------- script mode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized sweep (120-point pool, 6 rounds)")
+    parser.add_argument("--pool-size", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    n_points = args.pool_size or (120 if args.quick else 160)
+    n_rounds = args.rounds or (6 if args.quick else 8)
+    rows = sharded_sweep(n_points=n_points, n_rounds=n_rounds)
+    _print_report(rows)
+    problems = _check(rows)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("sharded bench: all acceptance bars hold")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,17 @@ from .resilience import (
     QuarantineDecision,
     QuarantinePolicy,
     RetryPolicy,
+    ShardBreaker,
+    ShardBreakerConfig,
+)
+from .sharding import (
+    AcquisitionRouter,
+    InputPartitioner,
+    ShardedLearner,
+    ShardedModel,
+    ShardingConfig,
+    ShardSupervisor,
+    mixed_operator_pool,
 )
 from .replicates import ReplicateOutcome, SweepResult, run_replicates
 from .runner import BatchResult, aggregate_series, run_batch
@@ -89,6 +100,15 @@ __all__ = [
     "QuarantinePolicy",
     "QuarantineDecision",
     "FailureAccounting",
+    "ShardBreaker",
+    "ShardBreakerConfig",
+    "InputPartitioner",
+    "ShardingConfig",
+    "ShardedModel",
+    "ShardSupervisor",
+    "AcquisitionRouter",
+    "ShardedLearner",
+    "mixed_operator_pool",
     "HealthConfig",
     "HealthReport",
     "ModelHealth",

@@ -161,6 +161,9 @@ class CampaignResult:
     wasted_core_seconds: float = 0.0
     stop_reason: str = "completed"
     guardrails: GuardrailTallies | None = None
+    #: per-shard availability report from sharded campaigns (see
+    #: :mod:`repro.al.sharding`); ``None`` for unsharded campaigns
+    shard_availability: dict | None = None
 
 
 @dataclass

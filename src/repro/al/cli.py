@@ -147,6 +147,8 @@ def _run_sweep(args, factory: _CampaignFactory) -> int:
         n_workers=args.workers,
         backend=args.backend,
         checkpoint_dir=args.checkpoint_dir,
+        task_timeout=args.task_timeout,
+        max_task_retries=args.max_task_retries,
     )
     s = sweep.summary()
     print(f"replicates:         {s['n_replicates']}")
@@ -163,6 +165,98 @@ def _run_sweep(args, factory: _CampaignFactory) -> int:
             f"checkpoints:        {s['n_loaded']} loaded, "
             f"{s['n_resumed']} resumed (dir: {args.checkpoint_dir})"
         )
+    return 0
+
+
+def _run_sharded(args) -> int:
+    """Sharded-campaign mode: ``python -m repro campaign --shards N``.
+
+    Runs the partitioned learner of :mod:`repro.al.sharding` on a
+    synthetic mixed-operator pool, optionally chaos-injected.  The
+    ``test rmse:`` and ``availability:`` lines are stable interfaces —
+    the CI shard chaos-soak parses them.
+    """
+    from ..cluster.faults import ShardFaultConfig
+    from ..parallel.pmap import ParallelMap
+    from .partition import random_partition
+    from .sharding import ShardedLearner, ShardingConfig, mixed_operator_pool
+    from .strategies import CostEfficiency
+
+    X, y, costs = mixed_operator_pool(args.pool_size, seed=args.seed)
+    n_initial = max(3 * args.shards, args.pool_size // 10)
+    partition = random_partition(
+        args.pool_size, rng=args.seed, n_initial=n_initial, test_fraction=0.25
+    )
+    fault_config = None
+    if args.shard_faults > 0:
+        fault_config = ShardFaultConfig(
+            crash_rate=args.shard_faults / 2.0,
+            hang_rate=args.shard_faults / 2.0,
+        )
+    learner = ShardedLearner(
+        X, y, costs, partition,
+        config=ShardingConfig(
+            n_shards=args.shards,
+            n_rounds=args.rounds,
+            batch_size=args.batch,
+            seed=args.seed,
+        ),
+        strategy=CostEfficiency(),
+        pmap=ParallelMap(
+            args.backend,
+            args.workers,
+            default_backend="serial",
+            task_timeout=args.task_timeout,
+            max_task_retries=args.max_task_retries,
+        ),
+        fault_config=fault_config,
+        registry=args.registry,
+    )
+
+    def run():
+        return learner.run(checkpoint_dir=args.checkpoint_dir)
+
+    if args.trace:
+        from .. import telemetry
+
+        with telemetry.session(args.trace):
+            result = run()
+    else:
+        result = run()
+
+    from .metrics import rmse as rmse_metric
+
+    avail = result.shard_availability
+    print(f"stop_reason:        {result.stop_reason}")
+    print(f"rounds run:         {len(result.rounds)}/{args.rounds}")
+    print(f"observations:       {len(result.y)}")
+    print(f"core-seconds:       {result.cpu_core_seconds:.0f}")
+    if result.model is not None:
+        test_rmse = rmse_metric(result.model, X[partition.test], y[partition.test])
+        print(f"test rmse:          {test_rmse:.6f}")
+    else:
+        print("test rmse:          nan")
+    print(f"availability:       {avail['mean_availability']:.4f}")
+    dead = [
+        s for s, v in avail["per_shard"].items() if v["state"] in ("open", "dead")
+    ]
+    print(
+        "shards:             "
+        f"{avail['n_shards']} total, {len(dead)} open/dead ({dead})"
+    )
+    if result.guardrails is not None:
+        t = result.guardrails
+        print(
+            "guardrails:         "
+            f"{t.n_unhealthy_fits} unhealthy fits, {t.n_rollbacks} rollbacks"
+        )
+        print(
+            "breaker:            "
+            f"{t.n_breaker_opens} opens, {t.n_breaker_probes} probes, "
+            f"{t.n_breaker_blacklisted} blacklisted"
+        )
+    if args.trace:
+        print(f"[telemetry trace written to {args.trace}]")
     return 0
 
 
@@ -243,11 +337,46 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
         help="per-replicate checkpoints + result files; re-running the "
-        "sweep resumes exactly-once instead of starting over",
+        "sweep resumes exactly-once instead of starting over "
+        "(sharded mode: the sharded campaign's checkpoint directory)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock bound for process-backend workers "
+        "(replicate sweeps and sharded fit waves); a stuck worker is "
+        "killed and the task retried",
+    )
+    parser.add_argument(
+        "--max-task-retries", type=int, default=2, metavar="N",
+        help="extra attempts granted to a task blamed for a timeout or "
+        "worker crash before giving up",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run a *sharded* offline campaign with N spatial shards on "
+        "the mixed-operator pool instead of the online campaign "
+        "(see docs/SHARDING.md)",
+    )
+    parser.add_argument(
+        "--shard-faults", type=float, default=0.0, metavar="RATE",
+        help="sharded mode: per-(shard, round) kill probability, split "
+        "between crash and hang injections",
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=160, metavar="N",
+        help="sharded mode: records in the synthetic mixed-operator pool",
     )
     args = parser.parse_args(argv)
     if args.replicates < 1:
         parser.error("--replicates must be >= 1")
+    if args.shards < 0:
+        parser.error("--shards must be >= 0")
+    if not 0.0 <= args.shard_faults <= 1.0:
+        parser.error("--shard-faults must be in [0, 1]")
+    if args.shards:
+        if args.replicates > 1:
+            parser.error("--shards is incompatible with --replicates > 1")
+        return _run_sharded(args)
 
     factory = _CampaignFactory(
         rounds=args.rounds,

@@ -62,6 +62,11 @@ def random_partition(
     """
     if n_initial < 1:
         raise ValueError("n_initial must be >= 1")
+    if n_initial >= n:
+        raise ValueError(
+            f"n_initial={n_initial} must leave room for Active and Test "
+            f"records, but the dataset only has n={n}"
+        )
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
     rest = n - n_initial

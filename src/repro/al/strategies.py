@@ -75,6 +75,28 @@ class Strategy:
             self._tie_rng_ = np.random.default_rng(getattr(self, "seed", 0))
         return self._tie_rng_
 
+    def with_seed(self, seed: int) -> "Strategy":
+        """Fresh copy of this strategy re-seeded with ``seed``.
+
+        Sharded campaigns give every shard its own strategy instance so
+        local RNG streams (tie-breaks, random scores, bootstrap resamples)
+        stay independent of shard scheduling.  For dataclass strategies
+        with a ``seed`` field this re-runs ``__post_init__`` via
+        :func:`dataclasses.replace`, resetting any derived RNG state; other
+        strategies fall back to a deep copy with ``seed`` assigned.
+        """
+        import copy
+        import dataclasses
+
+        if dataclasses.is_dataclass(self) and any(
+            f.name == "seed" for f in dataclasses.fields(self)
+        ):
+            return dataclasses.replace(self, seed=int(seed))
+        clone = copy.deepcopy(self)
+        clone.seed = int(seed)
+        clone._tie_rng_ = None
+        return clone
+
     def select(
         self, model: GaussianProcessRegressor, pool: CandidatePool
     ) -> int:

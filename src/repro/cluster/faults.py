@@ -56,6 +56,9 @@ __all__ = [
     "FsFaultConfig",
     "FsFaultStats",
     "FilesystemFaultInjector",
+    "SHARD_FAULT_KINDS",
+    "ShardFaultConfig",
+    "ShardFaultInjector",
 ]
 
 
@@ -480,3 +483,145 @@ class FilesystemFaultInjector:
         # torn states that write_json_atomic exists to prevent.
         path.write_bytes(out)
         return kind
+
+
+# -------------------------------------------------------------- shard faults
+#
+# The classes above poison measurements and files; the ones below poison
+# *model fits*.  A sharded campaign (:mod:`repro.al.sharding`) fans one GP
+# fit per shard out to pool workers, and each of those fits can die, stall,
+# or train on silently corrupted data.  The injector lives in the worker,
+# so its draws must not depend on worker identity, completion order, or
+# retry scheduling in other shards — hence it is *stateless*: every draw is
+# a pure function of ``(seed, shard, round, attempt)`` via a
+# ``SeedSequence`` spawn key, and replays bit-identically across backends,
+# worker counts, and checkpoint resume.
+
+#: Recognized shard-fit fault kinds, in cascade order.
+SHARD_FAULT_KINDS = ("crash", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class ShardFaultConfig:
+    """Per-fit fault probabilities for :class:`ShardFaultInjector`.
+
+    Rates are probabilities of one fault class per shard-fit attempt; at
+    most one fault is injected per attempt (the classes partition a single
+    uniform draw), so their sum must not exceed 1.
+
+    Attributes
+    ----------
+    crash_rate:
+        The fit attempt dies before producing a model (a worker OOM or
+        segfault, surfaced as a failed attempt the supervisor may retry).
+    hang_rate:
+        The fit attempt stalls until the task timeout kills it; modeled as
+        a failed attempt charged ``hang_seconds`` of wall-clock, without
+        actually sleeping in tests.
+    corrupt_rate:
+        The fit silently trains on corrupted responses (``y`` scaled by
+        ``corrupt_y_factor``) — the model comes back looking healthy, and
+        only the supervisor's training-data hash check can unmask it.
+    corrupt_y_factor:
+        Multiplier applied to the shard's responses by a ``corrupt`` fault
+        (must differ from 1, or the corruption would be a no-op).
+    hang_seconds:
+        Simulated wall-clock charged for a hung attempt.
+    shard_crash_rates:
+        Mapping ``shard index -> extra crash probability`` for targeting
+        specific shards (the shard-level analogue of
+        ``FaultConfig.node_crash_rates``); drawn from its own uniform
+        before the rate cascade, so targeted and background faults
+        compose independently.
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    corrupt_y_factor: float = 4.0
+    hang_seconds: float = 60.0
+    shard_crash_rates: Mapping[int, float] | None = None
+
+    def __post_init__(self):
+        rates = (self.crash_rate, self.hang_rate, self.corrupt_rate)
+        for r in rates:
+            if not 0.0 <= r <= 1.0:
+                raise ValueError(f"shard fault rates must be in [0, 1], got {r}")
+        if sum(rates) > 1.0 + 1e-12:
+            raise ValueError(f"shard fault rates sum to {sum(rates)} > 1")
+        if self.corrupt_y_factor == 1.0 or self.corrupt_y_factor <= 0:
+            raise ValueError("corrupt_y_factor must be positive and != 1")
+        if self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+        if self.shard_crash_rates:
+            for shard, rate in self.shard_crash_rates.items():
+                if int(shard) < 0:
+                    raise ValueError(f"shard index must be >= 0, got {shard}")
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"shard_crash_rates must be in [0, 1], "
+                        f"got {rate} for shard {shard}"
+                    )
+
+    @property
+    def total_rate(self) -> float:
+        """Probability that a background fault is injected on one attempt."""
+        return self.crash_rate + self.hang_rate + self.corrupt_rate
+
+    @property
+    def enabled(self) -> bool:
+        return self.total_rate > 0 or bool(self.shard_crash_rates)
+
+
+class ShardFaultInjector:
+    """Stateless, keyed fault draws for sharded model fits.
+
+    Unlike :class:`FaultyExecutor` and :class:`FilesystemFaultInjector`,
+    this injector holds **no generator state**: :meth:`draw` derives a
+    fresh stream from ``SeedSequence(seed, spawn_key=(shard, round,
+    attempt))`` on every call.  That makes the fault sequence immune to
+    parallel completion order and trivially resumable — a checkpointed
+    campaign replays the identical faults without persisting any RNG
+    state, and every pool worker can construct its own injector from just
+    ``(config, seed)``.
+    """
+
+    def __init__(self, config: ShardFaultConfig | None = None, *, seed: int = 0):
+        self.config = config or ShardFaultConfig()
+        self.seed = int(seed)
+
+    def _uniforms(self, shard: int, round_index: int, attempt: int) -> np.ndarray:
+        ss = np.random.SeedSequence(
+            entropy=self.seed,
+            spawn_key=(int(shard), int(round_index), int(attempt)),
+        )
+        return np.random.default_rng(ss).uniform(size=2)
+
+    def draw(self, shard: int, round_index: int, attempt: int) -> str | None:
+        """Fault kind injected into this fit attempt, or ``None``.
+
+        Two uniforms are drawn per call — one for the shard-targeted crash
+        check, one for the background cascade — regardless of
+        configuration, so enabling ``shard_crash_rates`` never shifts the
+        background fault sequence.
+        """
+        c = self.config
+        u_target, u = self._uniforms(shard, round_index, attempt)
+        if c.shard_crash_rates:
+            rate = float(c.shard_crash_rates.get(int(shard), 0.0))
+            if u_target < rate:
+                return "crash"
+        edge = c.crash_rate
+        if u < edge:
+            return "crash"
+        edge += c.hang_rate
+        if u < edge:
+            return "hang"
+        edge += c.corrupt_rate
+        if u < edge:
+            return "corrupt"
+        return None
+
+    def corrupt_values(self, y) -> np.ndarray:
+        """The corrupted responses a ``corrupt`` fault trains the fit on."""
+        return np.asarray(y, dtype=float) * self.config.corrupt_y_factor

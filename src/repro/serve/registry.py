@@ -437,6 +437,69 @@ class ModelRegistry:
         )
         return meta
 
+    def publish_bundle(
+        self,
+        models,
+        *,
+        shard_ids=None,
+        healths=None,
+        extra: dict | None = None,
+        created_at: float | None = None,
+    ) -> list[ModelVersion]:
+        """Publish a sharded campaign's local models as one tagged bundle.
+
+        Each model becomes an ordinary registry version (so ``load``,
+        ``rollback`` and ``fsck`` all work unchanged), with its ``extra``
+        metadata carrying a shared ``bundle`` id plus its ``shard`` id and
+        the bundle's ``n_shards`` — enough for a reader to reassemble the
+        ensemble by filtering ``versions()`` on the bundle tag.  Versions
+        are published in ascending shard order; ``latest`` ends up on the
+        bundle's last shard, as with any sequence of publishes.
+
+        ``shard_ids`` defaults to ``range(len(models))``; ``healths``, when
+        given, supplies one health verdict per model (``None`` entries
+        allowed).
+        """
+        models = list(models)
+        if not models:
+            raise RegistryError("cannot publish an empty bundle")
+        shard_ids = (
+            list(range(len(models))) if shard_ids is None else list(shard_ids)
+        )
+        if len(shard_ids) != len(models):
+            raise RegistryError(
+                f"bundle has {len(models)} models but {len(shard_ids)} shard ids"
+            )
+        if healths is not None and len(list(healths)) != len(models):
+            raise RegistryError("healths must have one entry per model")
+        history = self._read_manifest()["history"]
+        bundle_id = f"b{((max(history) + 1) if history else 1):05d}"
+        published = []
+        for i, (shard, model) in enumerate(zip(shard_ids, models)):
+            tags = dict(extra or {})
+            tags.update(
+                bundle=bundle_id,
+                shard=int(shard),
+                n_shards=len(models),
+            )
+            published.append(
+                self.publish(
+                    model,
+                    health=None if healths is None else list(healths)[i],
+                    extra=tags,
+                    created_at=created_at,
+                )
+            )
+        tm.count("registry.publish_bundle.total")
+        tm.event(
+            "registry.publish_bundle",
+            registry=str(self.root),
+            bundle=bundle_id,
+            n_shards=len(models),
+            versions=[m.version for m in published],
+        )
+        return published
+
     def _write_manifest(self, *, latest, history, entries, quarantined=None) -> None:
         write_json_atomic(
             {

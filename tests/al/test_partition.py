@@ -52,6 +52,15 @@ def test_partition_validation():
         random_partition(100, rng=0, test_fraction=1.0)
 
 
+def test_partition_rejects_n_initial_at_or_above_n():
+    """Regression: n_initial >= n must fail loudly up front, not surface
+    as an opaque empty-Active error downstream."""
+    with pytest.raises(ValueError, match="n_initial=100 must leave room"):
+        random_partition(100, rng=0, n_initial=100)
+    with pytest.raises(ValueError, match="must leave room"):
+        random_partition(50, rng=0, n_initial=120)
+
+
 def test_partition_dataclass_validation():
     with pytest.raises(ValueError, match="overlap"):
         Partition(
