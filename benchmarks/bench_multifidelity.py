@@ -1,0 +1,228 @@
+"""Cost-error curves: single-fidelity AL vs 2-tier multi-fidelity fusion.
+
+Runs the same mixed-operator acquisition problem (poisson1 + poisson2,
+noise-free reference responses) two ways:
+
+- **single**: every query is a full-fidelity run (cost multiplier 1.0,
+  noise sd 0.02 in log10-runtime units);
+- **multi**: the acquisition may also buy a cheap noisy probe (10% of the
+  full cost, noise sd 0.08) and repeated observations fuse by inverse
+  variance into heteroscedastic GP rows
+  (:mod:`repro.al.fidelity`).
+
+Reference costs are one unit per full experiment: the pool's raw
+core-second costs span four decades, so using them as base costs turns the
+exhibit into a study of cost skew (both campaigns' budgets drown in the
+initial design) rather than of fidelity choice.  Unit costs isolate the
+question the tentpole asks — what does buying cheap-noisy instead of
+expensive-accurate do to the cost-error curve?
+
+Reported per campaign: the (cumulative cost, test RMSE) curve and the
+cumulative cost at which it first reaches the single-fidelity campaign's
+final RMSE x 1.05.  The acceptance bar is the tentpole claim: the 2-tier
+campaign reaches that target at measurably lower cumulative cost
+(<= 0.9x single's cost-to-target).
+
+Usable standalone (``python benchmarks/bench_multifidelity.py [--quick]``;
+exit 0 iff the acceptance bar holds) or under
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.al.fidelity import (
+    FidelityTier,
+    MultiFidelityLearner,
+    MultiFidelityOracle,
+)
+from repro.al.partition import random_partition
+from repro.al.sharding import mixed_operator_pool
+
+FULL = FidelityTier("full", cost_multiplier=1.0, noise_variance=0.02**2)
+PROBE = FidelityTier("probe", cost_multiplier=0.1, noise_variance=0.08**2)
+
+#: multi must reach the RMSE target at <= this fraction of single's cost
+COST_ADVANTAGE_BAR = 0.9
+
+
+class _TableReference:
+    """Exact-row lookup into the pool's noise-free responses."""
+
+    def __init__(self, X, values):
+        self._table = {
+            tuple(float(v) for v in row): float(val)
+            for row, val in zip(X, values)
+        }
+
+    def __call__(self, x):
+        return self._table[tuple(float(v) for v in np.asarray(x).ravel())]
+
+
+def _problem(n_points, seed=5):
+    X, y, _costs = mixed_operator_pool(n_points, seed=seed, noise=None)
+    part = random_partition(
+        n_points, rng=9, n_initial=1, test_fraction=0.25
+    )
+    active = np.concatenate([part.initial, part.active])
+    return X, y, active, part.test
+
+
+def _run_campaign(tiers, *, n_points, n_rounds, seed=3):
+    X, y, active, test_idx = _problem(n_points)
+    oracle = MultiFidelityOracle(
+        _TableReference(X, y),
+        tiers,
+        rng=np.random.default_rng(seed + 100),
+    )
+    learner = MultiFidelityLearner(
+        oracle,
+        X[active],
+        n_rounds=n_rounds,
+        n_initial=4,
+        test=(X[test_idx], y[test_idx]),
+        seed=seed,
+    )
+    return learner.run()
+
+
+def _cost_error_curve(result):
+    """(cost, rmse) points: rmse of the model trained on everything paid
+    for so far.  Record r's ``rmse`` is computed *before* its query, so it
+    pairs with the previous round's cumulative cost; the final refit pairs
+    with the total."""
+    rounds = result.rounds
+    initial_cost = rounds[0].cumulative_cost - rounds[0].cost
+    curve = [(initial_cost, rounds[0].rmse)]
+    for prev, nxt in zip(rounds, rounds[1:]):
+        curve.append((prev.cumulative_cost, nxt.rmse))
+    curve.append((result.cumulative_cost, result.final_rmse))
+    return curve
+
+
+def _cost_to_reach(curve, target):
+    """Cumulative cost at the first point with RMSE <= target (inf if never)."""
+    for cost, rmse in curve:
+        if rmse <= target:
+            return cost
+    return float("inf")
+
+
+def multifidelity_sweep(*, n_points, single_rounds, multi_rounds):
+    single = _run_campaign((FULL,), n_points=n_points, n_rounds=single_rounds)
+    multi = _run_campaign(
+        (PROBE, FULL), n_points=n_points, n_rounds=multi_rounds
+    )
+    target = single.final_rmse * 1.05
+    single_curve = _cost_error_curve(single)
+    multi_curve = _cost_error_curve(multi)
+    return {
+        "target": target,
+        "single": {
+            "result": single,
+            "curve": single_curve,
+            "cost_to_target": _cost_to_reach(single_curve, target),
+        },
+        "multi": {
+            "result": multi,
+            "curve": multi_curve,
+            "cost_to_target": _cost_to_reach(multi_curve, target),
+        },
+    }
+
+
+def _print_report(rows, banner_fn=None):
+    if banner_fn:
+        banner_fn("multi-fidelity: cost to reach the single-fidelity RMSE target")
+    else:
+        print()
+        print("multi-fidelity: cost to reach the single-fidelity RMSE target")
+    print(f"  RMSE target (single final x 1.05): {rows['target']:.4f}")
+    for label in ("single", "multi"):
+        entry = rows[label]
+        res = entry["result"]
+        tier_mix = ", ".join(
+            f"{k}={v}" for k, v in sorted(res.tier_counts.items())
+        )
+        print(
+            f"  {label:7s} final rmse {res.final_rmse:.4f}  "
+            f"total cost {res.cumulative_cost:9.1f}  "
+            f"cost-to-target {entry['cost_to_target']:9.1f}  "
+            f"({tier_mix})"
+        )
+    s = rows["single"]["cost_to_target"]
+    m = rows["multi"]["cost_to_target"]
+    if np.isfinite(s) and np.isfinite(m) and s > 0:
+        print(f"  cost ratio (multi/single): {m / s:.3f}")
+
+
+def _check(rows):
+    problems = []
+    s = rows["single"]["cost_to_target"]
+    m = rows["multi"]["cost_to_target"]
+    if not np.isfinite(s):
+        problems.append("single-fidelity campaign never reached its own target")
+    if not np.isfinite(m):
+        problems.append(
+            f"multi-fidelity campaign never reached the RMSE target "
+            f"{rows['target']:.4f} (final {rows['multi']['result'].final_rmse:.4f})"
+        )
+    if np.isfinite(s) and np.isfinite(m) and m > COST_ADVANTAGE_BAR * s:
+        problems.append(
+            f"multi-fidelity cost-to-target {m:.1f} is not measurably below "
+            f"single-fidelity {s:.1f} (bar: {COST_ADVANTAGE_BAR}x)"
+        )
+    multi_counts = rows["multi"]["result"].tier_counts
+    if not all(multi_counts.get(t.name, 0) > 0 for t in (PROBE, FULL)):
+        problems.append(
+            f"multi-fidelity campaign never mixed tiers: {multi_counts}"
+        )
+    return problems
+
+
+# ------------------------------------------------------------- pytest benches
+
+
+def test_multifidelity_cost_advantage(once):
+    rows = once(
+        multifidelity_sweep, n_points=120, single_rounds=16, multi_rounds=100
+    )
+    from conftest import banner
+
+    _print_report(rows, banner_fn=banner)
+    assert _check(rows) == []
+
+
+# ---------------------------------------------------------------- script mode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (120-point pool, 16/100 rounds)")
+    parser.add_argument("--pool-size", type=int, default=None)
+    parser.add_argument("--single-rounds", type=int, default=None)
+    parser.add_argument("--multi-rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    n_points = args.pool_size or (120 if args.quick else 160)
+    single_rounds = args.single_rounds or (16 if args.quick else 20)
+    multi_rounds = args.multi_rounds or (100 if args.quick else 140)
+    rows = multifidelity_sweep(
+        n_points=n_points,
+        single_rounds=single_rounds,
+        multi_rounds=multi_rounds,
+    )
+    _print_report(rows)
+    problems = _check(rows)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("multi-fidelity bench: all acceptance bars hold")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,17 @@ from .guardrails import (
     ModelHealth,
     apply_remediation,
 )
+from .fidelity import (
+    FidelityObservation,
+    FidelityRecord,
+    FidelityTier,
+    FusionState,
+    MultiFidelityCostEfficiency,
+    MultiFidelityLearner,
+    MultiFidelityOracle,
+    MultiFidelityResult,
+    tiers_from_spec,
+)
 from .learner import ActiveLearner, ALTrace, IterationRecord, default_model_factory
 from .metrics import amsd, evaluate_model, gmsd, nlpd, rmse
 from .oracle import HPGMGExecutor, Observation, OfflineOracle, OnlineHPGMGOracle
@@ -129,6 +140,15 @@ __all__ = [
     "ALTrace",
     "IterationRecord",
     "default_model_factory",
+    "FidelityTier",
+    "FidelityObservation",
+    "FidelityRecord",
+    "FusionState",
+    "MultiFidelityOracle",
+    "MultiFidelityCostEfficiency",
+    "MultiFidelityLearner",
+    "MultiFidelityResult",
+    "tiers_from_spec",
     "Partition",
     "random_partition",
     "random_partitions",

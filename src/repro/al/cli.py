@@ -260,6 +260,104 @@ def _run_sharded(args) -> int:
     return 0
 
 
+class _TableReference:
+    """Noise-free reference lookup over a fixed candidate table.
+
+    Maps a feature row back to its reference response by exact float
+    match — the learner always queries rows of the same candidate matrix,
+    so exact keys are safe (and catch any drift as a loud ``KeyError``).
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, X, y):
+        self._table = {
+            tuple(float(v) for v in row): float(val) for row, val in zip(X, y)
+        }
+
+    def __call__(self, x):
+        return self._table[tuple(float(v) for v in np.asarray(x).ravel())]
+
+
+def _run_multifidelity(args) -> int:
+    """Multi-fidelity mode: ``python -m repro campaign --fidelities SPEC``.
+
+    Runs :class:`repro.al.fidelity.MultiFidelityLearner` on the noise-free
+    mixed-operator pool: the tiers in SPEC (``name:cost_mult:noise_sd,...``)
+    supply the observation noise and per-query cost, repeated observations
+    fuse by inverse variance, and the acquisition picks (location, tier)
+    by variance reduction per unit cost.  With ``--checkpoint-dir`` the
+    campaign checkpoints every round to ``multifidelity.json`` there and a
+    re-run resumes bit-identically.  The ``stop_reason:`` / ``test rmse:``
+    / ``cumulative cost:`` lines are stable interfaces — the CI
+    multi-fidelity smoke parses them.
+    """
+    from .fidelity import MultiFidelityLearner, MultiFidelityOracle, tiers_from_spec
+    from .partition import random_partition
+    from .sharding import mixed_operator_pool
+
+    tiers = tiers_from_spec(args.fidelities)
+    # Noise-free responses: the tiers own ALL observation noise here.
+    X, y, costs = mixed_operator_pool(args.pool_size, seed=args.seed, noise=None)
+    partition = random_partition(
+        X.shape[0], rng=args.seed, n_initial=1, test_fraction=0.25
+    )
+    active = np.concatenate([partition.initial, partition.active])
+    oracle = MultiFidelityOracle(
+        _TableReference(X, y),
+        tiers,
+        cost_fn=_TableReference(X, costs),
+        rng=np.random.default_rng(args.seed + 1),
+    )
+    learner = MultiFidelityLearner(
+        oracle,
+        X[active],
+        base_costs=costs[active],
+        n_rounds=args.rounds,
+        n_initial=min(4, len(active)),
+        test=(X[partition.test], y[partition.test]),
+        seed=args.seed,
+    )
+
+    checkpoint_path = None
+    resume = False
+    if args.checkpoint_dir:
+        from pathlib import Path
+
+        d = Path(args.checkpoint_dir)
+        d.mkdir(parents=True, exist_ok=True)
+        checkpoint_path = d / "multifidelity.json"
+        resume = checkpoint_path.exists()
+
+    def run():
+        if resume:
+            return learner.resume(checkpoint_path)
+        return learner.run(checkpoint_path=checkpoint_path)
+
+    if args.trace:
+        from .. import telemetry
+
+        with telemetry.session(args.trace):
+            result = run()
+    else:
+        result = run()
+
+    print(f"stop_reason:        {result.stop_reason}")
+    print(f"rounds run:         {len(result.rounds)}/{args.rounds}")
+    print(f"observations:       {result.n_observations}")
+    print(f"fused locations:    {result.n_locations}")
+    print(f"cumulative cost:    {result.cumulative_cost:.3f}")
+    print(
+        "tier queries:       "
+        + ", ".join(f"{k}={v}" for k, v in sorted(result.tier_counts.items()))
+    )
+    print(f"test rmse:          {result.final_rmse:.6f}")
+    print(f"resumed:            {str(result.resumed).lower()}")
+    if args.trace:
+        print(f"[telemetry trace written to {args.trace}]")
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point for the ``campaign`` subcommand; returns an exit code."""
     parser = argparse.ArgumentParser(
@@ -364,7 +462,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--pool-size", type=int, default=160, metavar="N",
-        help="sharded mode: records in the synthetic mixed-operator pool",
+        help="sharded/multi-fidelity mode: records in the synthetic "
+        "mixed-operator pool",
+    )
+    parser.add_argument(
+        "--fidelities", default=None, metavar="SPEC",
+        help="run a *multi-fidelity* campaign with these tiers instead of "
+        "the online campaign; SPEC is name:cost_mult:noise_sd[,...] "
+        "(e.g. probe:0.1:0.15,full:1.0:0.02; see docs/MULTIFIDELITY.md)",
     )
     args = parser.parse_args(argv)
     if args.replicates < 1:
@@ -373,6 +478,12 @@ def main(argv=None) -> int:
         parser.error("--shards must be >= 0")
     if not 0.0 <= args.shard_faults <= 1.0:
         parser.error("--shard-faults must be in [0, 1]")
+    if args.fidelities:
+        if args.replicates > 1 or args.shards:
+            parser.error(
+                "--fidelities is incompatible with --replicates > 1 and --shards"
+            )
+        return _run_multifidelity(args)
     if args.shards:
         if args.replicates > 1:
             parser.error("--shards is incompatible with --replicates > 1")

@@ -144,6 +144,11 @@ class HealthReport:
     #: solver name plus, for approximate backends, the approximation size
     #: and the exact-vs-approximate error-budget record.
     solver: dict | None = None
+    #: Whether the checked fit carried a per-point noise vector
+    #: (``fit(alpha=...)``).  Heteroscedastic fits legitimately drive the
+    #: shared scalar to its floor — the per-point alphas carry the noise —
+    #: so the noise-floor-pin check is skipped for them.
+    heteroscedastic: bool = False
 
     @property
     def healthy(self) -> bool:
@@ -220,8 +225,14 @@ class ModelHealth:
 
         # Hyperparameters pinned at bounds (log space).
         theta = model._theta()
+        heteroscedastic = getattr(model, "noise_alpha_", None) is not None
         pinned, noise_at_floor = self._pinned_hyperparameters(model, cfg)
-        if enough_data and noise_at_floor and cfg.noise_floor_pin_is_unhealthy:
+        if (
+            enough_data
+            and noise_at_floor
+            and cfg.noise_floor_pin_is_unhealthy
+            and not heteroscedastic
+        ):
             issues.append(
                 "noise variance pinned at its floor "
                 f"({model.noise_variance_:.3g}): the fit is absorbing noise "
@@ -272,6 +283,7 @@ class ModelHealth:
             outlier_rate=outlier_rate,
             n_train=n,
             solver=model.solver_info,
+            heteroscedastic=heteroscedastic,
         )
         if not report.healthy:
             tm.count("guardrail.unhealthy")
@@ -418,11 +430,16 @@ class LastKnownGood:
         self._model = model.clone_fitted()
         self._n_rows = model.X_train_.shape[0]
 
-    def restore(self, X: np.ndarray, y: np.ndarray) -> GaussianProcessRegressor:
+    def restore(
+        self, X: np.ndarray, y: np.ndarray, alpha: np.ndarray | None = None
+    ) -> GaussianProcessRegressor:
         """Re-materialize the snapshot on the full current training set.
 
         ``X, y`` must be an append-only extension of the data the snapshot
-        was fitted on (its first ``n_rows`` rows).
+        was fitted on (its first ``n_rows`` rows).  ``alpha``, when given,
+        is the *full* per-point noise vector of the current training set
+        (heteroscedastic learners); only the entries for the appended rows
+        are used — the snapshot already carries its own prefix.
         """
         if self._model is None:
             raise RuntimeError("no last-known-good model remembered")
@@ -436,7 +453,16 @@ class LastKnownGood:
             )
         model = self._model.clone_fitted()
         if X.shape[0] > self._n_rows:
-            model.update(X[self._n_rows :], y[self._n_rows :])
+            alpha_new = None
+            if alpha is not None:
+                alpha = np.asarray(alpha, dtype=float)
+                if alpha.shape[0] != X.shape[0]:
+                    raise ValueError(
+                        f"alpha has {alpha.shape[0]} entries, expected "
+                        f"{X.shape[0]} (the full training set)"
+                    )
+                alpha_new = alpha[self._n_rows :]
+            model.update(X[self._n_rows :], y[self._n_rows :], alpha=alpha_new)
         return model
 
     def reset(self) -> None:

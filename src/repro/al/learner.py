@@ -96,6 +96,11 @@ class IterationRecord:
     nlpd: float
     noise_variance: float
     lml: float
+    #: Number of pool records consumed for this iteration's training row:
+    #: 1 on the classic path, the repeat count under ``fuse_repeats`` (the
+    #: co-located measurements are fused into one row; ``cost`` sums them
+    #: and ``y_selected`` is the precision-weighted mean).
+    n_fused: int = 1
 
 
 @dataclass
@@ -166,6 +171,23 @@ class ActiveLearner:
         optimum instead of the factory template (the random restarts still
         sample the full bounds box).  Only meaningful with
         ``fast_refits=True``.
+    fuse_repeats:
+        Consume *every* available repeat of the selected configuration in
+        one iteration (``CandidatePool.consume_repeats``) and fuse the
+        co-located measurements by inverse variance into a single training
+        row with a per-point noise variance
+        (``GaussianProcessRegressor.fit(alpha=...)``): a row fused from
+        ``k`` repeats carries ``repeat_noise_variance / k``.  The
+        iteration's ``cost`` is the summed cost of all consumed records —
+        the experiments all ran — and ``y_selected`` is the fused mean.
+        Incompatible with ``noise_floor_schedule``: the schedule floors the
+        *shared* scalar noise, which would swamp the fused per-point
+        precisions the whole mechanism exists to express (``ValueError``).
+    repeat_noise_variance:
+        Assumed measurement variance of one pool record (original response
+        units) under ``fuse_repeats``.  The GP still learns its scalar
+        residual noise on top, so this only has to capture the
+        *per-measurement* scatter that averages away across repeats.
     guardrails:
         Optional :class:`repro.al.guardrails.GuardrailConfig` (or ``True``
         for the defaults).  Every full refit is then health-checked
@@ -199,6 +221,8 @@ class ActiveLearner:
         fast_refits: bool = False,
         refit_every: int = 1,
         warm_start: bool = False,
+        fuse_repeats: bool = False,
+        repeat_noise_variance: float = 1e-2,
         guardrails=None,
         registry=None,
     ):
@@ -213,12 +237,29 @@ class ActiveLearner:
             )
         if refit_every < 1:
             raise ValueError("refit_every must be >= 1")
+        if fuse_repeats and noise_floor_schedule is not None:
+            raise ValueError(
+                "fuse_repeats cannot be combined with noise_floor_schedule: "
+                "the schedule raises the floor of the shared scalar noise, "
+                "which would swamp the fused per-point precisions (a row "
+                "fused from k repeats carries repeat_noise_variance/k); "
+                "drop the schedule or fuse manually"
+            )
+        if fuse_repeats and (
+            not np.isfinite(repeat_noise_variance) or repeat_noise_variance <= 0
+        ):
+            raise ValueError(
+                f"repeat_noise_variance must be positive and finite, got "
+                f"{repeat_noise_variance}"
+            )
         self.strategy = strategy
         self.model_factory = model_factory or default_model_factory()
         self.noise_floor_schedule = noise_floor_schedule
         self.fast_refits = bool(fast_refits)
         self.refit_every = int(refit_every)
         self.warm_start = bool(warm_start)
+        self.fuse_repeats = bool(fuse_repeats)
+        self.repeat_noise_variance = float(repeat_noise_variance)
 
         # Guardrails (imported lazily: guardrails.py imports from gp only).
         from .guardrails import GuardrailConfig, LastKnownGood, ModelHealth
@@ -245,6 +286,18 @@ class ActiveLearner:
 
         self._X_train = X[partition.initial].copy()
         self._y_train = y[partition.initial].copy()
+        # Per-row noise variances (original units) when fusing repeats:
+        # each seed row is a single measurement.
+        self._alpha_train: np.ndarray | None = (
+            np.full(self._X_train.shape[0], self.repeat_noise_variance)
+            if self.fuse_repeats
+            else None
+        )
+        # Inputs whose experiment costs are known (seed partition plus
+        # every consumed record) — the training set of the strategy's cost
+        # model, refreshed on the primary model's full-refit cadence.
+        self._X_cost = X[partition.initial].copy()
+        self._costs_known = costs[partition.initial].copy()
         self.pool = CandidatePool(
             X[partition.active], y[partition.active], costs[partition.active]
         )
@@ -280,7 +333,13 @@ class ActiveLearner:
             n_fitted = self.model.X_train_.shape[0]
             if n_fitted < self.n_train:
                 self.model.update(
-                    self._X_train[n_fitted:], self._y_train[n_fitted:]
+                    self._X_train[n_fitted:],
+                    self._y_train[n_fitted:],
+                    alpha=(
+                        self._alpha_train[n_fitted:]
+                        if self._alpha_train is not None
+                        else None
+                    ),
                 )
             return self.model
 
@@ -307,7 +366,17 @@ class ActiveLearner:
                 )
             model.noise_variance_bounds = (floor, max(bounds[1], floor * 10))
             model.noise_variance = max(model.noise_variance, floor)
-        model.fit(self._X_train, self._y_train, warm_start=warm)
+        model.fit(
+            self._X_train, self._y_train, alpha=self._alpha_train, warm_start=warm
+        )
+        # Refresh the strategy's cost model on the same cadence as the
+        # primary refit: historically nothing refitted it and its
+        # predictions went stale as the pool drained.
+        if getattr(self.strategy, "auto_refit", False) and hasattr(
+            self.strategy, "refit_cost_model"
+        ):
+            self.strategy.refit_cost_model(self._X_cost, self._costs_known)
+            tm.count("al.cost_model.refit")
         fresh = model
         if self._health is not None:
             model = self._health_gate(fresh, iteration)
@@ -347,7 +416,7 @@ class ActiveLearner:
             issues=list(report.issues),
             remediation_level=self._remediation_level,
         )
-        return self._lkg.restore(self._X_train, self._y_train)
+        return self._lkg.restore(self._X_train, self._y_train, self._alpha_train)
 
     # -------------------------------------------------------------------- loop
 
@@ -378,10 +447,27 @@ class ActiveLearner:
                 x_sel = self.pool.X[idx]
                 _, sd_arr = model.predict(x_sel[np.newaxis, :], return_std=True)
                 sd_sel = float(sd_arr[0])
-            x, y_meas, cost = self.pool.consume(idx)
+            if self.fuse_repeats:
+                consumed = self.pool.consume_repeats(idx)
+                x = consumed[0][0]
+                ys = np.asarray([y_i for _, y_i, _ in consumed])
+                cost = float(sum(c_i for _, _, c_i in consumed))
+                # Equal per-record variances: the precision-weighted mean is
+                # the arithmetic mean and the fused variance divides by k.
+                k = len(consumed)
+                y_meas = float(np.mean(ys))
+                fused_var = self.repeat_noise_variance / k
+                self._alpha_train = np.append(self._alpha_train, fused_var)
+                tm.count("al.fuse.records", k)
+            else:
+                x, y_meas, cost = self.pool.consume(idx)
+                consumed = [(x, y_meas, cost)]
             self._X_train = np.vstack([self._X_train, x])
             self._y_train = np.append(self._y_train, y_meas)
             self._cumulative_cost += cost
+            for x_i, _, c_i in consumed:
+                self._X_cost = np.vstack([self._X_cost, x_i])
+                self._costs_known = np.append(self._costs_known, c_i)
 
             record = IterationRecord(
                 iteration=iteration,
@@ -398,6 +484,7 @@ class ActiveLearner:
                 nlpd=metrics["nlpd"],
                 noise_variance=model.noise_variance_,
                 lml=model.lml_,
+                n_fused=len(consumed),
             )
             self.trace.records.append(record)
             if tm.enabled():
@@ -426,5 +513,9 @@ class ActiveLearner:
             raise ValueError("n_iterations must be >= 0")
         n_iterations = min(n_iterations, self.pool.n_available)
         for _ in range(n_iterations):
+            if self.pool.exhausted:
+                # fuse_repeats consumes several records per step, so the
+                # pool can drain before the clamped iteration count runs out.
+                break
             self.step()
         return self.trace

@@ -102,6 +102,12 @@ class CandidatePool:
 
         Returns ``(x, y, cost)`` of the consumed record.  ``index`` is a
         pool-local index (0-based over all records, available or not).
+
+        Note this consumes exactly *one record*: repeated measurements of
+        the same configuration stay available as their own records.  A
+        learner that wants every repeat of the selected location in one go
+        (precision-weighted fusion) must use :meth:`consume_repeats` —
+        otherwise the siblings linger and their information is never seen.
         """
         index = int(index)
         if not 0 <= index < self.n_total:
@@ -110,3 +116,35 @@ class CandidatePool:
             raise ValueError(f"record {index} was already consumed")
         self._available[index] = False
         return self._X[index], float(self._y[index]), float(self._costs[index])
+
+    def repeat_indices(self, index: int) -> np.ndarray:
+        """All *available* records at the same location as ``index``.
+
+        Matches design-matrix rows exactly (the datasets' repeated
+        measurements are recorded at bit-identical configurations).  The
+        result includes ``index`` itself and is sorted ascending; consumed
+        siblings are excluded.
+        """
+        index = int(index)
+        if not 0 <= index < self.n_total:
+            raise IndexError(f"pool index {index} out of range")
+        if not self._available[index]:
+            raise ValueError(f"record {index} was already consumed")
+        same = np.all(self._X == self._X[index], axis=1)
+        return np.flatnonzero(same & self._available)
+
+    def consume_repeats(self, index: int) -> list[tuple[np.ndarray, float, float]]:
+        """Take record ``index`` *and every available repeat* out of the pool.
+
+        Returns the ``(x, y, cost)`` of each consumed record, in ascending
+        record order.  This is the repeat-aware counterpart of
+        :meth:`consume` for learners that fuse co-located measurements by
+        inverse variance: every repeat is surfaced, none is silently
+        dropped in the pool.
+        """
+        indices = self.repeat_indices(index)
+        self._available[indices] = False
+        return [
+            (self._X[i], float(self._y[i]), float(self._costs[i]))
+            for i in indices
+        ]

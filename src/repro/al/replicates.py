@@ -150,9 +150,18 @@ class _ReplicateTask:
             return ReplicateOutcome(**data, loaded=True)
 
         campaign = self.factory(index, np.random.default_rng(seed_seq))
-        if not isinstance(campaign, OnlineCampaign):
+        # Duck-typed: OnlineCampaign and anything speaking its protocol
+        # (e.g. repro.al.fidelity.MultiFidelityLearner) qualify — the task
+        # only needs run(checkpoint_path=)/resume(path) and a result with
+        # the ReplicateOutcome fields.
+        if not (
+            isinstance(campaign, OnlineCampaign)
+            or (callable(getattr(campaign, "run", None))
+                and callable(getattr(campaign, "resume", None)))
+        ):
             raise TypeError(
-                "campaign_factory must return an OnlineCampaign, got "
+                "campaign_factory must return an OnlineCampaign (or an "
+                "object with its run/resume protocol), got "
                 f"{type(campaign).__name__}"
             )
         resumed = checkpoint_path is not None and checkpoint_path.exists()

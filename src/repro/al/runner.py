@@ -118,6 +118,8 @@ def run_batch(
     fast_refits: bool = False,
     refit_every: int = 1,
     warm_start: bool = False,
+    fuse_repeats: bool = False,
+    repeat_noise_variance: float = 1e-2,
 ) -> BatchResult:
     """Run one strategy over ``n_partitions`` random partitions.
 
@@ -147,6 +149,12 @@ def run_batch(
     hot-loop optimization ``benchmarks/bench_incremental_gpr.py`` measures.
     At the default ``refit_every=1`` the trace is identical to the
     paper-faithful slow path.
+
+    ``fuse_repeats`` / ``repeat_noise_variance`` are likewise forwarded:
+    each selection then consumes every available repeat of the chosen
+    configuration and fuses them by inverse variance into one
+    heteroscedastic training row (see
+    :class:`~repro.al.learner.ActiveLearner`).
     """
     X = np.asarray(X, dtype=float)
     if n_workers < 1:
@@ -171,6 +179,8 @@ def run_batch(
             fast_refits=fast_refits,
             refit_every=refit_every,
             warm_start=warm_start,
+            fuse_repeats=fuse_repeats,
+            repeat_noise_variance=repeat_noise_variance,
         ),
         n_iterations,
     )

@@ -176,20 +176,58 @@ class CostModelEfficiency(Strategy):
     Parameters
     ----------
     cost_model:
-        A *fitted* :class:`GaussianProcessRegressor` predicting log10 cost
-        at pool inputs (refresh it alongside the primary model if costs
-        arrive online).
+        A :class:`GaussianProcessRegressor` predicting log10 cost at pool
+        inputs.  With ``auto_refit=True`` (default) it is refreshed by
+        :meth:`refit_cost_model`, which :class:`repro.al.learner.ActiveLearner`
+        calls on the same cadence as the primary-model refits — historically
+        nothing refitted it and its predictions went stale as the pool
+        drained.  ``None`` lazily builds a default regressor on the first
+        refit.  With ``auto_refit=False`` the caller owns its lifecycle and
+        must supply it already fitted.
     """
 
     cost_model: GaussianProcessRegressor | None = None
     cost_weight: float = 1.0
     seed: int = 0
+    auto_refit: bool = True
     name: str = "cost-model-efficiency"
+
+    #: Floor applied to observed costs before log10 (a zero-cost record
+    #: would otherwise produce -inf training targets).
+    _COST_FLOOR = 1e-12
+
+    def refit_cost_model(self, X: np.ndarray, costs: np.ndarray) -> None:
+        """Refit the cost model on the costs observed so far.
+
+        ``X`` are the input rows whose experiment costs are known (the
+        consumed records plus the initial partition) and ``costs`` the
+        matching costs in linear units; the model is fitted on
+        ``log10(costs)``.  Called by the learner loop right after every
+        full refit of the primary model, so the two models never drift out
+        of sync.  A ``None`` ``cost_model`` is replaced by a default
+        normalized GPR.
+        """
+        X = np.asarray(X, dtype=float)
+        costs = np.asarray(costs, dtype=float)
+        if self.cost_model is None:
+            self.cost_model = GaussianProcessRegressor(
+                noise_variance_bounds=(1e-6, 1e3), normalize_y=True, rng=self.seed
+            )
+        log_costs = np.log10(np.maximum(costs, self._COST_FLOOR))
+        self.cost_model.fit(X, log_costs)
 
     def scores(self, model, pool):
         """``sigma_response - cost_weight * mu_cost`` per available record."""
         if self.cost_model is None or not self.cost_model.fitted:
-            raise ValueError("CostModelEfficiency requires a fitted cost_model")
+            raise ValueError(
+                "CostModelEfficiency requires a fitted cost_model"
+                + (
+                    " — run it inside ActiveLearner (which refits it on the "
+                    "primary model's cadence) or call refit_cost_model()"
+                    if self.auto_refit
+                    else ""
+                )
+            )
         X = pool.available_X()
         _, sd = model.predict(X, return_std=True)
         mu_cost = self.cost_model.predict(X)

@@ -23,6 +23,16 @@ space (Section V-B4, Fig. 7) — a single constructor argument:
 >>> gpr = GaussianProcessRegressor(noise_variance_bounds=(1e-1, 1e2))
 
 All hyperparameters are optimized in log space.
+
+Heteroscedastic extension (``docs/MULTIFIDELITY.md``): :meth:`fit` accepts a
+per-point noise variance vector ``alpha`` so that
+
+    K_y = K + sigma_n^2 I + diag(alpha)
+
+where ``alpha_i`` is the *known* measurement variance of observation ``i``
+(fidelity-tier noise, precision-fused repeats) and the scalar ``sigma_n^2``
+is still learned and models the residual noise shared by all observations.
+With ``alpha=None`` every code path is bit-identical to the scalar model.
 """
 
 from __future__ import annotations
@@ -75,15 +85,20 @@ class _FitObjective:
     ``minimize_with_restarts(..., executor=)``).
     """
 
-    __slots__ = ("kernel", "noise_variance", "noise_variance_bounds", "jitter", "X", "y")
+    __slots__ = (
+        "kernel", "noise_variance", "noise_variance_bounds", "jitter", "X", "y",
+        "alpha",
+    )
 
-    def __init__(self, kernel, noise_variance, noise_variance_bounds, jitter, X, y):
+    def __init__(self, kernel, noise_variance, noise_variance_bounds, jitter, X, y,
+                 alpha=None):
         self.kernel = kernel
         self.noise_variance = noise_variance
         self.noise_variance_bounds = noise_variance_bounds
         self.jitter = jitter
         self.X = X
         self.y = y
+        self.alpha = alpha  # per-point noise variance (units of y), or None
 
     def __call__(self, theta: np.ndarray) -> tuple[float, np.ndarray]:
         model = GaussianProcessRegressor(
@@ -93,7 +108,7 @@ class _FitObjective:
             optimizer=None,
             jitter=self.jitter,
         )
-        return model._nlml_and_grad(theta, self.X, self.y)
+        return model._nlml_and_grad(theta, self.X, self.y, alpha=self.alpha)
 
 
 @dataclass
@@ -109,6 +124,10 @@ class _FitState:
     lml: float
     optimize_outcome: OptimizeOutcome | None = None
     theta_history: list = field(default_factory=list)
+    #: Per-point noise variances in *original* target units (heteroscedastic
+    #: fits only); ``None`` on the scalar-noise path.  Named ``noise_alpha``
+    #: because ``alpha`` above already means the weight vector K_y^{-1} y.
+    noise_alpha: np.ndarray | None = None
 
 
 class GaussianProcessRegressor:
@@ -261,12 +280,29 @@ class GaussianProcessRegressor:
             bounds = np.vstack([bounds, nb[np.newaxis, :]]) if bounds.size else nb[np.newaxis, :]
         return bounds
 
-    def fit(self, X, y, *, warm_start: bool = False) -> "GaussianProcessRegressor":
+    def fit(
+        self, X, y, *, alpha=None, warm_start: bool = False
+    ) -> "GaussianProcessRegressor":
         """Fit the GP: optimize hyperparameters by LML ascent, cache posterior.
 
         Repeated x-rows (the paper's repeated measurements of a noisy
         function) are supported directly: the noise term makes ``K_y``
         nonsingular even with duplicate inputs.
+
+        ``alpha`` is an optional per-point noise variance vector of shape
+        ``(n,)`` in the units of ``y``'s variance (heteroscedastic
+        observations, e.g. precision-fused repeats or multi-fidelity
+        probes).  The diagonal becomes ``sigma_n^2 + alpha_i``: the shared
+        scalar ``sigma_n^2`` is still learned by LML ascent and models the
+        *residual* noise common to every observation, while ``alpha``
+        carries the known per-observation measurement variance.  With
+        ``alpha=None`` the fit is bit-identical to the scalar-noise path of
+        previous releases.  Per-point noise requires numeric
+        ``noise_variance_bounds`` (a ``"fixed"`` scalar would be silently
+        added on top of every ``alpha_i``, overriding the per-point
+        precisions — that conflict raises ``ValueError``) and the exact
+        solver (approximate backends declare it unsupported and the fit
+        falls back to exact with a warning).
 
         With ``warm_start=True`` the deterministic start of the
         hyperparameter search is the *previous* fit's optimum instead of the
@@ -277,11 +313,27 @@ class GaussianProcessRegressor:
         X = as_2d_array(X)
         y = as_1d_array(y)
         check_consistent_rows(X, y)
+        if alpha is not None:
+            alpha = self._check_alpha(alpha, X.shape[0])
 
         backend = self.solver.effective_backend(X.shape[0])
+        if alpha is not None and not _solvers.supports_per_point_noise(backend):
+            warnings.warn(
+                f"solver backend {backend!r} does not support per-point "
+                "noise (alpha); falling back to the exact solver",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            tm.count("gp.fit.alpha_exact_fallback")
+            backend = "exact"
         if backend == "exact":
-            with tm.span("fit", n=X.shape[0], warm_start=bool(warm_start)) as sp:
-                self._fit_impl(X, y, warm_start=warm_start, sp=sp)
+            with tm.span(
+                "fit",
+                n=X.shape[0],
+                warm_start=bool(warm_start),
+                heteroscedastic=alpha is not None,
+            ) as sp:
+                self._fit_impl(X, y, alpha=alpha, warm_start=warm_start, sp=sp)
             self._afit = None
         else:
             with tm.span(
@@ -291,7 +343,29 @@ class GaussianProcessRegressor:
             self._fit = None
         return self
 
-    def _fit_impl(self, X, y, *, warm_start: bool, sp) -> None:
+    def _check_alpha(self, alpha, n: int) -> np.ndarray:
+        """Validate a per-point noise variance vector against ``n`` rows."""
+        alpha = as_1d_array(alpha)
+        if alpha.shape[0] != n:
+            raise ValueError(
+                f"alpha has {alpha.shape[0]} entries, expected {n} (one per row)"
+            )
+        if not np.all(np.isfinite(alpha)):
+            raise ValueError("alpha must be finite")
+        if np.any(alpha < 0):
+            raise ValueError("alpha entries must be >= 0 (noise variances)")
+        if self._noise_free:
+            raise ValueError(
+                "per-point noise (alpha) conflicts with "
+                "noise_variance_bounds='fixed': the fixed scalar "
+                f"sigma_n^2={self.noise_variance_:g} would be added on top "
+                "of every alpha_i and silently override the per-point "
+                "precisions; use numeric bounds so the shared residual "
+                "scalar is learned alongside alpha"
+            )
+        return alpha
+
+    def _fit_impl(self, X, y, *, warm_start: bool, sp, alpha=None) -> None:
         tel = tm.enabled()
         t0 = time.perf_counter() if tel else 0.0
         if warm_start and self.kernel_ is not None:
@@ -315,6 +389,9 @@ class GaussianProcessRegressor:
         else:
             y_mean, y_std = 0.0, 1.0
         y_norm = (y - y_mean) / y_std
+        # alpha is given in original y-variance units; normalized targets
+        # scale variances by 1/y_std^2.
+        alpha_norm = alpha / y_std**2 if alpha is not None else None
 
         outcome = None
         theta_history: list[np.ndarray] = []
@@ -329,6 +406,7 @@ class GaussianProcessRegressor:
                 self.jitter,
                 X,
                 y_norm,
+                alpha_norm,
             )
 
             outcome = minimize_with_restarts(
@@ -344,9 +422,11 @@ class GaussianProcessRegressor:
 
         K = self.kernel_(X)
         K[np.diag_indices_from(K)] += self.noise_variance_ + self.jitter
+        if alpha_norm is not None:
+            K[np.diag_indices_from(K)] += alpha_norm
         L = cholesky(K, lower=True, check_finite=False)
-        alpha = cho_solve((L, True), y_norm, check_finite=False)
-        lml = self._lml_from_cholesky(L, alpha, y_norm)
+        weights = cho_solve((L, True), y_norm, check_finite=False)
+        lml = self._lml_from_cholesky(L, weights, y_norm)
 
         self._fit = _FitState(
             X=X,
@@ -354,10 +434,11 @@ class GaussianProcessRegressor:
             y_mean=y_mean,
             y_std=y_std,
             L=L,
-            alpha=alpha,
+            alpha=weights,
             lml=lml,
             optimize_outcome=outcome,
             theta_history=theta_history,
+            noise_alpha=alpha,
         )
         if tel:
             tm.count("gp.fit.total")
@@ -487,7 +568,7 @@ class GaussianProcessRegressor:
             if outcome is not None and outcome.fallback:
                 tm.count("gp.fit.optimizer_fallback")
 
-    def update(self, x, y) -> "GaussianProcessRegressor":
+    def update(self, x, y, *, alpha=None) -> "GaussianProcessRegressor":
         """Fold new observations into the posterior at *fixed* hyperparameters.
 
         Extends the cached Cholesky factor by one bordered row per new point
@@ -513,16 +594,56 @@ class GaussianProcessRegressor:
             New input row(s): ``(d,)`` for a single point or ``(m, d)``.
         y:
             Corresponding target(s), scalar or ``(m,)``.
+        alpha:
+            Optional per-point noise variance(s) for the new rows, scalar or
+            ``(m,)``, in original target-variance units (see :meth:`fit`).
+            Omitted entries default to zero extra noise.  Mixing is allowed:
+            updating a scalar-noise fit with ``alpha`` lazily promotes the
+            stored vector (old rows get zeros), and updating a
+            heteroscedastic fit without ``alpha`` appends zeros.  Unlike
+            :meth:`fit`, ``"fixed"``-bounds models accept ``alpha`` here —
+            frozen clones (:meth:`clone_fitted`, believer chains, rollback
+            restores) never re-optimize, so there is no bound to conflict
+            with.
         """
         if self._fit is None and self._afit is None:
             raise RuntimeError("update() requires a fitted model; call fit() first")
         if self._afit is not None:
+            if alpha is not None:
+                raise ValueError(
+                    "per-point noise (alpha) is not supported by approximate "
+                    "solver fits; refit with the exact solver"
+                )
             return self._update_approx(x, y)
         fit = self._fit
         kernel = self.kernel_
         assert kernel is not None
         X_new, y_new = self._coerce_update_rows(x, y, fit.X.shape[1])
         y_norm_new = (y_new - fit.y_mean) / fit.y_std
+        alpha_new = None
+        if alpha is not None:
+            alpha_new = as_1d_array(np.atleast_1d(np.asarray(alpha, dtype=float)))
+            if alpha_new.shape[0] == 1 and X_new.shape[0] > 1:
+                alpha_new = np.repeat(alpha_new, X_new.shape[0])
+            if alpha_new.shape[0] != X_new.shape[0]:
+                raise ValueError(
+                    f"alpha has {alpha_new.shape[0]} entries, expected "
+                    f"{X_new.shape[0]} (one per new row)"
+                )
+            if not np.all(np.isfinite(alpha_new)) or np.any(alpha_new < 0):
+                raise ValueError("alpha entries must be finite and >= 0")
+        # Full per-row noise vector after this update, in original units
+        # (None while everything stays on the scalar path).
+        if fit.noise_alpha is not None or alpha_new is not None:
+            old = (
+                fit.noise_alpha
+                if fit.noise_alpha is not None
+                else np.zeros(fit.X.shape[0])
+            )
+            new = alpha_new if alpha_new is not None else np.zeros(X_new.shape[0])
+            noise_alpha_all = np.concatenate([old, new])
+        else:
+            noise_alpha_all = None
 
         X_all = fit.X
         L = fit.L
@@ -531,10 +652,13 @@ class GaussianProcessRegressor:
             "update", n=fit.X.shape[0], n_new=X_new.shape[0]
         ) as sp:
             n_rebuilds = 0
+            n_old = fit.X.shape[0]
             for i in range(X_new.shape[0]):
                 xq = X_new[i : i + 1]
                 k = kernel(xq, X_all)[0]
                 k_self = float(kernel.diag(xq)[0]) + diag_shift
+                if noise_alpha_all is not None:
+                    k_self += float(noise_alpha_all[n_old + i]) / fit.y_std**2
                 X_all = np.vstack([X_all, xq])
                 try:
                     L = cholesky_append(L, k, k_self)
@@ -543,18 +667,23 @@ class GaussianProcessRegressor:
                     tm.count("gp.update.cholesky_rebuild")
                     K = kernel(X_all)
                     K[np.diag_indices_from(K)] += diag_shift
+                    if noise_alpha_all is not None:
+                        K[np.diag_indices_from(K)] += (
+                            noise_alpha_all[: X_all.shape[0]] / fit.y_std**2
+                        )
                     L = cholesky(K, lower=True, check_finite=False)
             sp.set(n_rebuilds=n_rebuilds)
             tm.count("gp.update.total")
             tm.count("gp.update.points", X_new.shape[0])
 
         y_all = np.append(fit.y, y_norm_new)
-        alpha = cho_solve((L, True), y_all, check_finite=False)
+        weights = cho_solve((L, True), y_all, check_finite=False)
         fit.X = X_all
         fit.y = y_all
         fit.L = L
-        fit.alpha = alpha
-        fit.lml = self._lml_from_cholesky(L, alpha, y_all)
+        fit.alpha = weights
+        fit.noise_alpha = noise_alpha_all
+        fit.lml = self._lml_from_cholesky(L, weights, y_all)
         # The optimizer diagnostics describe the *previous* training set; an
         # updated posterior has no optimize run of its own, so clear them
         # rather than let registry metadata / telemetry attribute the stale
@@ -684,6 +813,9 @@ class GaussianProcessRegressor:
             L=fit.L.copy(),
             alpha=fit.alpha.copy(),
             lml=fit.lml,
+            noise_alpha=(
+                fit.noise_alpha.copy() if fit.noise_alpha is not None else None
+            ),
         )
         return clone
 
@@ -758,6 +890,11 @@ class GaussianProcessRegressor:
                 "lml": float(fit.lml),
                 "training_hash": self.training_hash(),
             }
+            # Only present for heteroscedastic fits: scalar-noise payloads
+            # stay byte-identical to previous releases (absence implies
+            # scalar, like the registry's solver metadata).
+            if fit.noise_alpha is not None:
+                payload["fit"]["noise_alpha"] = fit.noise_alpha.tolist()
         return payload
 
     @classmethod
@@ -809,6 +946,11 @@ class GaussianProcessRegressor:
                 L=np.asarray(fit["L"], dtype=float),
                 alpha=np.asarray(fit["alpha"], dtype=float),
                 lml=float(fit["lml"]),
+                noise_alpha=(
+                    np.asarray(fit["noise_alpha"], dtype=float)
+                    if fit.get("noise_alpha") is not None
+                    else None
+                ),
             )
             stored = fit.get("training_hash")
             if stored is not None and stored != model.training_hash():
@@ -829,11 +971,11 @@ class GaussianProcessRegressor:
         )
 
     def _nlml_and_grad(
-        self, theta: np.ndarray, X: np.ndarray, y: np.ndarray
+        self, theta: np.ndarray, X: np.ndarray, y: np.ndarray, alpha=None
     ) -> tuple[float, np.ndarray]:
         """Negative LML and its gradient at ``theta`` (for the optimizer)."""
         lml, grad = self.log_marginal_likelihood(
-            theta, eval_gradient=True, X=X, y=y
+            theta, eval_gradient=True, X=X, y=y, alpha=alpha
         )
         return -lml, -grad
 
@@ -844,6 +986,7 @@ class GaussianProcessRegressor:
         eval_gradient: bool = False,
         X=None,
         y=None,
+        alpha=None,
     ):
         """Log marginal likelihood (Eq. 12) at ``theta``.
 
@@ -852,6 +995,11 @@ class GaussianProcessRegressor:
         ``theta=None`` the current hyperparameters are evaluated.  ``X, y``
         default to the stored training data; passing them explicitly lets
         the Fig. 4/5 experiments scan LML landscapes without refitting.
+        ``alpha`` adds per-point noise variances (in the variance units of
+        the supplied ``y``) on the diagonal; with ``X, y`` omitted it
+        defaults to the fitted model's stored per-point noise.  The noise
+        gradient is unchanged by ``alpha``: ``dK/d log sigma_n^2`` is still
+        ``sigma_n^2 I``.
         """
         if X is None or y is None:
             if self._afit is not None:
@@ -865,10 +1013,20 @@ class GaussianProcessRegressor:
             if self._fit is None:
                 raise RuntimeError("model is not fitted and no (X, y) supplied")
             X, y = self._fit.X, self._fit.y
+            if alpha is None and self._fit.noise_alpha is not None:
+                # Stored targets are normalized; scale the stored
+                # original-unit variances to match.
+                alpha = self._fit.noise_alpha / self._fit.y_std**2
         else:
             X = as_2d_array(X)
             y = as_1d_array(y)
             check_consistent_rows(X, y)
+        if alpha is not None:
+            alpha = as_1d_array(alpha)
+            if alpha.shape[0] != X.shape[0]:
+                raise ValueError(
+                    f"alpha has {alpha.shape[0]} entries, expected {X.shape[0]}"
+                )
         if self.kernel_ is None:
             self.kernel_ = (
                 default_kernel(X.shape[1])
@@ -892,6 +1050,8 @@ class GaussianProcessRegressor:
             else:
                 K = kernel(X)
             K[np.diag_indices_from(K)] += noise + self.jitter
+            if alpha is not None:
+                K[np.diag_indices_from(K)] += alpha
             try:
                 L = cholesky(K, lower=True, check_finite=False)
             except np.linalg.LinAlgError:
@@ -936,7 +1096,10 @@ class GaussianProcessRegressor:
             noise).  This is the quantity the paper's AL strategies consume:
             it stays ``>= sigma_n`` at already-measured points, which is what
             allows AL to recommend repeated measurements.  Set false for the
-            latent-function uncertainty only.
+            latent-function uncertainty only.  For heteroscedastic fits the
+            added term is the shared residual ``sigma_n^2`` only: the
+            per-point ``alpha`` belongs to specific past observations, not
+            to hypothetical future ones at the query points.
         """
         if return_std and return_cov:
             raise ValueError("return_std and return_cov are mutually exclusive")
@@ -1153,6 +1316,17 @@ class GaussianProcessRegressor:
         if self._fit is None:
             raise RuntimeError("model is not fitted")
         return self._fit.lml
+
+    @property
+    def noise_alpha_(self) -> np.ndarray | None:
+        """Per-point noise variances of the current fit (original y units).
+
+        ``None`` for scalar-noise fits, approximate-solver fits and
+        unfitted models — absence implies the homoscedastic path.
+        """
+        if self._fit is None:
+            return None
+        return self._fit.noise_alpha
 
     @property
     def n_train_(self) -> int:

@@ -69,13 +69,21 @@ def _loo_from_K(K_y: np.ndarray, y: np.ndarray) -> LOOResult:
 
 
 def loo_residuals(model: GaussianProcessRegressor) -> LOOResult:
-    """LOO predictive means/stds of a *fitted* regressor, in original units."""
+    """LOO predictive means/stds of a *fitted* regressor, in original units.
+
+    Heteroscedastic fits (per-point ``alpha``, see
+    :meth:`GaussianProcessRegressor.fit`) are supported: the per-point
+    variances join the diagonal of the rebuilt ``K_y``, so the held-out
+    predictive variance of a noisy probe is correspondingly wider.
+    """
     if not model.fitted:
         raise RuntimeError("model is not fitted")
     fit = model._fit
     assert fit is not None and model.kernel_ is not None
     K = model.kernel_(fit.X)
     K[np.diag_indices_from(K)] += model.noise_variance_ + model.jitter
+    if fit.noise_alpha is not None:
+        K[np.diag_indices_from(K)] += fit.noise_alpha / fit.y_std**2
     res = _loo_from_K(K, fit.y)
     return LOOResult(
         mean=res.mean * fit.y_std + fit.y_mean,
@@ -116,7 +124,9 @@ def loo_pseudo_likelihood(
     """Pseudo log-likelihood of hyperparameters ``theta`` on data ``(X, y)``.
 
     ``theta`` uses the same joint layout as
-    :meth:`GaussianProcessRegressor.log_marginal_likelihood`.
+    :meth:`GaussianProcessRegressor.log_marginal_likelihood`.  Scalar-noise
+    only: the LOOCV selection route predates per-point ``alpha`` support
+    and the ablation benches that use it are homoscedastic.
     """
     X = as_2d_array(X)
     y = as_1d_array(y)

@@ -54,6 +54,8 @@ __all__ = [
     "resolve_solver",
     "SOLVER_NAMES",
     "AUTO_EXACT_MAX",
+    "PER_POINT_NOISE_BACKENDS",
+    "supports_per_point_noise",
 ]
 
 _LOG_2PI = math.log(2.0 * math.pi)
@@ -443,6 +445,19 @@ _BACKENDS = {
     "nystrom": (_fit_nystrom, _predict_nystrom),
     "rff": (_fit_rff, _predict_rff),
 }
+
+#: Backends whose posterior factorization can carry a per-point noise
+#: variance vector (heteroscedastic ``fit(alpha=...)``).  The low-rank
+#: backends build ``K_y`` implicitly through inducing points / random
+#: features and have no per-row diagonal to attach ``alpha`` to, so they
+#: declare it unsupported; ``GaussianProcessRegressor.fit`` falls back to
+#: the exact solver (with a warning) when ``alpha`` is given.
+PER_POINT_NOISE_BACKENDS = frozenset({"exact"})
+
+
+def supports_per_point_noise(backend: str) -> bool:
+    """Whether ``backend`` can fit with a per-point noise vector."""
+    return backend in PER_POINT_NOISE_BACKENDS
 
 
 def fit_backend(

@@ -395,6 +395,13 @@ class ModelRegistry:
         solver_info = getattr(model, "solver_info", None)
         if solver_info is not None and solver_info.get("name") != "exact":
             extra.setdefault("solver", solver_info)
+        # Likewise mark heteroscedastic fits (per-point noise alpha, e.g.
+        # from multi-fidelity fusion); scalar-noise fits stay unmarked so
+        # their version files are byte-identical to pre-alpha ones.
+        noise_alpha = getattr(model, "noise_alpha_", None)
+        if noise_alpha is not None:
+            extra.setdefault("heteroscedastic", True)
+            extra.setdefault("n_noise_alpha", int(len(noise_alpha)))
         meta = ModelVersion(
             version=next_version,
             created_at=time.time() if created_at is None else float(created_at),

@@ -195,3 +195,78 @@ def test_default_model_factory_validates_noise_floor():
     for bad in (0.0, -1.0, np.nan, np.inf):
         with pytest.raises(ValueError, match="noise_floor"):
             default_model_factory(noise_floor=bad)
+
+
+def test_learner_refits_cost_model_on_primary_cadence():
+    """Regression: CostModelEfficiency's cost model went stale (fitted once,
+    never updated).  Inside the learner it must now be refitted alongside
+    every full primary-model refit, on exactly the costs observed so far."""
+    from repro.al import CostModelEfficiency
+
+    X, y, costs = _problem()
+    part = random_partition(X.shape[0], rng=0, n_initial=3)
+    strat = CostModelEfficiency(seed=0)
+    learner = ActiveLearner(
+        X, y, costs, part, strat,
+        model_factory=default_model_factory(noise_floor=1e-2),
+    )
+    trace = learner.run(4)
+    assert len(trace) == 4
+    assert strat.cost_model is not None and strat.cost_model.fitted
+    # Refit happens at fit time, before that iteration's selection: the
+    # final (4th) refit saw the initial partition plus the 3 records
+    # consumed by iterations 1-3.
+    assert strat.cost_model.n_train_ == 3 + 3
+
+
+def test_fuse_repeats_consumes_and_pools_duplicates():
+    """With fuse_repeats, selecting a repeated configuration consumes every
+    available sibling and trains on their precision-weighted mean."""
+    # 4 distinct configs; config 0 measured 3 times with spread responses.
+    X = np.array([[0.0], [0.0], [0.0], [3.0], [6.0], [9.0], [1.5], [4.5], [7.5]])
+    y = np.array([1.0, 1.2, 0.8, 2.0, 3.0, 4.0, 1.5, 2.5, 3.5])
+    costs = np.ones(9)
+    from repro.al import Partition, VarianceReduction
+
+    part = Partition(
+        initial=np.array([3, 5]),
+        active=np.array([0, 1, 2, 4, 6]),
+        test=np.array([7, 8]),
+    )
+    learner = ActiveLearner(
+        X, y, costs, part, VarianceReduction(seed=0),
+        model_factory=default_model_factory(noise_floor=1e-2),
+        fuse_repeats=True,
+        repeat_noise_variance=0.04,
+    )
+    trace = learner.run(4)
+    fused = [r for r in trace.records if r.n_fused > 1]
+    assert fused, "the triple-measured config was never fused"
+    rec = fused[0]
+    assert rec.n_fused == 3
+    assert rec.y_selected == pytest.approx(np.mean([1.0, 1.2, 0.8]))
+    assert rec.cost == pytest.approx(3.0)  # all three records paid for
+    # Pool drained early: 2 fused groups + singles < 5 iterations possible.
+    assert learner.model.noise_alpha_ is not None
+
+
+def test_fuse_repeats_conflicts_with_noise_floor_schedule():
+    X, y, costs = _problem()
+    part = random_partition(X.shape[0], rng=0)
+    with pytest.raises(ValueError, match="schedule"):
+        ActiveLearner(
+            X, y, costs, part, VarianceReduction(),
+            fuse_repeats=True,
+            noise_floor_schedule=lambda i: 1e-2,
+        )
+
+
+def test_fuse_repeats_validates_repeat_noise_variance():
+    X, y, costs = _problem()
+    part = random_partition(X.shape[0], rng=0)
+    for bad in (0.0, -1.0, float("nan")):
+        with pytest.raises(ValueError, match="repeat_noise_variance"):
+            ActiveLearner(
+                X, y, costs, part, VarianceReduction(),
+                fuse_repeats=True, repeat_noise_variance=bad,
+            )

@@ -95,3 +95,41 @@ def test_non_finite_cost_error_names_indices():
     costs = np.array([1.0, np.nan, np.inf])
     with pytest.raises(ValueError, match=r"2 non-finite entries at indices \[1, 2\]"):
         CandidatePool(np.zeros((3, 1)), np.zeros(3), costs)
+
+
+def test_repeat_indices_finds_all_available_duplicates():
+    X = np.array([[1.0], [2.0], [1.0], [3.0], [1.0]])
+    y = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+    pool = CandidatePool(X, y, np.ones(5))
+    np.testing.assert_array_equal(pool.repeat_indices(0), [0, 2, 4])
+    np.testing.assert_array_equal(pool.repeat_indices(2), [0, 2, 4])
+    np.testing.assert_array_equal(pool.repeat_indices(1), [1])
+    pool.consume(2)
+    # Consumed repeats drop out of the group.
+    np.testing.assert_array_equal(pool.repeat_indices(0), [0, 4])
+
+
+def test_consume_repeats_returns_every_record():
+    # Regression: consume() took ONE record per selection, so the other
+    # repeats of the chosen configuration stayed behind and fusion only
+    # ever saw a single observation per step.
+    X = np.array([[1.0], [2.0], [1.0], [1.0]])
+    y = np.array([0.1, 0.2, 0.3, 0.4])
+    costs = np.array([1.0, 2.0, 3.0, 4.0])
+    pool = CandidatePool(X, y, costs)
+    records = pool.consume_repeats(3)  # any repeat index selects the group
+    assert len(records) == 3
+    assert [r[1] for r in records] == [0.1, 0.3, 0.4]  # record order
+    assert [r[2] for r in records] == [1.0, 3.0, 4.0]
+    assert pool.n_available == 1
+    with pytest.raises(ValueError):
+        pool.consume_repeats(0)  # already consumed
+
+
+def test_repeat_methods_validate_index():
+    pool = _pool(3)
+    with pytest.raises(IndexError):
+        pool.repeat_indices(7)
+    pool.consume(1)
+    with pytest.raises(ValueError):
+        pool.repeat_indices(1)

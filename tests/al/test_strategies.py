@@ -242,3 +242,45 @@ def test_strategy_names():
     assert CostModelEfficiency().name == "cost-model-efficiency"
     assert RandomSampling().name == "random"
     assert EMCM().name == "emcm"
+
+
+def test_cost_model_efficiency_auto_refit_tracks_observed_costs(fitted_model, pool):
+    """Regression: the cost model was fitted once by the caller and never
+    refreshed, so its predictions went stale as real costs streamed in.
+    refit_cost_model must replace the stale posterior with one trained on
+    the observed costs."""
+    from repro.al import CostModelEfficiency
+
+    strat = CostModelEfficiency()
+    assert strat.auto_refit
+    assert strat.cost_model is None
+    # Costs observed so far: steeply increasing with x.
+    X_seen = np.linspace(0, 10, 9)[:, np.newaxis]
+    strat.refit_cost_model(X_seen, 10.0 ** X_seen[:, 0])
+    assert strat.cost_model is not None and strat.cost_model.fitted
+    mu = strat.cost_model.predict(np.array([[2.0], [8.0]]))
+    assert mu[1] > mu[0] + 3  # log10 costs: ~2 vs ~8
+    # A later refit on different costs really replaces the fit.
+    strat.refit_cost_model(X_seen, np.full(9, 100.0))
+    mu2 = strat.cost_model.predict(np.array([[2.0], [8.0]]))
+    np.testing.assert_allclose(mu2, 2.0, atol=0.2)
+
+
+def test_cost_model_efficiency_refit_floors_zero_costs(fitted_model):
+    from repro.al import CostModelEfficiency
+
+    strat = CostModelEfficiency()
+    X_seen = np.array([[0.0], [1.0]])
+    strat.refit_cost_model(X_seen, np.array([0.0, 1.0]))  # no -inf blowup
+    assert np.all(np.isfinite(strat.cost_model.predict(X_seen)))
+
+
+def test_cost_model_efficiency_auto_refit_false_keeps_caller_ownership(
+    fitted_model, pool
+):
+    from repro.al import CostModelEfficiency
+
+    strat = CostModelEfficiency(auto_refit=False)
+    with pytest.raises(ValueError) as err:
+        strat.scores(fitted_model, pool)
+    assert "refit_cost_model" not in str(err.value)  # hint only when auto
